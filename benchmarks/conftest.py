@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the corresponding rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section in one go.  The ``fast`` settings are
+used so the full suite completes in a few minutes on a laptop; pass
+``--paper-scale`` to use the exact engines with paper-like time limits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks with the exact (slow) engines instead of the fast settings",
+    )
+
+
+@pytest.fixture(scope="session")
+def settings(request) -> ExperimentSettings:
+    fast = not request.config.getoption("--paper-scale")
+    return ExperimentSettings(fast=fast)
+
+
+@pytest.fixture(scope="session")
+def small_settings(settings) -> ExperimentSettings:
+    return ExperimentSettings(fast=settings.fast, assays=["RA30", "IVD", "PCR"])

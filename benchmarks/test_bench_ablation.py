@@ -1,0 +1,63 @@
+"""Ablation benchmarks (beyond the paper's figures).
+
+These sweeps probe the design choices documented in DESIGN.md: the
+connection-grid size and the alpha/beta weighting of the scheduling objective.
+"""
+
+from repro.experiments.ablation import run_grid_ablation, run_weight_ablation
+
+
+def test_bench_grid_size_ablation(benchmark, small_settings):
+    rows = benchmark.pedantic(
+        run_grid_ablation,
+        kwargs={"assay": "RA30", "grid_sizes": ((4, 4), (5, 5), (6, 6)), "settings": small_settings},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== Grid-size ablation (RA30) ===")
+    print(f"{'grid':<8}{'tE':>6}{'ne':>5}{'nv':>5}{'area':>7}")
+    for row in rows:
+        print(f"{row.label:<8}{row.execution_time:>6}{row.num_edges:>5}{row.num_valves:>5}{row.compact_area:>7}")
+
+    assert rows, "at least one grid size must be synthesizable"
+    # The schedule is independent of the grid, so tE is constant across rows.
+    assert len({row.execution_time for row in rows}) == 1
+
+
+def test_bench_objective_weight_ablation(benchmark, small_settings):
+    rows = benchmark.pedantic(
+        run_weight_ablation,
+        kwargs={"assay": "PCR", "betas": (0.0, 1.0, 20.0), "settings": small_settings},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== Objective-weight ablation (PCR, exact scheduler) ===")
+    print(f"{'beta':<10}{'tE':>6}{'gap-time':>10}{'ne':>5}{'nv':>5}")
+    for row in rows:
+        print(f"{row.label:<10}{row.execution_time:>6}{row.cross_device_gap:>10}{row.num_edges:>5}{row.num_valves:>5}")
+
+    assert len(rows) == 3
+    # Objective (6): increasing the storage weight never increases the
+    # cross-device gap time it penalizes.
+    gaps = [row.cross_device_gap for row in rows]
+    assert gaps[0] >= gaps[1] >= gaps[2]
+
+
+def test_bench_heuristic_router_throughput(benchmark):
+    """Micro-benchmark: route a mid-size random assay (placement + routing)."""
+    from repro.archsyn.router import HeuristicSynthesizer, SynthesisConfig
+    from repro.devices.device import default_device_library
+    from repro.graph.generators import RandomAssayConfig, random_assay
+    from repro.scheduling.list_scheduler import ListScheduler
+
+    graph = random_assay(RandomAssayConfig(num_operations=40, seed=99))
+    library = default_device_library(num_mixers=4)
+    schedule = ListScheduler(library).schedule(graph)
+
+    def run():
+        return HeuristicSynthesizer(SynthesisConfig(grid_rows=5, grid_cols=5)).synthesize(schedule)
+
+    architecture = benchmark(run)
+    assert architecture.validate() == []

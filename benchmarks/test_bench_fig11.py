@@ -1,0 +1,29 @@
+"""Fig. 11: execution snapshots of the synthesized RA30 chip.
+
+The paper shows two snapshots: (a) a transportation path moving a sample into
+a channel segment for caching, and (b) a later transport running while the
+cached sample stays in its segment.  The benchmark replays the synthesized
+RA30 chip and extracts equivalent snapshots.
+"""
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_bench_fig11_execution_snapshots(benchmark, small_settings):
+    snapshots = benchmark.pedantic(
+        run_fig11, kwargs={"settings": small_settings, "assay": "RA30"}, rounds=1, iterations=1
+    )
+
+    print()
+    for snap in snapshots:
+        print(f"=== Fig. 11 snapshot at t = {snap.time} s "
+              f"({snap.storing_segments} caching, {snap.transporting_segments} transporting) ===")
+        print(snap.ascii_art)
+        print()
+
+    assert len(snapshots) == 2
+    # Snapshot (a): at least one segment is caching a fluid sample.
+    assert snapshots[0].storing_segments >= 1
+    # Snapshot (b): a transport happens while a sample stays cached elsewhere.
+    assert snapshots[1].storing_segments >= 1
+    assert snapshots[1].transporting_segments >= 1

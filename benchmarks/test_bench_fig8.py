@@ -1,0 +1,30 @@
+"""Fig. 8: edge and valve ratios of the synthesized architectures.
+
+The paper's claim: architectural synthesis keeps only a fraction of the
+connection grid's edges/valves (all ratios < 1, half of them close to 0).
+"""
+
+from repro.experiments.fig8 import PAPER_FIG8, format_fig8, run_fig8
+
+
+def test_bench_fig8_edge_valve_ratios(benchmark, settings):
+    points = benchmark.pedantic(run_fig8, args=(settings,), rounds=1, iterations=1)
+
+    print()
+    print("=== Fig. 8 (measured) ===")
+    print(format_fig8(points))
+    print()
+    print("=== Fig. 8 (paper, read off the bar chart) ===")
+    for name, ref in PAPER_FIG8.items():
+        print(f"{name:<8} edge {ref['edge']:.2f}  valve {ref['valve']:.2f}")
+
+    assert len(points) == 6
+    for point in points:
+        # The headline property of Fig. 8 holds: every ratio is below 1.
+        assert point.edge_ratio < 1.0
+        assert point.valve_ratio < 1.0
+    # The small assays use far less of the grid than the large ones, matching
+    # the paper's "half of them are even close to 0" observation.
+    small = [p for p in points if p.assay in ("IVD", "PCR")]
+    large = [p for p in points if p.assay in ("RA100", "RA70", "CPA")]
+    assert max(p.edge_ratio for p in small) < min(p.edge_ratio for p in large)

@@ -1,0 +1,57 @@
+"""Regenerate the paper's complete evaluation section from the command line.
+
+Prints Table 2, Fig. 8, Fig. 9 and Fig. 10 with the same rows/series as the
+paper (measured on this reproduction's engines).  Use ``--full`` to run the
+exact engines with longer solver time limits.
+
+Run with:  python examples/paper_evaluation.py [--full]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentSettings, run_fig8, run_fig9, run_fig10, run_table2
+from repro.experiments.fig8 import format_fig8
+from repro.experiments.fig9 import format_fig9
+from repro.experiments.fig10 import format_fig10
+from repro.experiments.table2 import format_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the exact engines with paper-like time limits")
+    args = parser.parse_args()
+
+    settings = ExperimentSettings(fast=not args.full)
+
+    print("=" * 72)
+    print("Table 2: scheduling, architectural synthesis and physical design")
+    print("=" * 72)
+    print(format_table2(run_table2(settings)))
+
+    print()
+    print("=" * 72)
+    print("Fig. 8: edge / valve ratios versus the full connection grid")
+    print("=" * 72)
+    print(format_fig8(run_fig8(settings)))
+
+    small = ExperimentSettings(fast=settings.fast, assays=["RA30", "IVD", "PCR"])
+    print()
+    print("=" * 72)
+    print("Fig. 9: execution-time-only vs. execution-time + storage objective")
+    print("=" * 72)
+    print(format_fig9(run_fig9(small)))
+
+    print()
+    print("=" * 72)
+    print("Fig. 10: distributed channel storage vs. dedicated storage unit")
+    print("=" * 72)
+    rows = run_fig10(settings)
+    print(format_fig10(rows))
+    best = min(rows, key=lambda r: r.execution_time_ratio)
+    print(f"\nlargest execution-time improvement: {best.assay} "
+          f"({best.execution_improvement:.0%}; the paper reports ~28% for RA100)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — flow-based microfluidic biochip synthesis with distributed channel storage.
+
+A Python reproduction of Liu et al., "Transport or Store? Synthesizing
+Flow-based Microfluidic Biochips using Distributed Channel Storage"
+(DAC 2017).
+
+The top-level API is small:
+
+* :func:`repro.synthesize` — run the complete flow on a sequencing graph;
+* :class:`repro.FlowConfig` — configure devices, scheduling and synthesis;
+* :mod:`repro.graph` — build or load assay sequencing graphs (PCR, IVD, CPA,
+  random assays, JSON I/O);
+* :mod:`repro.experiments` — regenerate every table and figure of the paper.
+
+Quick start
+-----------
+>>> from repro import synthesize, FlowConfig
+>>> from repro.graph import build_pcr
+>>> result = synthesize(build_pcr(), FlowConfig(num_mixers=2))
+>>> result.execution_time > 0
+True
+>>> result.architecture.num_edges > 0
+True
+"""
+
+from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
+from repro.synthesis.flow import SynthesisResult, synthesize
+from repro.synthesis.metrics import FlowMetrics, collect_metrics
+from repro.synthesis.report import result_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowConfig",
+    "SchedulerEngine",
+    "SynthesisEngine",
+    "SynthesisResult",
+    "synthesize",
+    "FlowMetrics",
+    "collect_metrics",
+    "result_report",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Architectural synthesis with distributed channel storage (paper Section 3.2).
+
+Starting from a schedule, this package determines
+
+* where every device sits on a *connection grid* (placement),
+* which grid edges (channel segments) and switches realize every
+  transportation task of the schedule (routing), respecting
+  time-multiplexing: paths that are alive simultaneously must not share a
+  node or an edge,
+* in which channel segment every intermediate fluid sample is cached and for
+  how long (distributed channel storage), and
+* which grid edges are kept in the final chip (resource minimization,
+  objective (12)).
+
+Engines
+-------
+:class:`~repro.archsyn.router.HeuristicSynthesizer`
+    Deterministic placement + time-multiplexed BFS routing; scales to all of
+    the paper's assays and is the default engine of the pipeline.
+:class:`~repro.archsyn.ilp_synthesis.IlpSynthesizer`
+    Exact formulation following the paper's constraints (8)–(12); the path
+    construction constraints (9) are encoded as unit network flows, which is
+    equivalent but eliminates the degree-encoding's disconnected-cycle corner
+    case.  Intended for small instances.
+
+Both engines emit a :class:`~repro.archsyn.architecture.ChipArchitecture`
+validated by the same conflict checker.
+"""
+
+from repro.archsyn.grid import ConnectionGrid, GridNode
+from repro.archsyn.architecture import (
+    ChipArchitecture,
+    RoutedSubPath,
+    RoutedTask,
+    ArchitectureValidationError,
+)
+from repro.archsyn.occupancy import OccupancyTracker, Interval
+from repro.archsyn.placement import GreedyPlacer, PlacementResult, communication_demands
+from repro.archsyn.router import HeuristicSynthesizer, SynthesisConfig, SynthesisError
+from repro.archsyn.ilp_synthesis import IlpSynthesizer, IlpSynthesisConfig
+
+__all__ = [
+    "ConnectionGrid",
+    "GridNode",
+    "ChipArchitecture",
+    "RoutedSubPath",
+    "RoutedTask",
+    "ArchitectureValidationError",
+    "OccupancyTracker",
+    "Interval",
+    "GreedyPlacer",
+    "PlacementResult",
+    "communication_demands",
+    "HeuristicSynthesizer",
+    "SynthesisConfig",
+    "SynthesisError",
+    "IlpSynthesizer",
+    "IlpSynthesisConfig",
+]

@@ -1,0 +1,136 @@
+"""Connection grid (paper Fig. 6).
+
+The connection grid is a regular ``rows x cols`` mesh.  Every node can host
+either a device or a switch; every edge is a channel segment able to carry a
+transport or cache one fluid sample.  Architectural synthesis selects which
+nodes become devices and which edges are kept in the final chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+#: An undirected grid edge is identified by the frozenset of its two node ids.
+EdgeId = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class GridNode:
+    """A node of the connection grid, addressed by (row, col)."""
+
+    row: int
+    col: int
+
+    @property
+    def node_id(self) -> str:
+        return f"n{self.row}_{self.col}"
+
+    def manhattan_distance(self, other: "GridNode") -> int:
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+
+def edge_id(node_a: str, node_b: str) -> EdgeId:
+    """Canonical identifier of the undirected edge between two nodes."""
+    if node_a == node_b:
+        raise ValueError("an edge needs two distinct endpoints")
+    return frozenset((node_a, node_b))
+
+
+class ConnectionGrid:
+    """A ``rows x cols`` orthogonal connection grid.
+
+    Node ids follow the pattern ``n<row>_<col>``; rows and columns are
+    0-indexed.  Edges connect horizontally and vertically adjacent nodes.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be at least 1x1")
+        self.rows = rows
+        self.cols = cols
+        self._nodes: Dict[str, GridNode] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        for row in range(rows):
+            for col in range(cols):
+                node = GridNode(row, col)
+                self._nodes[node.node_id] = node
+                self._adjacency[node.node_id] = []
+        for row in range(rows):
+            for col in range(cols):
+                node = GridNode(row, col)
+                for dr, dc in ((0, 1), (1, 0)):
+                    nr, nc = row + dr, col + dc
+                    if nr < rows and nc < cols:
+                        neighbour = GridNode(nr, nc)
+                        self._adjacency[node.node_id].append(neighbour.node_id)
+                        self._adjacency[neighbour.node_id].append(node.node_id)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def node(self, node_id: str) -> GridNode:
+        return self._nodes[node_id]
+
+    def node_at(self, row: int, col: int) -> GridNode:
+        node = GridNode(row, col)
+        if node.node_id not in self._nodes:
+            raise KeyError(f"({row}, {col}) is outside the {self.rows}x{self.cols} grid")
+        return node
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List[str]:
+        return list(self._nodes.keys())
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def neighbors(self, node_id: str) -> List[str]:
+        return list(self._adjacency[node_id])
+
+    def edges(self) -> List[EdgeId]:
+        seen: set = set()
+        result: List[EdgeId] = []
+        for node_id, neighbours in self._adjacency.items():
+            for other in neighbours:
+                eid = edge_id(node_id, other)
+                if eid not in seen:
+                    seen.add(eid)
+                    result.append(eid)
+        return result
+
+    def num_edges(self) -> int:
+        return self.rows * (self.cols - 1) + self.cols * (self.rows - 1)
+
+    def has_edge(self, node_a: str, node_b: str) -> bool:
+        return node_b in self._adjacency.get(node_a, [])
+
+    def incident_edges(self, node_id: str) -> List[EdgeId]:
+        """All grid edges touching a node (the paper's set ``E_i``)."""
+        return [edge_id(node_id, other) for other in self._adjacency[node_id]]
+
+    def edge_endpoints(self, eid: EdgeId) -> Tuple[str, str]:
+        a, b = sorted(eid)
+        return a, b
+
+    def manhattan(self, node_a: str, node_b: str) -> int:
+        return self._nodes[node_a].manhattan_distance(self._nodes[node_b])
+
+    def center_node(self) -> str:
+        return GridNode(self.rows // 2, self.cols // 2).node_id
+
+    def nodes_sorted_by_distance(self, origin: str) -> List[str]:
+        """All nodes ordered by Manhattan distance from ``origin`` (stable)."""
+        return sorted(self._nodes, key=lambda n: (self.manhattan(origin, n), n))
+
+    def edge_distance_to_node(self, eid: EdgeId, node_id: str) -> int:
+        """Distance from an edge (min over its endpoints) to a node."""
+        a, b = self.edge_endpoints(eid)
+        return min(self.manhattan(a, node_id), self.manhattan(b, node_id))
+
+    def __repr__(self) -> str:
+        return f"ConnectionGrid({self.rows}x{self.cols})"

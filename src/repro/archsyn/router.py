@@ -1,0 +1,456 @@
+"""Heuristic architectural synthesis: placement + time-multiplexed routing.
+
+The synthesizer realizes every transportation task of a schedule on a
+connection grid:
+
+1. devices are placed with :class:`~repro.archsyn.placement.GreedyPlacer`;
+2. tasks are routed in order of departure time with a breadth-first search
+   that only uses grid edges and switch nodes that are free during the task's
+   time window (time multiplexing, constraint (10));
+3. tasks that need storage are decomposed into the paper's three sub-paths:
+   transport to a channel segment, caching in that segment, transport from
+   the segment to the target device (Fig. 5(c)–(e) / Fig. 6); the storage
+   segment is chosen close to the target device so the fetch is short
+   ("on-the-spot caching").
+
+Occupancy rules
+---------------
+* edges are exclusive: transport and storage reservations both block them;
+* switch nodes are exclusive among transport paths; a caching segment does
+  *not* block its endpoint nodes (the ``p'_r`` exemption of Fig. 6);
+* device nodes are never used as intermediate hops of a foreign path; access
+  to a device's own node is serialized by the schedule itself, so it is not
+  tracked as a shared resource.
+
+If routing fails on the configured grid the synthesizer retries on a larger
+grid (the paper likewise sizes the grid per assay, Table 2 column ``G``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.archsyn.architecture import ChipArchitecture, RoutedSubPath, RoutedTask
+from repro.archsyn.grid import ConnectionGrid, EdgeId, edge_id
+from repro.archsyn.occupancy import OccupancyTracker
+from repro.archsyn.placement import GreedyPlacer
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.transport import TransportTask, extract_transport_tasks
+
+
+class SynthesisError(RuntimeError):
+    """Raised when no valid architecture could be synthesized."""
+
+
+@dataclass
+class SynthesisConfig:
+    """Knobs of the heuristic synthesizer.
+
+    ``grid_rows`` / ``grid_cols`` give the initial connection-grid size
+    (Table 2 uses 4x4 for all assays except RA100's 5x5);
+    ``auto_expand_grid`` lets the synthesizer retry on a larger grid when the
+    initial one cannot accommodate all concurrent transportations.
+    """
+
+    grid_rows: int = 4
+    grid_cols: int = 4
+    auto_expand_grid: bool = True
+    max_grid_dim: int = 9
+    device_spacing: int = 2
+
+
+class HeuristicSynthesizer:
+    """Deterministic placement-and-routing engine."""
+
+    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+        self.config = config or SynthesisConfig()
+
+    # ------------------------------------------------------------------ API
+    def synthesize(self, schedule: Schedule) -> ChipArchitecture:
+        """Synthesize a validated :class:`ChipArchitecture` for ``schedule``.
+
+        Raises
+        ------
+        SynthesisError
+            If no conflict-free realization exists even on the largest grid
+            allowed by the configuration.
+        """
+        tasks = extract_transport_tasks(schedule)
+        devices = schedule.devices_used()
+        if not devices:
+            devices = [d.device_id for d in schedule.library]
+        return self.synthesize_tasks(tasks, devices, transport_time=schedule.transport_time)
+
+    def synthesize_tasks(
+        self,
+        tasks: Sequence[TransportTask],
+        devices: Sequence[str],
+        transport_time: int = 10,
+    ) -> ChipArchitecture:
+        """Synthesize an architecture directly from a list of transport tasks.
+
+        This entry point is used by the dedicated-storage baseline, which
+        rewrites the task list (all caching traffic is redirected to a storage
+        unit pseudo-device) before synthesizing the comparison chip.
+        """
+        self._transport_time = max(1, transport_time)
+        rows, cols = self.config.grid_rows, self.config.grid_cols
+        while True:
+            try:
+                return self._synthesize_on_grid(tasks, devices, rows, cols)
+            except SynthesisError as exc:
+                if not self.config.auto_expand_grid:
+                    raise
+                if rows >= self.config.max_grid_dim and cols >= self.config.max_grid_dim:
+                    raise SynthesisError(
+                        f"synthesis failed even on a {rows}x{cols} grid: {exc}"
+                    ) from exc
+                rows = min(self.config.max_grid_dim, rows + 1)
+                cols = min(self.config.max_grid_dim, cols + 1)
+
+    # ------------------------------------------------------------ internals
+    def _synthesize_on_grid(
+        self,
+        tasks: Sequence[TransportTask],
+        devices: Sequence[str],
+        rows: int,
+        cols: int,
+    ) -> ChipArchitecture:
+        grid = ConnectionGrid(rows, cols)
+        if len(devices) > grid.num_nodes():
+            raise SynthesisError(
+                f"{len(devices)} devices do not fit on a {rows}x{cols} connection grid"
+            )
+        placer = GreedyPlacer(grid, spacing=self.config.device_spacing)
+        placement = placer.place(devices, tasks).placement
+        architecture = ChipArchitecture(grid, placement)
+
+        edge_occ = OccupancyTracker()
+        node_occ = OccupancyTracker()
+        device_nodes = set(placement.values())
+        #: Edges already claimed by earlier tasks; reusing them costs nothing
+        #: extra, so the router prefers them (objective (12): keep few edges).
+        self._used_edges: Set[EdgeId] = set()
+
+        for task in sorted(tasks, key=lambda t: (t.depart_time, t.task_id)):
+            routed = self._route_task(task, architecture, edge_occ, node_occ, device_nodes)
+            architecture.add_routed_task(routed)
+            self._used_edges.update(routed.all_edges())
+
+        problems = architecture.validate()
+        if problems:
+            raise SynthesisError(
+                "synthesized architecture failed validation: " + "; ".join(problems[:5])
+            )
+        return architecture
+
+    # ----------------------------------------------------------- task routing
+    def _route_task(
+        self,
+        task: TransportTask,
+        architecture: ChipArchitecture,
+        edge_occ: OccupancyTracker,
+        node_occ: OccupancyTracker,
+        device_nodes: Set[str],
+    ) -> RoutedTask:
+        source = architecture.device_node(task.source_device)
+        target = architecture.device_node(task.target_device)
+
+        if not task.needs_storage:
+            return self._route_direct(task, architecture, source, target, edge_occ, node_occ, device_nodes)
+        return self._route_with_storage(task, architecture, source, target, edge_occ, node_occ, device_nodes)
+
+    def _route_direct(
+        self,
+        task: TransportTask,
+        architecture: ChipArchitecture,
+        source: str,
+        target: str,
+        edge_occ: OccupancyTracker,
+        node_occ: OccupancyTracker,
+        device_nodes: Set[str],
+    ) -> RoutedTask:
+        window = (task.depart_time, max(task.arrive_time, task.depart_time + 1))
+        group = task.sample.producer
+        path = self._find_path(
+            architecture.grid, source, {target}, window, edge_occ, node_occ, device_nodes,
+            group=group,
+        )
+        if path is None:
+            raise SynthesisError(
+                f"no conflict-free path for task {task.task_id!r} "
+                f"({task.source_device}->{task.target_device}) in window {window}"
+            )
+        sub = self._commit_transport(path, window, task.task_id, edge_occ, node_occ, device_nodes, group=group)
+        return RoutedTask(task=task, subpaths=[sub])
+
+    def _route_with_storage(
+        self,
+        task: TransportTask,
+        architecture: ChipArchitecture,
+        source: str,
+        target: str,
+        edge_occ: OccupancyTracker,
+        node_occ: OccupancyTracker,
+        device_nodes: Set[str],
+    ) -> RoutedTask:
+        grid = architecture.grid
+        depart, arrive = task.depart_time, task.arrive_time
+        gap = arrive - depart
+        if gap < 3:
+            raise SynthesisError(
+                f"task {task.task_id!r}: gap {gap} is too short to store a sample along the way"
+            )
+        uc = getattr(self, "_transport_time", 10)
+        leg_out = min(uc, max(1, (gap - 1) // 2))
+        leg_back = min(uc, max(1, gap - leg_out - 1))
+        storage_start = depart + leg_out
+        storage_end = arrive - leg_back
+        if storage_end <= storage_start:
+            storage_end = storage_start + 1
+            leg_back = arrive - storage_end
+
+        candidates = self._storage_candidates(grid, source, target, device_nodes)
+        for eid in candidates:
+            routed = self._try_storage_edge(
+                task, grid, eid, source, target,
+                depart, storage_start, storage_end, arrive,
+                edge_occ, node_occ, device_nodes,
+            )
+            if routed is not None:
+                return routed
+        raise SynthesisError(
+            f"no channel segment can cache the sample of task {task.task_id!r} "
+            f"between {task.source_device} and {task.target_device} "
+            f"(window [{depart}, {arrive}))"
+        )
+
+    def _storage_candidates(
+        self,
+        grid: ConnectionGrid,
+        source: str,
+        target: str,
+        device_nodes: Set[str],
+    ) -> List[EdgeId]:
+        """Candidate storage segments, nearest to the target device first.
+
+        Segments between two switches are preferred over segments touching a
+        device node: a sample parked directly on a device port would block
+        that port for the whole caching interval and can wall the device in
+        (the paper's Fig. 11 likewise caches between two switches).
+        """
+
+        used_edges = getattr(self, "_used_edges", set())
+
+        def key(eid: EdgeId) -> Tuple[int, int, int, int, Tuple[str, str]]:
+            a, b = grid.edge_endpoints(eid)
+            touches_device = 1 if (a in device_nodes or b in device_nodes) else 0
+            already_used = 0 if eid in used_edges else 1
+            to_target = grid.edge_distance_to_node(eid, target)
+            to_source = grid.edge_distance_to_node(eid, source)
+            return (touches_device, already_used, to_target, to_source, (a, b))
+
+        candidates = []
+        for eid in grid.edges():
+            a, b = grid.edge_endpoints(eid)
+            # A segment whose both ends are devices cannot be sealed for
+            # storage without blocking both device ports; skip it.
+            if a in device_nodes and b in device_nodes:
+                continue
+            candidates.append(eid)
+        return sorted(candidates, key=key)
+
+    def _try_storage_edge(
+        self,
+        task: TransportTask,
+        grid: ConnectionGrid,
+        eid: EdgeId,
+        source: str,
+        target: str,
+        depart: int,
+        storage_start: int,
+        storage_end: int,
+        arrive: int,
+        edge_occ: OccupancyTracker,
+        node_occ: OccupancyTracker,
+        device_nodes: Set[str],
+    ) -> Optional[RoutedTask]:
+        node_a, node_b = grid.edge_endpoints(eid)
+        group = task.sample.producer
+        # The storage edge must be exclusively available from the moment the
+        # sample starts moving into it until it has fully left it.
+        if not edge_occ.is_free(eid, depart, storage_end):
+            return None
+
+        for entry, exit_node in ((node_a, node_b), (node_b, node_a)):
+            # The exit node is reserved together with leg 1 (the sample moves
+            # into the segment), so it must be free during that window too.
+            if exit_node not in device_nodes and not node_occ.is_free(
+                exit_node, depart, storage_start, group=group
+            ):
+                continue
+            # Leg 1: source device -> entry node, then into the storage edge.
+            leg1_path = self._find_path(
+                grid, source, {entry},
+                (depart, storage_start),
+                edge_occ, node_occ, device_nodes,
+                forbidden_edges={eid}, forbidden_nodes={exit_node},
+                group=group,
+            )
+            if leg1_path is None:
+                continue
+            # Leg 3: out of the storage edge at the far end -> target device.
+            leg3_path = self._find_path(
+                grid, exit_node, {target},
+                (storage_end, arrive),
+                edge_occ, node_occ, device_nodes,
+                forbidden_edges={eid},
+                group=group,
+            )
+            if leg3_path is None:
+                continue
+
+            full_leg1 = leg1_path + [exit_node]
+            sub1 = self._commit_transport(
+                full_leg1, (depart, storage_start), task.task_id, edge_occ, node_occ, device_nodes,
+                group=group,
+            )
+            edge_occ.reserve(eid, storage_start, storage_end, "storage", owner=task.task_id)
+            sub2 = RoutedSubPath(
+                nodes=(entry, exit_node),
+                edges=(eid,),
+                start=storage_start,
+                end=storage_end,
+                purpose="storage",
+            )
+            sub3 = self._commit_transport(
+                leg3_path, (storage_end, arrive), task.task_id, edge_occ, node_occ, device_nodes,
+                group=group,
+            )
+            return RoutedTask(task=task, subpaths=[sub1, sub2, sub3])
+        return None
+
+    # -------------------------------------------------------------- pathfind
+    def _find_path(
+        self,
+        grid: ConnectionGrid,
+        source: str,
+        targets: Set[str],
+        window: Tuple[int, int],
+        edge_occ: OccupancyTracker,
+        node_occ: OccupancyTracker,
+        device_nodes: Set[str],
+        forbidden_edges: Set[EdgeId] = frozenset(),
+        forbidden_nodes: Set[str] = frozenset(),
+        group: str = "",
+    ) -> Optional[List[str]]:
+        """Shortest conflict-free path from ``source`` to any of ``targets``.
+
+        Returns the node sequence or ``None``.  The ``window`` is half-open
+        ``[start, end)``; an empty window is treated as one time unit.
+        ``group`` identifies the producer whose split volumes may share
+        resources with each other.
+        """
+        start, end = window
+        if end <= start:
+            end = start + 1
+        used_edges = getattr(self, "_used_edges", set())
+
+        def node_available(node: str) -> bool:
+            """Switch nodes must be free; device nodes are serialized by the schedule."""
+            if node in device_nodes:
+                return True
+            return node_occ.is_free(node, start, end, group=group)
+
+        if source in forbidden_nodes or not node_available(source):
+            return None
+        if source in targets:
+            return [source]
+
+        # Dijkstra on (not-yet-used edges, foreign-port touches, hop count).
+        # Reusing an already-kept channel segment costs nothing, so routes
+        # concentrate on few segments (the heuristic counterpart of objective
+        # (12)); hugging the ports of devices that are neither source nor
+        # target is penalized so concurrent transports do not wall other
+        # devices in.
+        foreign_devices = device_nodes - set(targets) - {source}
+
+        def port_touch(node: str) -> int:
+            return sum(1 for nb in grid.neighbors(node) if nb in foreign_devices)
+
+        distance: Dict[str, Tuple[int, int, int]] = {source: (0, 0, 0)}
+        parent: Dict[str, str] = {}
+        heap: List[Tuple[int, int, int, str]] = [(0, 0, 0, source)]
+        settled: Set[str] = set()
+        while heap:
+            new_edges, ports, hops, current = heapq.heappop(heap)
+            if current in settled:
+                continue
+            settled.add(current)
+            if current in targets:
+                path = [current]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            if current in device_nodes and current != source:
+                continue  # never route through a foreign device
+            for neighbour in sorted(grid.neighbors(current)):
+                if neighbour in settled or neighbour in forbidden_nodes:
+                    continue
+                eid = edge_id(current, neighbour)
+                if eid in forbidden_edges:
+                    continue
+                if not edge_occ.is_free(eid, start, end, group=group):
+                    continue
+                if neighbour in targets:
+                    if not node_available(neighbour):
+                        continue
+                    touch = 0
+                else:
+                    if neighbour in device_nodes:
+                        continue
+                    if not node_occ.is_free(neighbour, start, end, group=group):
+                        continue
+                    touch = port_touch(neighbour)
+                cost = (
+                    new_edges + (0 if eid in used_edges else 1),
+                    ports + touch,
+                    hops + 1,
+                )
+                if neighbour not in distance or cost < distance[neighbour]:
+                    distance[neighbour] = cost
+                    parent[neighbour] = current
+                    heapq.heappush(heap, (cost[0], cost[1], cost[2], neighbour))
+        return None
+
+    def _commit_transport(
+        self,
+        path: List[str],
+        window: Tuple[int, int],
+        owner: str,
+        edge_occ: OccupancyTracker,
+        node_occ: OccupancyTracker,
+        device_nodes: Set[str],
+        group: str = "",
+    ) -> RoutedSubPath:
+        start, end = window
+        if end <= start:
+            end = start + 1
+        edges: List[EdgeId] = []
+        for node_a, node_b in zip(path, path[1:]):
+            eid = edge_id(node_a, node_b)
+            edges.append(eid)
+            edge_occ.reserve(eid, start, end, "transport", owner=owner, group=group)
+        for node in path:
+            if node not in device_nodes:
+                node_occ.reserve(node, start, end, "transport", owner=owner, group=group)
+        return RoutedSubPath(
+            nodes=tuple(path),
+            edges=tuple(edges),
+            start=start,
+            end=end,
+            purpose="transport",
+        )

@@ -1,0 +1,122 @@
+"""Command-line interface: synthesize a chip for an assay protocol.
+
+Usage
+-----
+Synthesize one of the built-in paper assays::
+
+    python -m repro --assay PCR --mixers 2
+
+or a custom protocol stored as JSON (see ``repro.graph.serialization``)::
+
+    python -m repro --protocol my_assay.json --mixers 3 --detectors 1 \
+        --svg chip.svg
+
+The command prints the synthesis report (schedule, architecture, layout
+metrics) and optionally writes the compact layout as an SVG drawing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.graph.library import PAPER_ASSAYS, assay_by_name
+from repro.graph.serialization import load_graph
+from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
+from repro.synthesis.flow import synthesize
+from repro.synthesis.report import result_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesize a flow-based microfluidic biochip with distributed channel storage.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--assay",
+        choices=sorted(PAPER_ASSAYS),
+        help="one of the paper's benchmark assays",
+    )
+    source.add_argument(
+        "--protocol",
+        type=Path,
+        help="path to a sequencing-graph JSON file",
+    )
+    parser.add_argument("--mixers", type=int, default=2, help="number of mixers (default 2)")
+    parser.add_argument("--detectors", type=int, default=0, help="number of detectors (default 0)")
+    parser.add_argument("--heaters", type=int, default=0, help="number of heaters (default 0)")
+    parser.add_argument("--transport-time", type=int, default=10,
+                        help="device-to-device transport time u_c in seconds (default 10)")
+    parser.add_argument("--grid", type=int, nargs=2, metavar=("ROWS", "COLS"), default=(4, 4),
+                        help="connection-grid size (default 4 4)")
+    parser.add_argument("--scheduler", choices=["auto", "ilp", "list"], default="auto",
+                        help="scheduling engine (default auto)")
+    parser.add_argument("--synthesis", choices=["heuristic", "ilp"], default="heuristic",
+                        help="architectural-synthesis engine (default heuristic)")
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="ILP time limit in seconds (default 60)")
+    parser.add_argument("--no-storage-objective", action="store_true",
+                        help="optimize execution time only (the Fig. 9 baseline)")
+    parser.add_argument("--svg", type=Path, default=None,
+                        help="write the compact layout to this SVG file")
+    parser.add_argument("--schedule-table", action="store_true",
+                        help="also print the full (operation, device, start, end) table")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> FlowConfig:
+    return FlowConfig(
+        num_mixers=args.mixers,
+        num_detectors=args.detectors,
+        num_heaters=args.heaters,
+        transport_time=args.transport_time,
+        grid_rows=args.grid[0],
+        grid_cols=args.grid[1],
+        scheduler=SchedulerEngine(args.scheduler),
+        synthesis=SynthesisEngine(args.synthesis),
+        ilp_time_limit_s=args.time_limit,
+        archsyn_time_limit_s=args.time_limit,
+        storage_aware=not args.no_storage_objective,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.assay:
+        graph = assay_by_name(args.assay)
+    else:
+        if not args.protocol.exists():
+            parser.error(f"protocol file {args.protocol} does not exist")
+        graph = load_graph(args.protocol)
+
+    config = _config_from_args(args)
+    try:
+        result = synthesize(graph, config)
+    except Exception as exc:  # noqa: BLE001 - report synthesis failures as exit code
+        print(f"synthesis failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(result_report(result))
+
+    if args.schedule_table:
+        print()
+        print("schedule (operation, device, start, end):")
+        for op_id, device, start, end in result.schedule.as_table():
+            print(f"  {op_id:<12} {device:<10} {start:>6} {end:>6}")
+
+    if args.svg is not None:
+        from repro.physical.svg_export import layout_to_svg
+
+        layout_to_svg(result.physical.compact_layout, args.svg)
+        print(f"\ncompact layout written to {args.svg}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

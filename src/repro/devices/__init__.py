@@ -1,0 +1,38 @@
+"""Component models of flow-based (continuous-flow) microfluidic biochips.
+
+Flow-based biochips are built from two PDMS layers: a *flow layer* carrying
+the fluids and a *control layer* carrying pressurized air that squeezes the
+flow channels shut (Section 1, Fig. 1 of the paper).  The primitive is the
+:class:`Valve`; valves compose into :class:`Switch` crossings (4 valves at a
+channel intersection), :class:`Mixer` devices (9 valves: 3 pumping + 6 I/O)
+and the conventional :class:`DedicatedStorageUnit` (a bank of side-by-side
+channel cells behind a multiplexer).
+
+These models carry the resource accounting (valve counts, footprints,
+access timing) used by the architectural synthesis and the dedicated-storage
+baseline comparison (Fig. 10).
+"""
+
+from repro.devices.valve import Valve, ValveState
+from repro.devices.channel import ChannelSegment, FluidSample
+from repro.devices.switch import Switch, SwitchConfiguration
+from repro.devices.device import Device, DeviceKind, DeviceLibrary, default_device_library
+from repro.devices.mixer import Mixer
+from repro.devices.storage import DedicatedStorageUnit, StorageAccess, storage_unit_valve_count
+
+__all__ = [
+    "Valve",
+    "ValveState",
+    "ChannelSegment",
+    "FluidSample",
+    "Switch",
+    "SwitchConfiguration",
+    "Device",
+    "DeviceKind",
+    "DeviceLibrary",
+    "default_device_library",
+    "Mixer",
+    "DedicatedStorageUnit",
+    "StorageAccess",
+    "storage_unit_valve_count",
+]

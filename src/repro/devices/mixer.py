@@ -1,0 +1,92 @@
+"""Ring-mixer device model.
+
+A mixer (Fig. 1(b)) is a circular flow loop with three pumping valves on top
+that are actuated in a rotating pattern to circulate the two fluids, plus six
+valves controlling the inlets and outlets.  The model below tracks the valve
+inventory and the peristaltic actuation sequence; it is used by the simulator
+to estimate control-sequence lengths and by tests as a concrete composite
+component built from :class:`~repro.devices.valve.Valve` primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.devices.device import Device, DeviceKind
+from repro.devices.valve import Valve
+
+
+#: Names of the three peristaltic pumping valves.
+PUMP_VALVES = ("pump1", "pump2", "pump3")
+#: Names of the six input/output control valves.
+IO_VALVES = ("in_top", "in_bottom", "out_top", "out_bottom", "isolate_left", "isolate_right")
+
+
+class Mixer(Device):
+    """A concrete ring mixer built from nine valves."""
+
+    def __init__(
+        self,
+        device_id: str,
+        footprint: Tuple[int, int] = (4, 2),
+        pump_period_s: float = 0.5,
+        speedup: float = 1.0,
+    ) -> None:
+        super().__init__(
+            device_id=device_id,
+            kind=DeviceKind.MIXER,
+            footprint=footprint,
+            internal_valve_count=len(PUMP_VALVES) + len(IO_VALVES),
+            speedup=speedup,
+        )
+        if pump_period_s <= 0:
+            raise ValueError("pump period must be positive")
+        self.pump_period_s = pump_period_s
+        self.valves: Dict[str, Valve] = {
+            name: Valve(valve_id=f"{device_id}.{name}") for name in PUMP_VALVES + IO_VALVES
+        }
+
+    # ---------------------------------------------------------------- pumping
+    def pumping_sequence(self, mixing_time_s: int) -> List[Tuple[float, str]]:
+        """Peristaltic actuation schedule for a mixing operation.
+
+        Returns a list of ``(time, valve_name)`` close events: the three pump
+        valves are closed one after another in a rotating pattern, each step
+        lasting ``pump_period_s`` seconds.  The length of this sequence is a
+        proxy for control-signal load during the operation.
+        """
+        if mixing_time_s < 0:
+            raise ValueError("mixing time must be non-negative")
+        events: List[Tuple[float, str]] = []
+        time = 0.0
+        idx = 0
+        while time < mixing_time_s:
+            events.append((time, PUMP_VALVES[idx % len(PUMP_VALVES)]))
+            idx += 1
+            time += self.pump_period_s
+        return events
+
+    def actuations_for_mix(self, mixing_time_s: int) -> int:
+        """Number of valve actuations needed for one mixing operation."""
+        return len(self.pumping_sequence(mixing_time_s))
+
+    # --------------------------------------------------------------- loading
+    def load_inputs(self, time: float = 0.0) -> None:
+        """Open input valves / close outputs to accept two fluid volumes."""
+        self.valves["in_top"].open(time)
+        self.valves["in_bottom"].open(time)
+        self.valves["out_top"].close(time)
+        self.valves["out_bottom"].close(time)
+
+    def seal(self, time: float = 0.0) -> None:
+        """Close all I/O valves so mixing can run in the closed ring."""
+        for name in IO_VALVES:
+            self.valves[name].close(time)
+
+    def drain(self, time: float = 0.0) -> None:
+        """Open the outputs to push the mixed product out."""
+        self.valves["out_top"].open(time)
+        self.valves["out_bottom"].open(time)
+        self.valves["in_top"].close(time)
+        self.valves["in_bottom"].close(time)

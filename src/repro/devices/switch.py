@@ -1,0 +1,105 @@
+"""Switches at channel intersections.
+
+At an intersection of two flow channels a *switch* is built from four valves,
+one on each arm (Fig. 5(a)).  At any moment two of the four valves are open,
+connecting two of the four incident channel segments; the other two arms are
+blocked.  Time-multiplexing these configurations lets different transportation
+paths reuse the same intersection at different times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.devices.valve import Valve, ValveState
+
+#: The four arms of a switch, named by compass direction on the grid.
+ARMS = ("north", "east", "south", "west")
+
+
+@dataclass(frozen=True)
+class SwitchConfiguration:
+    """A set of open arms (usually exactly two) of a switch."""
+
+    open_arms: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        unknown = self.open_arms - set(ARMS)
+        if unknown:
+            raise ValueError(f"unknown switch arms: {sorted(unknown)}")
+
+    @classmethod
+    def connecting(cls, arm_a: str, arm_b: str) -> "SwitchConfiguration":
+        if arm_a == arm_b:
+            raise ValueError("a switch configuration must connect two different arms")
+        return cls(frozenset({arm_a, arm_b}))
+
+    @classmethod
+    def all_closed(cls) -> "SwitchConfiguration":
+        return cls(frozenset())
+
+    def connects(self, arm_a: str, arm_b: str) -> bool:
+        return {arm_a, arm_b} <= self.open_arms
+
+
+class Switch:
+    """A four-valve switch at a grid intersection.
+
+    The switch owns one :class:`Valve` per arm.  The number of valves actually
+    *manufactured* equals the number of arms that carry a used channel segment
+    in the final architecture — the accounting behind the paper's ``n_v``
+    column (arms facing removed grid edges need no valve).
+    """
+
+    def __init__(self, node_id: str, present_arms: Optional[Tuple[str, ...]] = None) -> None:
+        self.node_id = node_id
+        self.present_arms: Tuple[str, ...] = tuple(present_arms) if present_arms else ARMS
+        unknown = set(self.present_arms) - set(ARMS)
+        if unknown:
+            raise ValueError(f"unknown switch arms: {sorted(unknown)}")
+        self.valves: Dict[str, Valve] = {
+            arm: Valve(valve_id=f"{node_id}.{arm}") for arm in self.present_arms
+        }
+        self.configuration = SwitchConfiguration.all_closed()
+        self._config_history: List[Tuple[float, SwitchConfiguration]] = []
+
+    # ------------------------------------------------------------- actuation
+    def apply(self, configuration: SwitchConfiguration, time: float = 0.0) -> None:
+        """Actuate the valves to realize ``configuration``.
+
+        Arms listed as open must exist on this switch.
+        """
+        missing = configuration.open_arms - set(self.present_arms)
+        if missing:
+            raise ValueError(f"switch {self.node_id}: arms {sorted(missing)} are not present")
+        for arm, valve in self.valves.items():
+            if arm in configuration.open_arms:
+                valve.open(time)
+            else:
+                valve.close(time)
+        self.configuration = configuration
+        self._config_history.append((time, configuration))
+
+    def connect(self, arm_a: str, arm_b: str, time: float = 0.0) -> SwitchConfiguration:
+        config = SwitchConfiguration.connecting(arm_a, arm_b)
+        self.apply(config, time)
+        return config
+
+    def close_all(self, time: float = 0.0) -> None:
+        self.apply(SwitchConfiguration.all_closed(), time)
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def valve_count(self) -> int:
+        """Number of valves this switch contributes to the chip."""
+        return len(self.valves)
+
+    def total_actuations(self) -> int:
+        return sum(v.actuation_count for v in self.valves.values())
+
+    def history(self) -> List[Tuple[float, SwitchConfiguration]]:
+        return list(self._config_history)
+
+    def __repr__(self) -> str:
+        return f"Switch({self.node_id!r}, arms={self.present_arms})"

@@ -1,0 +1,79 @@
+"""Valve primitive.
+
+A valve is the basic control element of a flow-based chip: a control channel
+crossing above a flow channel; pressurizing the control channel squeezes the
+elastic membrane and blocks the flow channel (Fig. 1(a)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ValveState(enum.Enum):
+    """Open (fluid can pass) or closed (flow channel squeezed shut)."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+    def toggled(self) -> "ValveState":
+        return ValveState.CLOSED if self is ValveState.OPEN else ValveState.OPEN
+
+
+@dataclass
+class Valve:
+    """A single micro-valve on the control layer.
+
+    Attributes
+    ----------
+    valve_id:
+        Unique identifier within the chip.
+    position:
+        Optional (x, y) location in layout units.
+    state:
+        Current :class:`ValveState`; new valves default to OPEN (no pressure).
+    actuation_count:
+        Number of state changes so far.  Valve wear is proportional to the
+        actuation count, so synthesis results with fewer switching events are
+        more reliable — tracked for the ablation experiments.
+    """
+
+    valve_id: str
+    position: Optional[Tuple[int, int]] = None
+    state: ValveState = ValveState.OPEN
+    actuation_count: int = 0
+    _history: List[Tuple[float, ValveState]] = field(default_factory=list, repr=False)
+
+    def close(self, time: float = 0.0) -> None:
+        """Pressurize the control channel (block the flow channel)."""
+        if self.state is not ValveState.CLOSED:
+            self.state = ValveState.CLOSED
+            self.actuation_count += 1
+            self._history.append((time, self.state))
+
+    def open(self, time: float = 0.0) -> None:
+        """Release the control channel pressure (allow flow)."""
+        if self.state is not ValveState.OPEN:
+            self.state = ValveState.OPEN
+            self.actuation_count += 1
+            self._history.append((time, self.state))
+
+    def set_state(self, state: ValveState, time: float = 0.0) -> None:
+        if state is ValveState.OPEN:
+            self.open(time)
+        else:
+            self.close(time)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is ValveState.OPEN
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state is ValveState.CLOSED
+
+    def history(self) -> List[Tuple[float, ValveState]]:
+        """Timestamped actuation history (time, new state)."""
+        return list(self._history)

@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning plain dataclasses/rows so
+the benchmark suite (``benchmarks/``) and the examples can print the same
+series the paper reports.  The default parameters use fast settings (the
+heuristic engines and reduced ILP time limits) so the whole evaluation runs
+in minutes on a laptop; pass ``fast=False`` for the full-fidelity setup.
+"""
+
+from repro.experiments.common import ExperimentSettings, assay_result, assay_names
+from repro.experiments.table2 import Table2Row, run_table2
+from repro.experiments.fig8 import Fig8Point, run_fig8
+from repro.experiments.fig9 import Fig9Row, run_fig9
+from repro.experiments.fig10 import Fig10Row, run_fig10
+from repro.experiments.fig11 import Fig11Snapshot, run_fig11
+from repro.experiments.ablation import AblationRow, run_grid_ablation, run_weight_ablation
+
+__all__ = [
+    "ExperimentSettings",
+    "assay_result",
+    "assay_names",
+    "Table2Row",
+    "run_table2",
+    "Fig8Point",
+    "run_fig8",
+    "Fig9Row",
+    "run_fig9",
+    "Fig10Row",
+    "run_fig10",
+    "Fig11Snapshot",
+    "run_fig11",
+    "AblationRow",
+    "run_grid_ablation",
+    "run_weight_ablation",
+]

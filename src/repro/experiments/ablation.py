@@ -1,0 +1,103 @@
+"""Ablation studies (beyond the paper's figures).
+
+Two sweeps exercise the design choices that DESIGN.md calls out:
+
+* **grid-size ablation** — how the connection-grid size affects edge/valve
+  usage and layout area for a fixed assay;
+* **objective-weight ablation** — how the alpha/beta trade-off of objective
+  (6) moves execution time versus total caching time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentSettings
+from repro.graph.library import assay_by_name
+from repro.scheduling.transport import cross_device_gap_sum, total_storage_time
+from repro.synthesis.config import FlowConfig, SchedulerEngine
+from repro.synthesis.flow import synthesize
+from repro.synthesis.metrics import collect_metrics
+
+
+@dataclass
+class AblationRow:
+    """One configuration point of an ablation sweep."""
+
+    label: str
+    execution_time: int
+    num_edges: int
+    num_valves: int
+    compact_area: int
+    total_storage_time: int
+    cross_device_gap: int
+
+
+def run_grid_ablation(
+    assay: str = "RA30",
+    grid_sizes: Sequence[Tuple[int, int]] = ((3, 3), (4, 4), (5, 5), (6, 6)),
+    settings: Optional[ExperimentSettings] = None,
+) -> List[AblationRow]:
+    """Sweep the connection-grid size for one assay."""
+    settings = settings or ExperimentSettings()
+    rows: List[AblationRow] = []
+    graph = assay_by_name(assay)
+    for rows_count, cols_count in grid_sizes:
+        config = settings.flow_config(assay)
+        config.grid_rows = rows_count
+        config.grid_cols = cols_count
+        config.auto_expand_grid = False
+        try:
+            result = synthesize(graph, config)
+        except Exception:  # noqa: BLE001 - a too-small grid is a legitimate outcome
+            continue
+        metrics = collect_metrics(result)
+        dims = metrics.dim_compact
+        rows.append(
+            AblationRow(
+                label=f"{rows_count}x{cols_count}",
+                execution_time=metrics.execution_time,
+                num_edges=metrics.num_edges,
+                num_valves=metrics.num_valves,
+                compact_area=dims[0] * dims[1],
+                total_storage_time=total_storage_time(result.schedule),
+                cross_device_gap=cross_device_gap_sum(result.schedule),
+            )
+        )
+    return rows
+
+
+def run_weight_ablation(
+    assay: str = "PCR",
+    betas: Sequence[float] = (0.0, 0.5, 1.0, 5.0, 20.0),
+    settings: Optional[ExperimentSettings] = None,
+) -> List[AblationRow]:
+    """Sweep the storage weight ``beta`` of objective (6) for one assay.
+
+    Uses the exact ILP scheduler so the objective weights actually drive the
+    result (the heuristic only has an on/off storage-awareness switch).
+    """
+    settings = settings or ExperimentSettings()
+    rows: List[AblationRow] = []
+    graph = assay_by_name(assay)
+    for beta in betas:
+        config = settings.flow_config(assay)
+        config.scheduler = SchedulerEngine.ILP
+        config.beta = beta
+        config.storage_aware = beta > 0
+        result = synthesize(graph, config)
+        metrics = collect_metrics(result)
+        dims = metrics.dim_compact
+        rows.append(
+            AblationRow(
+                label=f"beta={beta:g}",
+                execution_time=metrics.execution_time,
+                num_edges=metrics.num_edges,
+                num_valves=metrics.num_valves,
+                compact_area=dims[0] * dims[1],
+                total_storage_time=total_storage_time(result.schedule),
+                cross_device_gap=cross_device_gap_sum(result.schedule),
+            )
+        )
+    return rows

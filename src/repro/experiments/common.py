@@ -1,0 +1,86 @@
+"""Shared plumbing of the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.library import PAPER_ASSAYS, assay_by_name
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.synthesis.config import FlowConfig, SchedulerEngine
+from repro.synthesis.flow import SynthesisResult, synthesize
+
+#: The evaluation order used by the paper's Table 2.
+PAPER_ASSAY_ORDER = ["RA100", "RA70", "CPA", "RA30", "IVD", "PCR"]
+
+#: Smaller subset used by the figures that only evaluate three assays and by
+#: the fast benchmark settings.
+SMALL_ASSAY_ORDER = ["RA30", "IVD", "PCR"]
+
+
+@dataclass
+class ExperimentSettings:
+    """Settings shared by every experiment.
+
+    ``fast`` selects a configuration that completes quickly (list scheduler
+    for everything but the tiny assays, short ILP caps); with ``fast=False``
+    the exact engines run with the paper-like time limits.
+    """
+
+    fast: bool = True
+    transport_time: int = 10
+    ilp_time_limit_s: float = 20.0
+    assays: Optional[List[str]] = None
+
+    def assay_list(self, default: List[str]) -> List[str]:
+        return list(self.assays) if self.assays else list(default)
+
+    def flow_config(self, assay_name: str, storage_aware: bool = True) -> FlowConfig:
+        config = FlowConfig.paper_defaults_for(assay_name)
+        config.transport_time = self.transport_time
+        config.storage_aware = storage_aware
+        config.ilp_time_limit_s = self.ilp_time_limit_s
+        if self.fast:
+            config.ilp_operation_limit = 8
+            config.ilp_time_limit_s = min(config.ilp_time_limit_s, 10.0)
+        else:
+            config.ilp_operation_limit = 14
+        return config
+
+
+def assay_names(settings: Optional[ExperimentSettings] = None, small: bool = False) -> List[str]:
+    """Assay list for an experiment (paper order)."""
+    settings = settings or ExperimentSettings()
+    default = SMALL_ASSAY_ORDER if small else PAPER_ASSAY_ORDER
+    return settings.assay_list(default)
+
+
+_result_cache: Dict[Tuple[str, bool, int, bool], SynthesisResult] = {}
+
+
+def assay_result(
+    name: str,
+    settings: Optional[ExperimentSettings] = None,
+    storage_aware: bool = True,
+    use_cache: bool = True,
+) -> SynthesisResult:
+    """Synthesize one of the paper's assays (with memoization across experiments).
+
+    The cache keeps the experiments cheap: Table 2, Fig. 8 and Fig. 10 all
+    reuse the same storage-aware synthesis result per assay.
+    """
+    settings = settings or ExperimentSettings()
+    key = (name, storage_aware, settings.transport_time, settings.fast)
+    if use_cache and key in _result_cache:
+        return _result_cache[key]
+    graph = assay_by_name(name)
+    config = settings.flow_config(name, storage_aware=storage_aware)
+    result = synthesize(graph, config)
+    if use_cache:
+        _result_cache[key] = result
+    return result
+
+
+def clear_result_cache() -> None:
+    """Drop all memoized synthesis results (used by tests)."""
+    _result_cache.clear()

@@ -1,0 +1,60 @@
+"""Fig. 10: distributed channel storage vs. dedicated storage unit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentSettings, assay_names, assay_result
+from repro.storagebaseline.comparison import StorageComparison, compare_with_dedicated_storage
+
+
+@dataclass
+class Fig10Row:
+    """Execution-time and valve ratios (proposed / dedicated baseline)."""
+
+    assay: str
+    execution_time_ratio: float
+    valve_ratio: float
+    proposed_execution_time: int
+    baseline_execution_time: int
+    proposed_valves: int
+    baseline_valves: int
+
+    @property
+    def execution_improvement(self) -> float:
+        return 1.0 - self.execution_time_ratio
+
+
+def run_fig10(settings: Optional[ExperimentSettings] = None) -> List[Fig10Row]:
+    """Regenerate the Fig. 10 ratios for all six assays."""
+    settings = settings or ExperimentSettings()
+    rows: List[Fig10Row] = []
+    for name in assay_names(settings):
+        result = assay_result(name, settings)
+        comparison: StorageComparison = compare_with_dedicated_storage(
+            result.schedule, result.architecture
+        )
+        rows.append(
+            Fig10Row(
+                assay=name,
+                execution_time_ratio=comparison.execution_time_ratio,
+                valve_ratio=comparison.valve_ratio,
+                proposed_execution_time=comparison.proposed_execution_time,
+                baseline_execution_time=comparison.baseline_execution_time,
+                proposed_valves=comparison.proposed_valves,
+                baseline_valves=comparison.baseline_valves,
+            )
+        )
+    return rows
+
+
+def format_fig10(rows: List[Fig10Row]) -> str:
+    lines = ["Assay    exec-ratio  valve-ratio  (tE proposed/baseline, valves proposed/baseline)"]
+    for row in rows:
+        lines.append(
+            f"{row.assay:<8} {row.execution_time_ratio:>9.2f}  {row.valve_ratio:>10.2f}  "
+            f"({row.proposed_execution_time}/{row.baseline_execution_time}, "
+            f"{row.proposed_valves}/{row.baseline_valves})"
+        )
+    return "\n".join(lines)

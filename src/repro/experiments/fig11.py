@@ -1,0 +1,91 @@
+"""Fig. 11: execution snapshots of the synthesized RA30 chip."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import ExperimentSettings, assay_result
+from repro.simulation.simulator import ChipSimulator
+from repro.simulation.snapshot import Snapshot, render_snapshot_ascii
+
+
+@dataclass
+class Fig11Snapshot:
+    """One execution snapshot plus its rendering."""
+
+    assay: str
+    time: int
+    snapshot: Snapshot
+    ascii_art: str
+    busy_segments: int
+    storing_segments: int
+    transporting_segments: int
+
+
+def run_fig11(
+    settings: Optional[ExperimentSettings] = None,
+    assay: str = "RA30",
+    times: Optional[Sequence[int]] = None,
+) -> List[Fig11Snapshot]:
+    """Take execution snapshots of an assay's synthesized chip.
+
+    By default the snapshot times are chosen automatically: the first instant
+    a sample is being cached (the Fig. 11(a) situation) and the first instant
+    a transport happens while a sample is cached elsewhere (Fig. 11(b)).
+    """
+    settings = settings or ExperimentSettings()
+    result = assay_result(assay, settings)
+    simulator = ChipSimulator(result.schedule, result.architecture)
+    simulation = simulator.run()
+
+    if times is None:
+        times = _default_snapshot_times(result, simulation.makespan)
+
+    snapshots: List[Fig11Snapshot] = []
+    for time in times:
+        snap = simulator.snapshot(time)
+        snapshots.append(
+            Fig11Snapshot(
+                assay=assay,
+                time=time,
+                snapshot=snap,
+                ascii_art=render_snapshot_ascii(snap),
+                busy_segments=snap.busy_segment_count(),
+                storing_segments=len(snap.storing_segments()),
+                transporting_segments=len(snap.transporting_segments()),
+            )
+        )
+    return snapshots
+
+
+def _default_snapshot_times(result, makespan: int) -> List[int]:
+    """Pick one instant with caching and one with caching + transport."""
+    storing_time = None
+    both_time = None
+    for routed in result.architecture.routed_tasks:
+        window = routed.storage_window
+        if window is None:
+            continue
+        if storing_time is None:
+            storing_time = window[0]
+        # Look for a transport of another task inside this storage window.
+        for other in result.architecture.routed_tasks:
+            if other.task.task_id == routed.task.task_id:
+                continue
+            for sub in other.subpaths:
+                if sub.purpose != "transport":
+                    continue
+                overlap_start = max(window[0], sub.start)
+                overlap_end = min(window[1], sub.end)
+                if overlap_start < overlap_end:
+                    both_time = overlap_start
+                    break
+            if both_time is not None:
+                break
+        if both_time is not None:
+            break
+    times = []
+    times.append(storing_time if storing_time is not None else makespan // 3)
+    times.append(both_time if both_time is not None else (2 * makespan) // 3)
+    return times

@@ -1,0 +1,83 @@
+"""Fig. 9: storage-aware optimization vs. execution-time-only scheduling.
+
+The paper compares, for RA30 / IVD / PCR, the execution time, the number of
+channel segments and the number of valves obtained when the scheduler
+optimizes (a) execution time only and (b) execution time *and* storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentSettings, assay_names, assay_result
+from repro.synthesis.metrics import collect_metrics
+
+
+@dataclass
+class Fig9Row:
+    """One assay's comparison between the two scheduling objectives."""
+
+    assay: str
+    exec_time_only: int
+    exec_time_with_storage: int
+    edges_only: int
+    edges_with_storage: int
+    valves_only: int
+    valves_with_storage: int
+
+    @property
+    def execution_time_overhead(self) -> float:
+        """Storage-aware execution time relative to time-only (1.0 = equal).
+
+        The paper reports comparable times for IVD/PCR and a slight increase
+        for RA30 — the price paid for much lower edge/valve usage.
+        """
+        if self.exec_time_only <= 0:
+            return 1.0
+        return self.exec_time_with_storage / self.exec_time_only
+
+    @property
+    def edge_saving(self) -> float:
+        if self.edges_only <= 0:
+            return 0.0
+        return 1.0 - self.edges_with_storage / self.edges_only
+
+    @property
+    def valve_saving(self) -> float:
+        if self.valves_only <= 0:
+            return 0.0
+        return 1.0 - self.valves_with_storage / self.valves_only
+
+
+def run_fig9(settings: Optional[ExperimentSettings] = None) -> List[Fig9Row]:
+    """Regenerate the Fig. 9 comparison (RA30, IVD, PCR by default)."""
+    settings = settings or ExperimentSettings()
+    rows: List[Fig9Row] = []
+    for name in assay_names(settings, small=True):
+        with_storage = collect_metrics(assay_result(name, settings, storage_aware=True))
+        time_only = collect_metrics(assay_result(name, settings, storage_aware=False))
+        rows.append(
+            Fig9Row(
+                assay=name,
+                exec_time_only=time_only.execution_time,
+                exec_time_with_storage=with_storage.execution_time,
+                edges_only=time_only.num_edges,
+                edges_with_storage=with_storage.num_edges,
+                valves_only=time_only.num_valves,
+                valves_with_storage=with_storage.num_valves,
+            )
+        )
+    return rows
+
+
+def format_fig9(rows: List[Fig9Row]) -> str:
+    lines = [
+        "Assay    tE(time-only)  tE(+storage)  ne(only/+st)  nv(only/+st)",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.assay:<8} {row.exec_time_only:>13} {row.exec_time_with_storage:>13}  "
+            f"{row.edges_only:>5}/{row.edges_with_storage:<6} {row.valves_only:>5}/{row.valves_with_storage:<6}"
+        )
+    return "\n".join(lines)

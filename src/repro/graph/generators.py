@@ -1,0 +1,136 @@
+"""Random assay generation.
+
+The paper evaluates three randomly generated assays (RA30, RA70, RA100) in
+addition to the real-world benchmarks.  The original random graphs were not
+published, so this module provides a deterministic, seeded generator that
+produces statistically similar sequencing graphs: layered DAGs of mixing
+operations where every mix has at most two fluid inputs (as a physical mixer
+combines two volumes) and durations drawn from the typical mixing-time range.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.graph.sequencing_graph import Operation, OperationType, SequencingGraph
+from repro.graph.validation import assert_valid
+
+
+@dataclass
+class RandomAssayConfig:
+    """Parameters for :func:`random_assay`.
+
+    Attributes
+    ----------
+    num_operations:
+        Number of device (mixing) operations to create.
+    seed:
+        RNG seed; the same seed always produces the same graph.
+    durations:
+        Pool of operation durations (seconds) to sample from.  The defaults
+        follow common mixing times reported for flow-based chips (60–120 s).
+    merge_probability:
+        Probability that a new operation consumes the outputs of two earlier
+        operations (creating a reconvergent structure) instead of one.
+    layer_width:
+        Soft cap on how many operations may share the same "layer";
+        controls how much intrinsic parallelism the assay has.
+    num_inputs:
+        Number of dispensing (input) nodes feeding the first layer.  When
+        ``None`` it defaults to roughly one input per three operations.
+    """
+
+    num_operations: int
+    seed: int = 2017
+    durations: Sequence[int] = (50, 60, 70, 80, 90, 100)
+    merge_probability: float = 0.9
+    layer_width: int = 8
+    num_inputs: Optional[int] = None
+    name: Optional[str] = None
+
+
+def random_assay(config: RandomAssayConfig) -> SequencingGraph:
+    """Generate a random, valid sequencing graph.
+
+    The construction is generational: operations are created one at a time;
+    each new operation picks one or two *open* fluids (outputs that no other
+    operation has consumed yet) as its inputs, preferring recent outputs so
+    the graph depth grows with size — the same qualitative shape as protocol
+    graphs such as PCR (a reduction tree) or serial dilutions (long chains).
+    """
+    if config.num_operations <= 0:
+        raise ValueError("num_operations must be positive")
+    rng = random.Random(config.seed)
+    name = config.name or f"RA{config.num_operations}"
+    graph = SequencingGraph(name=name)
+
+    num_inputs = config.num_inputs
+    if num_inputs is None:
+        # One fresh input per mixing operation (plus one) keeps the pool of
+        # open fluids non-empty throughout, so the graph becomes a random
+        # reduction forest — wide at the leaves, merging toward a few final
+        # products — the same qualitative shape as real protocols such as PCR.
+        num_inputs = config.num_operations + 1
+
+    open_fluids: List[str] = []
+    for idx in range(1, num_inputs + 1):
+        op_id = f"i{idx}"
+        graph.add_input(op_id, duration=0, label=f"input {idx}")
+        open_fluids.append(op_id)
+
+    for idx in range(1, config.num_operations + 1):
+        op_id = f"o{idx}"
+        duration = rng.choice(list(config.durations))
+        graph.add_operation(Operation(op_id, OperationType.MIX, duration, label=f"mix {idx}"))
+
+        want_two = rng.random() < config.merge_probability and len(open_fluids) >= 2
+        num_parents = 2 if want_two else 1
+        parents = _pick_parents(rng, open_fluids, num_parents, config.layer_width)
+        for parent in parents:
+            graph.add_edge(parent, op_id)
+            open_fluids.remove(parent)
+        open_fluids.append(op_id)
+
+        # Occasionally re-open an input so the graph does not collapse into a
+        # single chain when merge_probability is high.
+        if not open_fluids or (len(open_fluids) < 2 and rng.random() < 0.4):
+            extra_id = f"i{len(graph.input_operations()) + 1}"
+            if extra_id not in graph:
+                graph.add_input(extra_id, duration=0, label="extra input")
+                open_fluids.append(extra_id)
+
+    assert_valid(graph)
+    return graph
+
+
+def _pick_parents(
+    rng: random.Random,
+    open_fluids: List[str],
+    count: int,
+    layer_width: int,
+) -> List[str]:
+    """Pick ``count`` distinct parents uniformly among the open fluids.
+
+    Uniform choice over the whole open-fluid pool produces a random reduction
+    forest whose depth grows logarithmically with the operation count, so the
+    generated assays keep enough parallelism to exercise several devices at
+    once (as the paper's random assays evidently do).
+    """
+    count = min(count, len(open_fluids))
+    candidates = list(open_fluids)
+    rng.shuffle(candidates)
+    return candidates[:count]
+
+
+def paper_random_assay(num_operations: int) -> SequencingGraph:
+    """The RA30/RA70/RA100 stand-ins used throughout the benchmarks.
+
+    Uses fixed seeds so every experiment in the repository sees the exact
+    same graphs.
+    """
+    seeds = {30: 30017, 70: 70017, 100: 100017}
+    seed = seeds.get(num_operations, 2017 + num_operations)
+    config = RandomAssayConfig(num_operations=num_operations, seed=seed)
+    return random_assay(config)

@@ -1,0 +1,80 @@
+"""JSON serialization of sequencing graphs.
+
+Allows users to describe their own assay protocols in a simple JSON format
+and feed them to the synthesis pipeline, and allows experiments to archive
+the exact random graphs they were run on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.graph.sequencing_graph import Operation, OperationType, SequencingGraph
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: SequencingGraph) -> Dict[str, Any]:
+    """Serialize a graph to a plain dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "operations": [
+            {
+                "id": op.op_id,
+                "kind": op.kind.value,
+                "duration": op.duration,
+                "label": op.label,
+            }
+            for op in graph.operations()
+        ],
+        "edges": [{"from": parent, "to": child} for parent, child in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> SequencingGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        If the payload is malformed or uses an unsupported format version.
+    """
+    version = data.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported sequencing-graph format version {version}")
+    if "operations" not in data or "edges" not in data:
+        raise ValueError("sequencing-graph payload must contain 'operations' and 'edges'")
+
+    graph = SequencingGraph(name=data.get("name", "assay"))
+    for op_data in data["operations"]:
+        try:
+            kind = OperationType(op_data.get("kind", "mix"))
+        except ValueError as exc:
+            raise ValueError(f"unknown operation kind {op_data.get('kind')!r}") from exc
+        graph.add_operation(
+            Operation(
+                op_id=str(op_data["id"]),
+                kind=kind,
+                duration=int(op_data.get("duration", 0)),
+                label=str(op_data.get("label", "")),
+            )
+        )
+    for edge in data["edges"]:
+        graph.add_edge(str(edge["from"]), str(edge["to"]))
+    return graph
+
+
+def save_graph(graph: SequencingGraph, path: Union[str, Path]) -> Path:
+    """Write a graph to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(graph_to_dict(graph), indent=2))
+    return path
+
+
+def load_graph(path: Union[str, Path]) -> SequencingGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    payload = json.loads(Path(path).read_text())
+    return graph_from_dict(payload)

@@ -1,0 +1,68 @@
+"""Structural validation of sequencing graphs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.sequencing_graph import OperationType, SequencingGraph
+
+
+class GraphValidationError(ValueError):
+    """Raised when a sequencing graph violates a structural requirement."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(problems))
+
+
+def validate_graph(graph: SequencingGraph, require_inputs: bool = False) -> List[str]:
+    """Check structural well-formedness; return the list of problems found.
+
+    Checks performed:
+
+    * acyclicity (via topological sort);
+    * every device operation has a positive duration;
+    * input operations have no predecessors;
+    * mixing operations have at most two fluid inputs (a mixer combines two
+      volumes, as in the paper's PCR example);
+    * optionally, that the graph has at least one input node.
+
+    Raises
+    ------
+    GraphValidationError
+        If called through :func:`assert_valid` (see below) and problems exist.
+    """
+    problems: List[str] = []
+
+    try:
+        graph.topological_order()
+    except ValueError as exc:
+        problems.append(str(exc))
+        return problems
+
+    if require_inputs and not graph.input_operations():
+        problems.append(f"graph {graph.name!r} has no input operations")
+
+    for op in graph.operations():
+        if op.needs_device and op.duration <= 0:
+            problems.append(f"device operation {op.op_id!r} has non-positive duration {op.duration}")
+        if op.kind is OperationType.INPUT and graph.predecessors(op.op_id):
+            problems.append(f"input operation {op.op_id!r} has predecessors")
+        if op.kind in (OperationType.MIX, OperationType.DILUTE):
+            n_parents = graph.in_degree(op.op_id)
+            if n_parents > 2:
+                problems.append(
+                    f"mix/dilute operation {op.op_id!r} has {n_parents} inputs; a mixer combines at most two"
+                )
+
+    if len(graph) == 0:
+        problems.append("graph is empty")
+
+    return problems
+
+
+def assert_valid(graph: SequencingGraph, require_inputs: bool = False) -> None:
+    """Raise :class:`GraphValidationError` if the graph is not well-formed."""
+    problems = validate_graph(graph, require_inputs=require_inputs)
+    if problems:
+        raise GraphValidationError(problems)

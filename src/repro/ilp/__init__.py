@@ -1,0 +1,67 @@
+"""Mixed-integer linear programming modeling layer.
+
+The paper solves its scheduling and architectural-synthesis formulations with
+Gurobi.  This package provides an in-repo substitute: a small, PuLP-like
+modeling API (:class:`Variable`, :class:`LinExpr`, :class:`Constraint`,
+:class:`Model`) whose instances are lowered to ``scipy.optimize.milp``
+(the HiGHS branch-and-cut solver shipped with SciPy).
+
+The layer intentionally mirrors the modeling idioms used in the paper:
+
+* binary assignment variables (``s_ik``, ``a_ik``, ``epsilon_jr`` ...),
+* big-M conditional constraints (constraint (4) and (9) of the paper),
+* weighted multi-objective minimization (objective (6) and (12)).
+
+Example
+-------
+>>> from repro.ilp import Model, Variable
+>>> m = Model("toy")
+>>> x = m.add_var("x", low=0, up=10, kind="integer")
+>>> y = m.add_var("y", low=0, up=10, kind="integer")
+>>> m.add_constraint(x + y >= 7, name="cover")
+>>> m.set_objective(2 * x + 3 * y)
+>>> result = m.solve()
+>>> result.status.is_feasible()
+True
+>>> int(x.value + y.value)
+7
+"""
+
+from repro.ilp.expression import LinExpr, Variable, lin_sum
+from repro.ilp.constraint import Constraint, ConstraintSense
+from repro.ilp.model import Model, Objective, ObjectiveSense
+from repro.ilp.solver import SolverOptions, SolveResult, solve_model
+from repro.ilp.status import SolverStatus
+from repro.ilp.bigm import (
+    BigMContext,
+    add_implication,
+    add_either_or,
+    add_max_of,
+    add_min_of,
+    linearize_and,
+    linearize_or,
+    linearize_product_binary_continuous,
+)
+
+__all__ = [
+    "LinExpr",
+    "Variable",
+    "lin_sum",
+    "Constraint",
+    "ConstraintSense",
+    "Model",
+    "Objective",
+    "ObjectiveSense",
+    "SolverOptions",
+    "SolveResult",
+    "solve_model",
+    "SolverStatus",
+    "BigMContext",
+    "add_implication",
+    "add_either_or",
+    "add_max_of",
+    "add_min_of",
+    "linearize_and",
+    "linearize_or",
+    "linearize_product_binary_continuous",
+]

@@ -1,0 +1,186 @@
+"""Big-M and linearization helpers.
+
+The paper relies on the classic big-M device twice:
+
+* constraint (4): two operations bound to the same device must not overlap in
+  time — a disjunction "i finishes before j starts OR j finishes before i
+  starts" activated only when both are on the same device;
+* constraint (9): a node participates in a path only when its indicator
+  ``y_{i,r}`` is set.
+
+These helpers encapsulate the linearizations so the scheduling and synthesis
+formulations read close to the paper's algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+from repro.ilp.constraint import Constraint
+from repro.ilp.expression import LinExpr, Variable, lin_sum
+from repro.ilp.model import Model
+
+ExprLike = Union[LinExpr, Variable, int, float]
+
+
+@dataclass
+class BigMContext:
+    """Holds the big-M constant used by a formulation.
+
+    Choosing M as small as possible keeps the LP relaxation tight; the
+    schedulers compute it from the total serial execution time of the assay.
+    """
+
+    model: Model
+    big_m: float
+    _fresh: int = 0
+
+    def fresh_binary(self, prefix: str) -> Variable:
+        """Create an auxiliary binary with a unique generated name."""
+        self._fresh += 1
+        return self.model.add_binary(f"{prefix}__aux{self._fresh}")
+
+
+def add_implication(
+    model: Model,
+    indicator: Variable,
+    constraint_if_true: Constraint,
+    big_m: float,
+    name: str = "",
+) -> Constraint:
+    """Add ``indicator == 1  =>  constraint_if_true``.
+
+    Works for ``<=`` and ``>=`` constraints by relaxing the inequality with
+    ``M * (1 - indicator)``.
+    """
+    from repro.ilp.constraint import ConstraintSense
+
+    expr = constraint_if_true.expression
+    if constraint_if_true.sense is ConstraintSense.LE:
+        relaxed = expr - big_m * (1 - LinExpr.from_term(indicator)) <= 0
+    elif constraint_if_true.sense is ConstraintSense.GE:
+        relaxed = expr + big_m * (1 - LinExpr.from_term(indicator)) >= 0
+    else:
+        raise ValueError("implications of equality constraints are not supported; split into <= and >=")
+    return model.add_constraint(relaxed, name=name or None)
+
+
+def add_either_or(
+    model: Model,
+    first: Constraint,
+    second: Constraint,
+    big_m: float,
+    selector_name: str,
+    activate: ExprLike = 1,
+) -> Variable:
+    """Add the disjunction ``first OR second``, optionally gated by ``activate``.
+
+    Creates a binary selector ``z``; ``z == 1`` enforces ``first`` and
+    ``z == 0`` enforces ``second`` — but only when ``activate`` evaluates to 1
+    (``activate`` may be an expression such as ``s_ik + s_jk - 1`` which is 1
+    exactly when both operations share device ``k``).  This is the
+    non-overlap linearization used for the paper's constraint (4).
+
+    Returns the selector variable.
+    """
+    from repro.ilp.constraint import ConstraintSense
+
+    z = model.add_binary(selector_name)
+    activate_expr = LinExpr.coerce(activate)
+    slack_not_active = big_m * (1 - activate_expr)
+
+    def _relax(con: Constraint, active_when: LinExpr) -> None:
+        if con.sense is ConstraintSense.LE:
+            model.add_constraint(con.expression - big_m * (1 - active_when) - slack_not_active <= 0)
+        elif con.sense is ConstraintSense.GE:
+            model.add_constraint(con.expression + big_m * (1 - active_when) + slack_not_active >= 0)
+        else:
+            raise ValueError("either-or with equality constraints is not supported")
+
+    _relax(first, LinExpr.from_term(z))
+    _relax(second, 1 - LinExpr.from_term(z))
+    return z
+
+
+def add_max_of(model: Model, result: Variable, expressions: Sequence[ExprLike]) -> List[Constraint]:
+    """Constrain ``result >= expr`` for every expression.
+
+    Together with minimizing ``result`` this models ``result = max(exprs)``,
+    exactly how the paper models the assay completion time ``t_E``
+    (constraint (5)).
+    """
+    added = []
+    for idx, expr in enumerate(expressions):
+        added.append(model.add_constraint(LinExpr.from_term(result) >= LinExpr.coerce(expr)))
+    return added
+
+
+def add_min_of(model: Model, result: Variable, expressions: Sequence[ExprLike]) -> List[Constraint]:
+    """Constrain ``result <= expr`` for every expression (use with maximize)."""
+    added = []
+    for expr in expressions:
+        added.append(model.add_constraint(LinExpr.from_term(result) <= LinExpr.coerce(expr)))
+    return added
+
+
+def linearize_and(model: Model, name: str, binaries: Sequence[Variable]) -> Variable:
+    """Return a binary equal to the logical AND of ``binaries``.
+
+    Used to express "operations i and j are bound to the same device k"
+    (``s_ik AND s_jk``) without quadratic terms.
+    """
+    z = model.add_binary(name)
+    n = len(binaries)
+    if n == 0:
+        model.add_constraint(LinExpr.from_term(z) == 1)
+        return z
+    for b in binaries:
+        model.add_constraint(LinExpr.from_term(z) <= LinExpr.from_term(b))
+    model.add_constraint(
+        LinExpr.from_term(z) >= lin_sum(binaries) - (n - 1)
+    )
+    return z
+
+
+def linearize_or(model: Model, name: str, binaries: Sequence[Variable]) -> Variable:
+    """Return a binary equal to the logical OR of ``binaries``."""
+    z = model.add_binary(name)
+    if not binaries:
+        model.add_constraint(LinExpr.from_term(z) == 0)
+        return z
+    for b in binaries:
+        model.add_constraint(LinExpr.from_term(z) >= LinExpr.from_term(b))
+    model.add_constraint(LinExpr.from_term(z) <= lin_sum(binaries))
+    return z
+
+
+def linearize_product_binary_continuous(
+    model: Model,
+    name: str,
+    binary: Variable,
+    continuous: Variable,
+    upper_bound: float,
+) -> Variable:
+    """Return a variable equal to ``binary * continuous``.
+
+    ``continuous`` must satisfy ``0 <= continuous <= upper_bound``.
+    The standard McCormick envelope for a binary factor is exact.
+    """
+    w = model.add_continuous(name, low=0, up=upper_bound)
+    model.add_constraint(LinExpr.from_term(w) <= upper_bound * LinExpr.from_term(binary))
+    model.add_constraint(LinExpr.from_term(w) <= LinExpr.from_term(continuous))
+    model.add_constraint(
+        LinExpr.from_term(w) >= LinExpr.from_term(continuous) - upper_bound * (1 - LinExpr.from_term(binary))
+    )
+    return w
+
+
+def exactly_one(model: Model, binaries: Iterable[Variable], name: str = "") -> Constraint:
+    """Add ``sum(binaries) == 1`` — the paper's uniqueness constraints (1), (8)."""
+    return model.add_constraint(lin_sum(binaries) == 1, name=name or None)
+
+
+def at_most_one(model: Model, binaries: Iterable[Variable], name: str = "") -> Constraint:
+    """Add ``sum(binaries) <= 1`` — e.g. one device per grid node (8)."""
+    return model.add_constraint(lin_sum(binaries) <= 1, name=name or None)

@@ -1,0 +1,227 @@
+"""MILP model container.
+
+A :class:`Model` owns variables, constraints and an objective, and knows how
+to lower itself into the matrix form consumed by ``scipy.optimize.milp``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ilp.constraint import Constraint, ConstraintSense
+from repro.ilp.expression import LinExpr, Number, Variable, lin_sum
+
+
+class ObjectiveSense(enum.Enum):
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+class Objective:
+    """Objective function: an expression plus a direction."""
+
+    __slots__ = ("expression", "sense")
+
+    def __init__(self, expression: LinExpr, sense: ObjectiveSense = ObjectiveSense.MINIMIZE) -> None:
+        self.expression = LinExpr.coerce(expression)
+        self.sense = sense
+
+    def value(self) -> float:
+        """Objective value under the current variable values."""
+        return self.expression.evaluate()
+
+    def __repr__(self) -> str:
+        return f"Objective({self.sense.value} {self.expression!r})"
+
+
+class Model:
+    """A mixed-integer linear program.
+
+    The model follows the familiar modeling-layer pattern: create variables
+    through :meth:`add_var` / :meth:`add_binary` / :meth:`add_integer`, add
+    constraints with :meth:`add_constraint`, set the objective and call
+    :meth:`solve`.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: Optional[Objective] = None
+        self._names: Dict[str, Variable] = {}
+
+    # ------------------------------------------------------------ variables
+    def add_var(
+        self,
+        name: str,
+        low: Optional[Number] = 0,
+        up: Optional[Number] = None,
+        kind: str = "continuous",
+    ) -> Variable:
+        """Create a variable, register it and return it.
+
+        Variable names must be unique; a duplicate name raises ``ValueError``
+        to catch modeling bugs early (silently reusing a variable is a common
+        source of wrong-but-feasible formulations).
+        """
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r} in model {self.name!r}")
+        var = Variable(name, low=low, up=up, kind=kind)
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        return self.add_var(name, kind="binary")
+
+    def add_integer(self, name: str, low: Optional[Number] = 0, up: Optional[Number] = None) -> Variable:
+        return self.add_var(name, low=low, up=up, kind="integer")
+
+    def add_continuous(self, name: str, low: Optional[Number] = 0, up: Optional[Number] = None) -> Variable:
+        return self.add_var(name, low=low, up=up, kind="continuous")
+
+    def get_var(self, name: str) -> Variable:
+        return self._names[name]
+
+    def has_var(self, name: str) -> bool:
+        return name in self._names
+
+    # ---------------------------------------------------------- constraints
+    def add_constraint(self, constraint: Constraint, name: Optional[str] = None) -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "expected a Constraint (build one with <=, >= or == on expressions); "
+                f"got {type(constraint).__name__}"
+            )
+        if name is not None:
+            constraint.name = name
+        if constraint.is_trivially_infeasible():
+            raise ValueError(f"constraint {constraint!r} is trivially infeasible")
+        if not constraint.is_trivially_satisfied() or constraint.expression.terms:
+            self.constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint], prefix: str = "") -> List[Constraint]:
+        added = []
+        for idx, con in enumerate(constraints):
+            label = f"{prefix}[{idx}]" if prefix else None
+            added.append(self.add_constraint(con, name=label))
+        return added
+
+    # ------------------------------------------------------------ objective
+    def set_objective(
+        self,
+        expression: Union[LinExpr, Variable, Number],
+        sense: ObjectiveSense = ObjectiveSense.MINIMIZE,
+    ) -> Objective:
+        self.objective = Objective(LinExpr.coerce(expression), sense)
+        return self.objective
+
+    def minimize(self, expression: Union[LinExpr, Variable, Number]) -> Objective:
+        return self.set_objective(expression, ObjectiveSense.MINIMIZE)
+
+    def maximize(self, expression: Union[LinExpr, Variable, Number]) -> Objective:
+        return self.set_objective(expression, ObjectiveSense.MAXIMIZE)
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_binaries(self) -> int:
+        return sum(1 for v in self.variables if v.kind == "binary")
+
+    @property
+    def num_integers(self) -> int:
+        return sum(1 for v in self.variables if v.kind in ("integer", "binary"))
+
+    def summary(self) -> str:
+        return (
+            f"Model {self.name!r}: {self.num_variables} variables "
+            f"({self.num_integers} integer, {self.num_binaries} binary), "
+            f"{self.num_constraints} constraints"
+        )
+
+    # -------------------------------------------------------------- lowering
+    def _assign_indices(self) -> None:
+        for idx, var in enumerate(self.variables):
+            var.index = idx
+
+    def to_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Lower the model to the arrays expected by ``scipy.optimize.milp``.
+
+        Returns
+        -------
+        tuple
+            ``(c, A, lower, upper, lb, ub, integrality)`` where ``c`` is the
+            objective vector (already negated for maximization), ``A`` is the
+            dense constraint matrix with row bounds ``lower``/``upper`` and
+            ``lb``/``ub``/``integrality`` describe the variables.
+        """
+        self._assign_indices()
+        n = len(self.variables)
+
+        c = np.zeros(n)
+        sign = 1.0
+        if self.objective is not None:
+            if self.objective.sense is ObjectiveSense.MAXIMIZE:
+                sign = -1.0
+            for var, coef in self.objective.expression.terms.items():
+                c[var.index] = sign * coef
+
+        rows = [con for con in self.constraints if con.expression.terms]
+        m = len(rows)
+        A = np.zeros((m, n))
+        lower = np.zeros(m)
+        upper = np.zeros(m)
+        for r, con in enumerate(rows):
+            for var, coef in con.expression.terms.items():
+                A[r, var.index] = coef
+            lo, hi = con.bounds()
+            lower[r] = lo
+            upper[r] = hi
+
+        lb = np.array([(-np.inf if v.low is None else float(v.low)) for v in self.variables])
+        ub = np.array([(np.inf if v.up is None else float(v.up)) for v in self.variables])
+        integrality = np.array([1 if v.kind in ("integer", "binary") else 0 for v in self.variables])
+        return c, A, lower, upper, lb, ub, integrality
+
+    # ----------------------------------------------------------------- solve
+    def solve(self, options: Optional["SolverOptions"] = None) -> "SolveResult":
+        """Solve the model with the HiGHS backend.
+
+        On a feasible outcome every variable's ``.value`` is populated.
+        """
+        from repro.ilp.solver import solve_model
+
+        return solve_model(self, options)
+
+    # ------------------------------------------------------------ validation
+    def check_solution(self, tolerance: float = 1e-5) -> List[Constraint]:
+        """Return the constraints violated by the current variable values."""
+        return [con for con in self.constraints if not con.is_satisfied(tolerance)]
+
+    def objective_value(self) -> float:
+        if self.objective is None:
+            return 0.0
+        return self.objective.value()
+
+    def __repr__(self) -> str:
+        return f"<{self.summary()}>"
+
+
+def weighted_objective(terms: Sequence[Tuple[float, Union[LinExpr, Variable]]]) -> LinExpr:
+    """Build ``sum(weight * expr)`` — the paper's multi-objective pattern.
+
+    Example: ``weighted_objective([(alpha, t_end), (beta, total_gap)])``
+    reproduces objective (6).
+    """
+    return lin_sum(weight * LinExpr.coerce(expr) for weight, expr in terms)

@@ -1,0 +1,132 @@
+"""HiGHS backend: solve a :class:`repro.ilp.Model` via ``scipy.optimize.milp``."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.ilp.model import Model, ObjectiveSense
+from repro.ilp.status import SolverStatus
+
+
+@dataclass
+class SolverOptions:
+    """Backend options.
+
+    ``time_limit_s`` mirrors the paper's 30-minute cap on the scheduling and
+    synthesis ILPs; when the limit is reached HiGHS returns its best incumbent
+    which we report as :attr:`SolverStatus.FEASIBLE`.
+    """
+
+    time_limit_s: Optional[float] = None
+    mip_rel_gap: Optional[float] = None
+    presolve: bool = True
+    verbose: bool = False
+    node_limit: Optional[int] = None
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solve."""
+
+    status: SolverStatus
+    objective: Optional[float] = None
+    values: Dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    message: str = ""
+    mip_gap: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return self.status.is_feasible()
+
+    def value(self, name: str) -> float:
+        return self.values[name]
+
+
+_STATUS_BY_CODE = {
+    0: SolverStatus.OPTIMAL,
+    1: SolverStatus.TIME_LIMIT,   # iteration or time limit
+    2: SolverStatus.INFEASIBLE,
+    3: SolverStatus.UNBOUNDED,
+    4: SolverStatus.ERROR,
+}
+
+
+def solve_model(model: Model, options: Optional[SolverOptions] = None) -> SolveResult:
+    """Lower ``model`` to matrix form and solve it with HiGHS.
+
+    The function fills each variable's ``.value`` attribute when a feasible
+    solution is available, so downstream code can read ``var.solution``
+    directly.
+    """
+    options = options or SolverOptions()
+    start = time.perf_counter()
+
+    if not model.variables:
+        # A model without variables is either trivially feasible or infeasible.
+        infeasible = any(con.is_trivially_infeasible() for con in model.constraints)
+        status = SolverStatus.INFEASIBLE if infeasible else SolverStatus.OPTIMAL
+        return SolveResult(status=status, objective=0.0, wall_time_s=0.0,
+                           message="empty model")
+
+    c, A, lower, upper, lb, ub, integrality = model.to_matrices()
+
+    constraints = []
+    if A.shape[0] > 0:
+        constraints.append(LinearConstraint(A, lower, upper))
+
+    milp_options = {"disp": options.verbose, "presolve": options.presolve}
+    if options.time_limit_s is not None:
+        milp_options["time_limit"] = float(options.time_limit_s)
+    if options.mip_rel_gap is not None:
+        milp_options["mip_rel_gap"] = float(options.mip_rel_gap)
+    if options.node_limit is not None:
+        milp_options["node_limit"] = int(options.node_limit)
+
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=milp_options,
+    )
+    elapsed = time.perf_counter() - start
+
+    status = _STATUS_BY_CODE.get(result.status, SolverStatus.ERROR)
+    has_solution = result.x is not None
+    if status is SolverStatus.TIME_LIMIT and has_solution:
+        status = SolverStatus.FEASIBLE
+    if status is SolverStatus.OPTIMAL and not has_solution:
+        status = SolverStatus.ERROR
+
+    values: Dict[str, float] = {}
+    objective_value: Optional[float] = None
+    if has_solution and status.is_feasible():
+        x = np.asarray(result.x, dtype=float)
+        for var in model.variables:
+            raw = float(x[var.index])
+            if var.kind in ("integer", "binary"):
+                raw = float(round(raw))
+            var.value = raw
+            values[var.name] = raw
+        objective_value = float(model.objective_value()) if model.objective else 0.0
+        if model.objective and model.objective.sense is ObjectiveSense.MAXIMIZE:
+            # objective_value already computed from expression; nothing to flip
+            pass
+    else:
+        for var in model.variables:
+            var.value = None
+
+    gap = getattr(result, "mip_gap", None)
+    return SolveResult(
+        status=status,
+        objective=objective_value,
+        values=values,
+        wall_time_s=elapsed,
+        message=str(getattr(result, "message", "")),
+        mip_gap=float(gap) if gap is not None else None,
+    )

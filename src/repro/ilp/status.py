@@ -1,0 +1,33 @@
+"""Solver status codes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolverStatus(enum.Enum):
+    """Outcome of a MILP solve.
+
+    ``OPTIMAL``      proven optimal solution found.
+    ``FEASIBLE``     a feasible (possibly sub-optimal) incumbent was returned,
+                     typically because the time or iteration limit was hit —
+                     this mirrors the paper's 30-minute best-effort results.
+    ``INFEASIBLE``   the model has no feasible solution.
+    ``UNBOUNDED``    the objective is unbounded.
+    ``TIME_LIMIT``   the time limit was reached without any incumbent.
+    ``ERROR``        the backend failed for another reason.
+    """
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+    def is_feasible(self) -> bool:
+        """True when a usable solution vector is available."""
+        return self in (SolverStatus.OPTIMAL, SolverStatus.FEASIBLE)
+
+    def is_optimal(self) -> bool:
+        return self is SolverStatus.OPTIMAL

@@ -1,0 +1,41 @@
+"""Physical design: from connection graph to compact chip layout (Section 3.3).
+
+The synthesized architecture is a planar connection graph; turning it into a
+chip layout takes three steps, mirroring the paper's Fig. 7:
+
+1. **Scaling** — grid nodes are spread on a canvas with one channel pitch per
+   grid step; the bounding box of the *used* nodes gives the architecture
+   dimension ``d_r`` of Table 2.
+2. **Device insertion** — devices are larger than a grid node, so rows and
+   columns holding devices are widened by the device footprint, giving the
+   expanded dimension ``d_e``.
+3. **Iterative compression** — empty rows/columns are removed and channel
+   pitches are shrunk toward the minimum; channel segments that must stay
+   long enough to cache a fluid sample keep their length through bend
+   (serpentine) insertion.  The loop stops when neither dimension can shrink,
+   giving the compact dimension ``d_p``.
+"""
+
+from repro.physical.geometry import Point, Rect, polyline_length
+from repro.physical.layout import ChannelShape, DeviceShape, PhysicalLayout
+from repro.physical.device_insertion import insert_devices
+from repro.physical.compression import CompressionConfig, CompressionResult, compress_layout
+from repro.physical.pipeline import PhysicalDesignConfig, PhysicalDesignResult, build_physical_design
+from repro.physical.svg_export import layout_to_svg
+
+__all__ = [
+    "Point",
+    "Rect",
+    "polyline_length",
+    "ChannelShape",
+    "DeviceShape",
+    "PhysicalLayout",
+    "insert_devices",
+    "CompressionConfig",
+    "CompressionResult",
+    "compress_layout",
+    "PhysicalDesignConfig",
+    "PhysicalDesignResult",
+    "build_physical_design",
+    "layout_to_svg",
+]

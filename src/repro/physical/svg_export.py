@@ -1,0 +1,83 @@
+"""Minimal SVG export of a physical layout (no external dependencies).
+
+Useful for visually inspecting synthesized chips, e.g. to reproduce the style
+of the paper's Fig. 11 snapshots.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Set, Union
+
+from repro.archsyn.grid import EdgeId
+from repro.physical.layout import PhysicalLayout
+
+_SCALE = 10.0
+_MARGIN = 20.0
+
+
+def layout_to_svg(
+    layout: PhysicalLayout,
+    path: Optional[Union[str, Path]] = None,
+    highlight_edges: Optional[Iterable[EdgeId]] = None,
+) -> str:
+    """Render the layout to an SVG string (and optionally write it to a file).
+
+    ``highlight_edges`` are drawn in blue — the convention the paper uses for
+    segments currently transporting or storing fluid samples.
+    """
+    highlighted: Set[EdgeId] = set(highlight_edges or [])
+    box = layout.bounding_box()
+    width = box.width * _SCALE + 2 * _MARGIN
+    height = box.height * _SCALE + 2 * _MARGIN
+
+    def sx(value: float) -> float:
+        return (value - box.x) * _SCALE + _MARGIN
+
+    def sy(value: float) -> float:
+        # SVG y grows downward; flip so the layout reads like the paper's figures.
+        return height - ((value - box.y) * _SCALE + _MARGIN)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+
+    for channel in layout.channels:
+        color = "#1f6fd6" if channel.edge in highlighted else "#888888"
+        stroke = 4 if channel.edge in highlighted else 2
+        points = " ".join(f"{sx(p.x):.1f},{sy(p.y):.1f}" for p in channel.points)
+        dash = ' stroke-dasharray="6,3"' if channel.is_storage else ""
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="{stroke}"{dash}/>'
+        )
+        if channel.bends:
+            mid = channel.points[len(channel.points) // 2]
+            parts.append(
+                f'<text x="{sx(mid.x):.1f}" y="{sy(mid.y) - 4:.1f}" font-size="9" fill="#555">'
+                f"{channel.bends} bend(s)</text>"
+            )
+
+    for node_id, point in layout.node_positions.items():
+        parts.append(
+            f'<circle cx="{sx(point.x):.1f}" cy="{sy(point.y):.1f}" r="3" fill="#444444"/>'
+        )
+
+    for device in layout.devices:
+        rect = device.rect
+        parts.append(
+            f'<rect x="{sx(rect.x):.1f}" y="{sy(rect.y2):.1f}" width="{rect.width * _SCALE:.1f}" '
+            f'height="{rect.height * _SCALE:.1f}" fill="#ffd27f" stroke="#b07400" stroke-width="1.5"/>'
+        )
+        center = rect.center
+        parts.append(
+            f'<text x="{sx(center.x):.1f}" y="{sy(center.y):.1f}" font-size="10" text-anchor="middle" '
+            f'fill="#333">{device.device_id}</text>'
+        )
+
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg

@@ -1,0 +1,254 @@
+"""Exact ILP scheduler (paper Section 3.1, Table 1, constraints (1)–(7)).
+
+Formulation
+-----------
+For every device operation ``o_i``:
+
+* integer start time ``ts_i`` (the end time is ``ts_i + duration_i``;
+  constraint (2) is satisfied by construction),
+* binary ``s_ik`` for every compatible device ``d_k`` with uniqueness
+  constraint (1).
+
+Precedence (3): for a sequencing-graph edge ``(o_i, o_j)`` between device
+operations, ``ts_j >= te_i + u_c * (1 - same_ij)`` where ``same_ij`` is a
+linearized AND over the per-device products ``s_ik * s_jk`` — the gap must
+cover a transport unless both ends share the device.
+
+Non-overlap (4): for every unordered pair of operations not related by
+precedence, an ordering binary + big-M pair of constraints forces one to
+finish before the other starts whenever both are bound to the same device.
+
+Completion time (5): ``tE >= te_i``.
+
+Objective (6): ``minimize alpha * tE + beta * sum w_ij`` where
+``w_ij >= (ts_j - te_i) - M * same_ij`` captures the cross-device gap of each
+edge (same-device edges contribute nothing, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.devices.device import DeviceLibrary
+from repro.graph.analysis import critical_path_length
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.ilp import (
+    Model,
+    SolverOptions,
+    SolverStatus,
+    lin_sum,
+    linearize_and,
+)
+from repro.scheduling.schedule import Schedule
+
+
+@dataclass
+class IlpSchedulerConfig:
+    """Configuration of the exact scheduler.
+
+    ``alpha`` and ``beta`` are the objective weights of completion time and
+    storage (gap) time; the paper gives completion time priority
+    (``alpha >> beta``).  ``beta = 0`` reproduces the execution-time-only
+    baseline of Fig. 9.
+    """
+
+    transport_time: int = 10
+    alpha: float = 100.0
+    beta: float = 1.0
+    time_limit_s: Optional[float] = 60.0
+    mip_rel_gap: Optional[float] = None
+    horizon: Optional[int] = None
+
+
+class IlpScheduler:
+    """Schedules and binds a sequencing graph by solving the paper's ILP."""
+
+    def __init__(self, library: DeviceLibrary, config: Optional[IlpSchedulerConfig] = None) -> None:
+        if len(library) == 0:
+            raise ValueError("the device library is empty")
+        self.library = library
+        self.config = config or IlpSchedulerConfig()
+        #: Populated after :meth:`schedule` with solver diagnostics.
+        self.last_status: Optional[SolverStatus] = None
+        self.last_wall_time_s: float = 0.0
+        self.last_objective: Optional[float] = None
+
+    # ------------------------------------------------------------------ API
+    def schedule(self, graph: SequencingGraph) -> Schedule:
+        """Solve the ILP and return a validated :class:`Schedule`.
+
+        Raises
+        ------
+        RuntimeError
+            If the solver proves infeasibility or returns no usable solution
+            within the time limit.
+        """
+        cfg = self.config
+        operations = graph.device_operations()
+        if not operations:
+            schedule = Schedule(graph, self.library, cfg.transport_time)
+            return schedule
+
+        compatible = self._compatible_devices(graph)
+        horizon = cfg.horizon or self._default_horizon(graph)
+        big_m = horizon + 1
+
+        model = Model(f"schedule-{graph.name}")
+
+        start: Dict[str, object] = {}
+        end_expr: Dict[str, object] = {}
+        assign: Dict[Tuple[str, str], object] = {}
+        durations: Dict[str, int] = {}
+
+        for op in operations:
+            devices = compatible[op.op_id]
+            if not devices:
+                raise RuntimeError(
+                    f"no device in the library can execute operation {op.op_id!r} ({op.kind.value})"
+                )
+            ts = model.add_integer(f"ts[{op.op_id}]", low=0, up=horizon)
+            start[op.op_id] = ts
+            durations[op.op_id] = op.duration
+            end_expr[op.op_id] = ts + op.duration
+            binaries = []
+            for device in devices:
+                var = model.add_binary(f"s[{op.op_id},{device.device_id}]")
+                assign[(op.op_id, device.device_id)] = var
+                binaries.append(var)
+            model.add_constraint(lin_sum(binaries) == 1, name=f"uniq[{op.op_id}]")
+
+        # Same-device indicators for sequencing-graph edges (for precedence
+        # slack and the storage objective term).
+        same: Dict[Tuple[str, str], object] = {}
+        device_edges = [
+            (p, c)
+            for p, c in graph.device_edges()
+            if p in start and c in start
+        ]
+        for parent_id, child_id in device_edges:
+            shared = [
+                d for d in compatible[parent_id] if d in compatible[child_id]
+            ]
+            per_device = []
+            for device in shared:
+                both = linearize_and(
+                    model,
+                    f"both[{parent_id},{child_id},{device.device_id}]",
+                    [assign[(parent_id, device.device_id)], assign[(child_id, device.device_id)]],
+                )
+                per_device.append(both)
+            if per_device:
+                same_var = model.add_binary(f"same[{parent_id},{child_id}]")
+                model.add_constraint(lin_sum(per_device) == same_var)
+                same[(parent_id, child_id)] = same_var
+            else:
+                same[(parent_id, child_id)] = 0
+
+        # Precedence (3): gap >= u_c unless same device.
+        for parent_id, child_id in device_edges:
+            same_term = same[(parent_id, child_id)]
+            model.add_constraint(
+                start[child_id] - end_expr[parent_id]
+                >= cfg.transport_time - cfg.transport_time * same_term,
+                name=f"prec[{parent_id},{child_id}]",
+            )
+
+        # Non-overlap (4) for pairs that could share a device and are not
+        # already ordered by precedence.
+        self._add_non_overlap(model, graph, operations, compatible, assign, start, durations, big_m)
+
+        # Completion time (5).
+        t_end = model.add_integer("tE", low=0, up=horizon)
+        for op in operations:
+            model.add_constraint(t_end >= end_expr[op.op_id])
+
+        # Storage terms w_ij for cross-device edges (objective (6)).
+        gap_terms = []
+        for parent_id, child_id in device_edges:
+            w = model.add_continuous(f"w[{parent_id},{child_id}]", low=0, up=horizon)
+            same_term = same[(parent_id, child_id)]
+            model.add_constraint(
+                w >= (start[child_id] - end_expr[parent_id]) - big_m * same_term
+            )
+            gap_terms.append(w)
+
+        objective = cfg.alpha * t_end
+        if gap_terms and cfg.beta:
+            objective = objective + cfg.beta * lin_sum(gap_terms)
+        model.minimize(objective)
+
+        options = SolverOptions(time_limit_s=cfg.time_limit_s, mip_rel_gap=cfg.mip_rel_gap)
+        result = model.solve(options)
+        self.last_status = result.status
+        self.last_wall_time_s = result.wall_time_s
+        self.last_objective = result.objective
+
+        if not result.status.is_feasible():
+            raise RuntimeError(
+                f"ILP scheduling of {graph.name!r} failed: {result.status.value} ({result.message})"
+            )
+
+        return self._extract_schedule(graph, start, assign, compatible)
+
+    # ------------------------------------------------------------ internals
+    def _compatible_devices(self, graph: SequencingGraph):
+        return {
+            op.op_id: self.library.devices_for(op.kind)
+            for op in graph.device_operations()
+        }
+
+    def _default_horizon(self, graph: SequencingGraph) -> int:
+        """Serial execution plus one transport per edge — always feasible."""
+        serial = sum(op.duration for op in graph.device_operations())
+        return serial + self.config.transport_time * (len(graph.device_edges()) + 1)
+
+    def _add_non_overlap(self, model, graph, operations, compatible, assign, start, durations, big_m) -> None:
+        ancestor_cache: Dict[str, set] = {}
+
+        def ancestors(op_id: str) -> set:
+            if op_id not in ancestor_cache:
+                ancestor_cache[op_id] = graph.ancestors(op_id)
+            return ancestor_cache[op_id]
+
+        for idx, op_i in enumerate(operations):
+            for op_j in operations[idx + 1 :]:
+                i, j = op_i.op_id, op_j.op_id
+                if i in ancestors(j) or j in ancestors(i):
+                    continue  # precedence already orders the pair
+                shared = [d for d in compatible[i] if d in compatible[j]]
+                if not shared:
+                    continue
+                before = model.add_binary(f"ord[{i},{j}]")
+                after = model.add_binary(f"ord[{j},{i}]")
+                # i ends before j starts when `before` is set, and vice versa.
+                model.add_constraint(
+                    start[i] + durations[i] <= start[j] + big_m * (1 - before)
+                )
+                model.add_constraint(
+                    start[j] + durations[j] <= start[i] + big_m * (1 - after)
+                )
+                # If both run on the same device (for any shared device k),
+                # one of the two orderings must be chosen.
+                for device in shared:
+                    model.add_constraint(
+                        before + after
+                        >= assign[(i, device.device_id)] + assign[(j, device.device_id)] - 1
+                    )
+
+    def _extract_schedule(self, graph, start, assign, compatible) -> Schedule:
+        schedule = Schedule(graph, self.library, self.config.transport_time)
+        for op in graph.device_operations():
+            ts = int(round(start[op.op_id].solution))
+            device_id = None
+            for device in compatible[op.op_id]:
+                if assign[(op.op_id, device.device_id)].as_bool():
+                    device_id = device.device_id
+                    break
+            if device_id is None:
+                raise RuntimeError(f"solver returned no binding for operation {op.op_id!r}")
+            schedule.assign(op.op_id, device_id, ts, ts + op.duration)
+        for op in graph.input_operations():
+            schedule.assign(op.op_id, None, 0, op.duration)
+        schedule.assert_valid()
+        return schedule

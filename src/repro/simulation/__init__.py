@@ -1,0 +1,28 @@
+"""Execution simulation of a synthesized biochip.
+
+The simulator replays a (schedule, architecture) pair on a time axis: device
+operations run in their scheduled windows, transportation paths are activated
+through the switches, and channel segments hold cached fluid samples.  It is
+used to
+
+* double-check that the synthesis result is physically executable (no
+  channel-segment double booking — independently of the architecture's own
+  validator, the segment objects refuse overlapping reservations),
+* extract chip-state *snapshots* at arbitrary times, reproducing the paper's
+  Fig. 11 execution snapshots of RA30, and
+* gather activity statistics (channel utilization, valve actuations).
+"""
+
+from repro.simulation.events import SimulationEvent, EventKind
+from repro.simulation.simulator import ChipSimulator, SimulationResult
+from repro.simulation.snapshot import Snapshot, SegmentState, render_snapshot_ascii
+
+__all__ = [
+    "SimulationEvent",
+    "EventKind",
+    "ChipSimulator",
+    "SimulationResult",
+    "Snapshot",
+    "SegmentState",
+    "render_snapshot_ascii",
+]

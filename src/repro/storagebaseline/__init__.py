@@ -1,0 +1,28 @@
+"""Dedicated storage-unit baseline (the conventional architecture of Fig. 10).
+
+Previous synthesis methods assume every intermediate fluid sample is parked
+in a single dedicated storage unit.  This package models that architecture so
+the distributed-channel-storage result can be compared against it:
+
+* :mod:`repro.storagebaseline.retiming` — replays a schedule with all caching
+  traffic funnelled through the storage unit's port, whose limited bandwidth
+  queues simultaneous accesses and prolongs the assay;
+* :mod:`repro.storagebaseline.resources` — valve/segment accounting of the
+  baseline chip (transport channels to the unit + the unit's multiplexer and
+  cell-isolation valves);
+* :mod:`repro.storagebaseline.comparison` — the Fig. 10 ratios (execution
+  time and valves, distributed vs. dedicated).
+"""
+
+from repro.storagebaseline.retiming import DedicatedStorageRetiming, RetimedSchedule
+from repro.storagebaseline.resources import BaselineResources, baseline_resources
+from repro.storagebaseline.comparison import StorageComparison, compare_with_dedicated_storage
+
+__all__ = [
+    "DedicatedStorageRetiming",
+    "RetimedSchedule",
+    "BaselineResources",
+    "baseline_resources",
+    "StorageComparison",
+    "compare_with_dedicated_storage",
+]

@@ -1,0 +1,26 @@
+"""End-to-end synthesis pipeline (the paper's complete flow).
+
+:func:`synthesize` chains the three stages — scheduling & binding with
+storage minimization, architectural synthesis with distributed channel
+storage, and iterative physical compression — and returns a
+:class:`SynthesisResult` bundling every intermediate artifact and the metrics
+reported in the paper's evaluation (Table 2, Figs. 8–10).
+"""
+
+from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
+from repro.synthesis.flow import SynthesisResult, synthesize
+from repro.synthesis.metrics import FlowMetrics, collect_metrics
+from repro.synthesis.report import format_table2_row, table2_header, result_report
+
+__all__ = [
+    "FlowConfig",
+    "SchedulerEngine",
+    "SynthesisEngine",
+    "SynthesisResult",
+    "synthesize",
+    "FlowMetrics",
+    "collect_metrics",
+    "format_table2_row",
+    "table2_header",
+    "result_report",
+]

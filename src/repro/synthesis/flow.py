@@ -1,0 +1,168 @@
+"""The end-to-end synthesis flow."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.archsyn.architecture import ChipArchitecture
+from repro.archsyn.ilp_synthesis import IlpSynthesisConfig, IlpSynthesizer
+from repro.archsyn.router import HeuristicSynthesizer, SynthesisConfig
+from repro.devices.device import DeviceLibrary, default_device_library
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.graph.validation import assert_valid
+from repro.physical.pipeline import PhysicalDesignConfig, PhysicalDesignResult, build_physical_design
+from repro.scheduling.ilp_scheduler import IlpScheduler, IlpSchedulerConfig
+from repro.scheduling.list_scheduler import ListScheduler, ListSchedulerConfig
+from repro.scheduling.schedule import Schedule
+from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the flow produces for one assay."""
+
+    graph: SequencingGraph
+    library: DeviceLibrary
+    config: FlowConfig
+    schedule: Schedule
+    architecture: ChipArchitecture
+    physical: PhysicalDesignResult
+    scheduling_time_s: float
+    synthesis_time_s: float
+    physical_time_s: float
+    scheduler_engine: str
+    synthesis_engine: str
+
+    @property
+    def execution_time(self) -> int:
+        """The assay completion time ``t_E``."""
+        return self.schedule.makespan
+
+    @property
+    def total_runtime_s(self) -> float:
+        return self.scheduling_time_s + self.synthesis_time_s + self.physical_time_s
+
+
+def build_library(config: FlowConfig) -> DeviceLibrary:
+    """Device library matching the flow configuration."""
+    return default_device_library(
+        num_mixers=config.num_mixers,
+        num_detectors=config.num_detectors,
+        num_heaters=config.num_heaters,
+    )
+
+
+def _build_scheduler(config: FlowConfig, library: DeviceLibrary, graph: SequencingGraph):
+    engine = config.scheduler
+    if engine is SchedulerEngine.AUTO:
+        if len(graph.device_operations()) <= config.ilp_operation_limit:
+            engine = SchedulerEngine.ILP
+        else:
+            engine = SchedulerEngine.LIST
+    if engine is SchedulerEngine.ILP:
+        scheduler = IlpScheduler(
+            library,
+            IlpSchedulerConfig(
+                transport_time=config.transport_time,
+                alpha=config.alpha,
+                beta=config.beta if config.storage_aware else 0.0,
+                time_limit_s=config.ilp_time_limit_s,
+            ),
+        )
+        return scheduler, "ilp"
+    scheduler = ListScheduler(
+        library,
+        ListSchedulerConfig(
+            transport_time=config.transport_time,
+            storage_aware=config.storage_aware,
+        ),
+    )
+    return scheduler, "list"
+
+
+def _build_synthesizer(config: FlowConfig):
+    if config.synthesis is SynthesisEngine.ILP:
+        return (
+            IlpSynthesizer(
+                IlpSynthesisConfig(
+                    grid_rows=config.grid_rows,
+                    grid_cols=config.grid_cols,
+                    time_limit_s=config.archsyn_time_limit_s,
+                )
+            ),
+            "ilp",
+        )
+    return (
+        HeuristicSynthesizer(
+            SynthesisConfig(
+                grid_rows=config.grid_rows,
+                grid_cols=config.grid_cols,
+                auto_expand_grid=config.auto_expand_grid,
+                max_grid_dim=config.max_grid_dim,
+            )
+        ),
+        "heuristic",
+    )
+
+
+def synthesize(
+    graph: SequencingGraph,
+    config: Optional[FlowConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+) -> SynthesisResult:
+    """Run the complete flow (schedule → architecture → layout) on an assay.
+
+    Parameters
+    ----------
+    graph:
+        The assay's sequencing graph; it is validated before anything runs.
+    config:
+        Flow configuration; defaults to :class:`FlowConfig` defaults.
+    library:
+        Optional explicit device library; by default one is built from the
+        configuration's device counts.
+
+    Returns
+    -------
+    SynthesisResult
+        Schedule, architecture, physical design and per-stage runtimes.
+    """
+    config = config or FlowConfig()
+    assert_valid(graph)
+    library = library or build_library(config)
+
+    scheduler, scheduler_name = _build_scheduler(config, library, graph)
+    start = time.perf_counter()
+    schedule = scheduler.schedule(graph)
+    scheduling_time = time.perf_counter() - start
+
+    synthesizer, synthesis_name = _build_synthesizer(config)
+    start = time.perf_counter()
+    architecture = synthesizer.synthesize(schedule)
+    synthesis_time = time.perf_counter() - start
+
+    physical = build_physical_design(
+        architecture,
+        library,
+        PhysicalDesignConfig(
+            pitch=config.pitch,
+            storage_segment_length=config.storage_segment_length,
+            min_channel_spacing=config.min_channel_spacing,
+        ),
+    )
+
+    return SynthesisResult(
+        graph=graph,
+        library=library,
+        config=config,
+        schedule=schedule,
+        architecture=architecture,
+        physical=physical,
+        scheduling_time_s=scheduling_time,
+        synthesis_time_s=synthesis_time,
+        physical_time_s=physical.wall_time_s,
+        scheduler_engine=scheduler_name,
+        synthesis_engine=synthesis_name,
+    )

@@ -1,0 +1,65 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.library import build_pcr
+from repro.graph.serialization import save_graph
+
+
+class TestParser:
+    def test_requires_an_input_source(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_assay_and_protocol_are_exclusive(self, tmp_path):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--assay", "PCR", "--protocol", str(tmp_path / "x.json")])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--assay", "PCR"])
+        assert args.mixers == 2
+        assert args.grid == (4, 4)
+        assert args.scheduler == "auto"
+
+
+class TestMain:
+    def test_builtin_assay_run(self, capsys):
+        exit_code = main(["--assay", "PCR", "--mixers", "2", "--scheduler", "list"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Synthesis report: PCR" in output
+        assert "execution time" in output
+
+    def test_protocol_file_run_with_svg_and_table(self, tmp_path, capsys):
+        protocol = tmp_path / "pcr.json"
+        save_graph(build_pcr(mix_time=80), protocol)
+        svg = tmp_path / "chip.svg"
+        exit_code = main([
+            "--protocol", str(protocol),
+            "--mixers", "2",
+            "--scheduler", "list",
+            "--svg", str(svg),
+            "--schedule-table",
+        ])
+        assert exit_code == 0
+        assert svg.exists()
+        output = capsys.readouterr().out
+        assert "schedule (operation, device, start, end):" in output
+
+    def test_missing_protocol_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--protocol", str(tmp_path / "missing.json")])
+
+    def test_execution_time_only_flag(self, capsys):
+        exit_code = main(["--assay", "PCR", "--scheduler", "list", "--no-storage-objective"])
+        assert exit_code == 0
+
+    def test_infeasible_configuration_returns_error_code(self, capsys):
+        # IVD needs detectors; without any the scheduler cannot bind the
+        # detection operations and the CLI reports failure.
+        exit_code = main(["--assay", "IVD", "--mixers", "2", "--scheduler", "list"])
+        assert exit_code == 1
+        assert "synthesis failed" in capsys.readouterr().err

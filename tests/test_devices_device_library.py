@@ -1,0 +1,105 @@
+"""Tests of devices, the device library and the ring-mixer model."""
+
+import pytest
+
+from repro.devices.device import Device, DeviceKind, DeviceLibrary, default_device_library
+from repro.devices.mixer import IO_VALVES, PUMP_VALVES, Mixer
+from repro.graph.sequencing_graph import OperationType
+
+
+class TestDevice:
+    def test_supports_operation_kinds(self):
+        mixer = Device("m1", DeviceKind.MIXER)
+        detector = Device("d1", DeviceKind.DETECTOR)
+        assert mixer.supports(OperationType.MIX)
+        assert mixer.supports(OperationType.DILUTE)
+        assert not mixer.supports(OperationType.DETECT)
+        assert detector.supports(OperationType.DETECT)
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ValueError):
+            Device("m1", footprint=(0, 2))
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            Device("m1", speedup=0)
+
+    def test_execution_time_with_speedup(self):
+        fast = Device("m1", speedup=2.0)
+        assert fast.execution_time(90) == 45
+        assert fast.execution_time(0) == 0
+        normal = Device("m2")
+        assert normal.execution_time(90) == 90
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Device("m1").execution_time(-1)
+
+
+class TestDeviceLibrary:
+    def test_duplicate_id_rejected(self):
+        library = DeviceLibrary([Device("m1")])
+        with pytest.raises(ValueError):
+            library.add(Device("m1"))
+
+    def test_devices_for_kind(self):
+        library = default_device_library(num_mixers=2, num_detectors=1)
+        assert len(library.devices_for(OperationType.MIX)) == 2
+        assert len(library.devices_for(OperationType.DETECT)) == 1
+        assert len(library.devices_for(OperationType.HEAT)) == 0
+
+    def test_default_library_requires_a_mixer(self):
+        with pytest.raises(ValueError):
+            default_device_library(num_mixers=0)
+
+    def test_membership_and_iteration(self):
+        library = default_device_library(num_mixers=3)
+        assert "mixer2" in library
+        assert len(list(library)) == 3
+        assert len(library) == 3
+
+    def test_total_internal_valves(self):
+        library = default_device_library(num_mixers=2)
+        assert library.total_internal_valves() == 18
+
+
+class TestMixer:
+    def test_mixer_valve_inventory(self):
+        mixer = Mixer("m1")
+        assert mixer.internal_valve_count == 9
+        assert set(mixer.valves) == set(PUMP_VALVES + IO_VALVES)
+
+    def test_pumping_sequence_length(self):
+        mixer = Mixer("m1", pump_period_s=0.5)
+        events = mixer.pumping_sequence(3)
+        assert len(events) == 6
+        # Rotating actuation pattern.
+        assert [name for _, name in events[:3]] == list(PUMP_VALVES)
+
+    def test_actuations_for_mix(self):
+        mixer = Mixer("m1", pump_period_s=1.0)
+        assert mixer.actuations_for_mix(10) == 10
+
+    def test_negative_mix_time_rejected(self):
+        with pytest.raises(ValueError):
+            Mixer("m1").pumping_sequence(-5)
+
+    def test_invalid_pump_period(self):
+        with pytest.raises(ValueError):
+            Mixer("m1", pump_period_s=0)
+
+    def test_load_seal_drain_cycle(self):
+        mixer = Mixer("m1")
+        mixer.load_inputs(time=0.0)
+        assert mixer.valves["in_top"].is_open
+        assert mixer.valves["out_top"].is_closed
+        mixer.seal(time=1.0)
+        assert all(mixer.valves[name].is_closed for name in IO_VALVES)
+        mixer.drain(time=2.0)
+        assert mixer.valves["out_top"].is_open
+        assert mixer.valves["in_top"].is_closed
+
+    def test_mixer_is_a_device(self):
+        mixer = Mixer("m1")
+        assert mixer.kind is DeviceKind.MIXER
+        assert mixer.supports(OperationType.MIX)

@@ -1,0 +1,101 @@
+"""Tests of the valve and switch component models."""
+
+import pytest
+
+from repro.devices.switch import ARMS, Switch, SwitchConfiguration
+from repro.devices.valve import Valve, ValveState
+
+
+class TestValve:
+    def test_new_valve_is_open(self):
+        valve = Valve("v1")
+        assert valve.is_open
+        assert valve.actuation_count == 0
+
+    def test_close_and_open_count_actuations(self):
+        valve = Valve("v1")
+        valve.close(time=1.0)
+        valve.open(time=2.0)
+        assert valve.actuation_count == 2
+        assert valve.is_open
+
+    def test_repeated_close_is_not_an_actuation(self):
+        valve = Valve("v1")
+        valve.close()
+        valve.close()
+        assert valve.actuation_count == 1
+
+    def test_set_state(self):
+        valve = Valve("v1")
+        valve.set_state(ValveState.CLOSED)
+        assert valve.is_closed
+        valve.set_state(ValveState.OPEN)
+        assert valve.is_open
+
+    def test_history_records_transitions(self):
+        valve = Valve("v1")
+        valve.close(time=5.0)
+        valve.open(time=9.0)
+        assert valve.history() == [(5.0, ValveState.CLOSED), (9.0, ValveState.OPEN)]
+
+    def test_toggled(self):
+        assert ValveState.OPEN.toggled() is ValveState.CLOSED
+        assert ValveState.CLOSED.toggled() is ValveState.OPEN
+
+
+class TestSwitchConfiguration:
+    def test_connecting_two_arms(self):
+        config = SwitchConfiguration.connecting("north", "south")
+        assert config.connects("north", "south")
+        assert not config.connects("north", "east")
+
+    def test_same_arm_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfiguration.connecting("north", "north")
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfiguration(frozenset({"up"}))
+
+    def test_all_closed(self):
+        assert SwitchConfiguration.all_closed().open_arms == frozenset()
+
+
+class TestSwitch:
+    def test_full_switch_has_four_valves(self):
+        switch = Switch("n1")
+        assert switch.valve_count == 4
+        assert set(switch.valves) == set(ARMS)
+
+    def test_partial_switch(self):
+        switch = Switch("n1", present_arms=("north", "east"))
+        assert switch.valve_count == 2
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ValueError):
+            Switch("n1", present_arms=("up",))
+
+    def test_connect_opens_exactly_two_valves(self):
+        switch = Switch("n1")
+        switch.connect("north", "east", time=1.0)
+        open_arms = [arm for arm, valve in switch.valves.items() if valve.is_open]
+        assert sorted(open_arms) == ["east", "north"]
+
+    def test_apply_missing_arm_rejected(self):
+        switch = Switch("n1", present_arms=("north", "east"))
+        with pytest.raises(ValueError):
+            switch.apply(SwitchConfiguration.connecting("north", "south"))
+
+    def test_close_all(self):
+        switch = Switch("n1")
+        switch.connect("north", "south")
+        switch.close_all()
+        assert all(valve.is_closed for valve in switch.valves.values())
+
+    def test_actuation_accounting(self):
+        switch = Switch("n1")
+        switch.connect("north", "south")
+        before = switch.total_actuations()
+        switch.connect("east", "west")
+        assert switch.total_actuations() > before
+        assert len(switch.history()) == 2

@@ -1,0 +1,81 @@
+"""Tests of ASAP/ALAP/critical-path analysis."""
+
+import pytest
+
+from repro.graph.analysis import (
+    alap_times,
+    analyze,
+    asap_times,
+    critical_path,
+    critical_path_length,
+    max_parallelism,
+)
+from repro.graph.library import build_pcr
+
+
+class TestAsapAlap:
+    def test_chain_asap_accumulates_durations(self, chain_graph):
+        start = asap_times(chain_graph)
+        assert start["o1"] == 0
+        assert start["o5"] == 4 * 30
+
+    def test_transport_time_adds_to_asap(self, chain_graph):
+        start = asap_times(chain_graph, transport_time=10)
+        assert start["o5"] == 4 * 30 + 4 * 10
+
+    def test_diamond_asap(self, diamond_graph):
+        start = asap_times(diamond_graph)
+        assert start["o2"] == start["o3"] == 60
+        assert start["o4"] == 120
+
+    def test_alap_respects_deadline(self, chain_graph):
+        deadline = critical_path_length(chain_graph)
+        latest = alap_times(chain_graph, deadline)
+        earliest = asap_times(chain_graph)
+        # On the critical path (the whole chain) ASAP == ALAP.
+        for op_id in ("o1", "o3", "o5"):
+            assert latest[op_id] == earliest[op_id]
+
+    def test_alap_slack_with_relaxed_deadline(self, chain_graph):
+        deadline = critical_path_length(chain_graph) + 100
+        latest = alap_times(chain_graph, deadline)
+        assert latest["o5"] == deadline - 30
+
+
+class TestCriticalPath:
+    def test_chain_critical_path_is_whole_chain(self, chain_graph):
+        path = critical_path(chain_graph)
+        assert path[-1] == "o5"
+        assert len(path) >= 5
+
+    def test_length_lower_bounds_pcr(self):
+        pcr = build_pcr(mix_time=90)
+        assert critical_path_length(pcr) == 270
+        assert critical_path_length(pcr, transport_time=10) == 290
+
+    def test_empty_graph_length_zero(self):
+        from repro.graph.sequencing_graph import SequencingGraph
+
+        assert critical_path_length(SequencingGraph("empty")) == 0
+
+
+class TestParallelismAndSummary:
+    def test_max_parallelism_diamond(self, diamond_graph):
+        assert max_parallelism(diamond_graph) == 2
+
+    def test_max_parallelism_chain(self, chain_graph):
+        assert max_parallelism(chain_graph) == 1
+
+    def test_analyze_bundle(self, diamond_graph):
+        summary = analyze(diamond_graph)
+        assert summary.num_operations == 6
+        assert summary.num_device_operations == 4
+        assert summary.total_work == 240
+        assert summary.critical_path_length == 180
+
+    def test_lower_bound_execution_time(self, diamond_graph):
+        summary = analyze(diamond_graph)
+        assert summary.lower_bound_execution_time(1) == 240
+        assert summary.lower_bound_execution_time(2) == 180
+        with pytest.raises(ValueError):
+            summary.lower_bound_execution_time(0)

@@ -1,0 +1,76 @@
+"""Tests (including a hypothesis round-trip) of graph serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import RandomAssayConfig, random_assay
+from repro.graph.library import build_pcr
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = build_pcr()
+        rebuilt = graph_from_dict(graph_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.edges() == original.edges()
+        assert [op.op_id for op in rebuilt.operations()] == [op.op_id for op in original.operations()]
+        assert [op.duration for op in rebuilt.operations()] == [op.duration for op in original.operations()]
+
+    def test_dict_is_json_serializable(self):
+        payload = graph_to_dict(build_pcr())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_kind_rejected(self):
+        payload = graph_to_dict(build_pcr())
+        payload["operations"][0]["kind"] = "teleport"
+        with pytest.raises(ValueError):
+            graph_from_dict(payload)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"name": "x"})
+
+    def test_unsupported_version_rejected(self):
+        payload = graph_to_dict(build_pcr())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "pcr.json"
+        save_graph(build_pcr(), path)
+        loaded = load_graph(path)
+        assert loaded.edges() == build_pcr().edges()
+
+    def test_save_returns_path(self, tmp_path):
+        path = save_graph(build_pcr(), tmp_path / "g.json")
+        assert path.exists()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_operations=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+def test_serialization_round_trip_property(num_operations, seed):
+    """Property: serialize → deserialize is the identity on structure."""
+    graph = random_assay(RandomAssayConfig(num_operations=num_operations, seed=seed))
+    rebuilt = graph_from_dict(graph_to_dict(graph))
+    assert sorted(rebuilt.edges()) == sorted(graph.edges())
+    assert {op.op_id: op.duration for op in rebuilt.operations()} == {
+        op.op_id: op.duration for op in graph.operations()
+    }
+    assert {op.op_id: op.kind for op in rebuilt.operations()} == {
+        op.op_id: op.kind for op in graph.operations()
+    }

@@ -1,0 +1,51 @@
+"""Tests of sequencing-graph validation."""
+
+import pytest
+
+from repro.graph.sequencing_graph import Operation, OperationType, SequencingGraph
+from repro.graph.validation import GraphValidationError, assert_valid, validate_graph
+
+
+def test_valid_graph_reports_no_problems(diamond_graph):
+    assert validate_graph(diamond_graph) == []
+
+
+def test_empty_graph_is_invalid():
+    assert validate_graph(SequencingGraph("empty")) != []
+
+
+def test_zero_duration_device_operation_flagged():
+    graph = SequencingGraph("bad")
+    graph.add_operation(Operation("o1", OperationType.MIX, duration=0))
+    problems = validate_graph(graph)
+    assert any("non-positive duration" in p for p in problems)
+
+
+def test_mix_with_three_parents_flagged():
+    graph = SequencingGraph("bad")
+    for idx in range(1, 4):
+        graph.add_input(f"i{idx}")
+    graph.add_mix("o1", 60)
+    for idx in range(1, 4):
+        graph.add_edge(f"i{idx}", "o1")
+    problems = validate_graph(graph)
+    assert any("at most two" in p for p in problems)
+
+
+def test_require_inputs_flag():
+    graph = SequencingGraph("no-inputs")
+    graph.add_mix("o1", 60)
+    assert validate_graph(graph, require_inputs=True) != []
+    assert all("no input" not in p for p in validate_graph(graph, require_inputs=False))
+
+
+def test_assert_valid_raises_with_all_problems():
+    graph = SequencingGraph("bad")
+    graph.add_operation(Operation("o1", OperationType.MIX, duration=0))
+    with pytest.raises(GraphValidationError) as excinfo:
+        assert_valid(graph)
+    assert excinfo.value.problems
+
+
+def test_assert_valid_passes_for_good_graph(diamond_graph):
+    assert_valid(diamond_graph)

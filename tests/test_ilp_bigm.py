@@ -1,0 +1,151 @@
+"""Tests of the big-M / linearization helpers."""
+
+import pytest
+
+from repro.ilp import Model
+from repro.ilp.bigm import (
+    add_either_or,
+    add_implication,
+    add_max_of,
+    add_min_of,
+    at_most_one,
+    exactly_one,
+    linearize_and,
+    linearize_or,
+    linearize_product_binary_continuous,
+)
+
+
+def test_implication_enforced_when_indicator_set():
+    model = Model()
+    flag = model.add_binary("flag")
+    x = model.add_integer("x", low=0, up=100)
+    model.add_constraint(flag == 1)
+    add_implication(model, flag, x >= 40, big_m=1000)
+    model.minimize(x)
+    model.solve()
+    assert x.solution == 40
+
+
+def test_implication_relaxed_when_indicator_clear():
+    model = Model()
+    flag = model.add_binary("flag")
+    x = model.add_integer("x", low=0, up=100)
+    model.add_constraint(flag == 0)
+    add_implication(model, flag, x >= 40, big_m=1000)
+    model.minimize(x)
+    model.solve()
+    assert x.solution == 0
+
+
+def test_implication_of_equality_is_rejected():
+    model = Model()
+    flag = model.add_binary("flag")
+    x = model.add_integer("x", low=0, up=10)
+    with pytest.raises(ValueError):
+        add_implication(model, flag, x == 5, big_m=100)
+
+
+def test_either_or_non_overlap():
+    """The scheduler's constraint (4): two jobs on one machine cannot overlap."""
+    model = Model()
+    start_a = model.add_integer("start_a", low=0, up=100)
+    start_b = model.add_integer("start_b", low=0, up=100)
+    duration = 10
+    add_either_or(
+        model,
+        (start_a + duration) - start_b <= 0,
+        (start_b + duration) - start_a <= 0,
+        big_m=1000,
+        selector_name="a_before_b",
+    )
+    end = model.add_integer("end", low=0, up=200)
+    add_max_of(model, end, [start_a + duration, start_b + duration])
+    model.minimize(end)
+    model.solve()
+    assert end.solution == 20
+    assert abs(start_a.solution - start_b.solution) >= duration
+
+
+def test_max_of_models_completion_time():
+    model = Model()
+    t = model.add_integer("t", low=0, up=100)
+    add_max_of(model, t, [5, 17, 11])
+    model.minimize(t)
+    model.solve()
+    assert t.solution == 17
+
+
+def test_min_of_with_maximize():
+    model = Model()
+    t = model.add_integer("t", low=0, up=100)
+    add_min_of(model, t, [8, 23])
+    model.maximize(t)
+    model.solve()
+    assert t.solution == 8
+
+
+@pytest.mark.parametrize(
+    "values, expected",
+    [((1, 1), 1), ((1, 0), 0), ((0, 0), 0)],
+)
+def test_linearize_and(values, expected):
+    model = Model()
+    a = model.add_binary("a")
+    b = model.add_binary("b")
+    model.add_constraint(a == values[0])
+    model.add_constraint(b == values[1])
+    conj = linearize_and(model, "conj", [a, b])
+    model.minimize(0 * a)
+    model.solve()
+    assert conj.solution == expected
+
+
+@pytest.mark.parametrize(
+    "values, expected",
+    [((1, 0), 1), ((0, 0), 0), ((1, 1), 1)],
+)
+def test_linearize_or(values, expected):
+    model = Model()
+    a = model.add_binary("a")
+    b = model.add_binary("b")
+    model.add_constraint(a == values[0])
+    model.add_constraint(b == values[1])
+    disj = linearize_or(model, "disj", [a, b])
+    model.minimize(0 * a)
+    model.solve()
+    assert disj.solution == expected
+
+
+def test_linearize_product_binary_continuous():
+    model = Model()
+    flag = model.add_binary("flag")
+    x = model.add_continuous("x", low=0, up=50)
+    model.add_constraint(flag == 1)
+    model.add_constraint(x == 12.5)
+    product = linearize_product_binary_continuous(model, "prod", flag, x, upper_bound=50)
+    model.minimize(0 * flag)
+    model.solve()
+    assert product.solution == pytest.approx(12.5)
+
+
+def test_linearize_product_zero_when_flag_clear():
+    model = Model()
+    flag = model.add_binary("flag")
+    x = model.add_continuous("x", low=0, up=50)
+    model.add_constraint(flag == 0)
+    model.add_constraint(x == 30)
+    product = linearize_product_binary_continuous(model, "prod", flag, x, upper_bound=50)
+    model.minimize(0 * flag)
+    model.solve()
+    assert product.solution == pytest.approx(0.0)
+
+
+def test_exactly_one_and_at_most_one():
+    model = Model()
+    bits = [model.add_binary(f"b{i}") for i in range(4)]
+    exactly_one(model, bits)
+    at_most_one(model, bits[:2])
+    model.maximize(sum(bits[2:], start=0 * bits[0]))
+    model.solve()
+    assert sum(int(b.solution) for b in bits) == 1

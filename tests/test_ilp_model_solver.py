@@ -1,0 +1,152 @@
+"""Tests of the MILP model container and the HiGHS backend."""
+
+import pytest
+
+from repro.ilp import Model, ObjectiveSense, SolverOptions, SolverStatus
+from repro.ilp.expression import lin_sum
+from repro.ilp.model import weighted_objective
+
+
+class TestModelConstruction:
+    def test_duplicate_variable_name_rejected(self):
+        model = Model()
+        model.add_var("x")
+        with pytest.raises(ValueError):
+            model.add_var("x")
+
+    def test_counts(self):
+        model = Model("m")
+        model.add_binary("b")
+        model.add_integer("i", up=10)
+        model.add_continuous("c", up=1.5)
+        assert model.num_variables == 3
+        assert model.num_binaries == 1
+        assert model.num_integers == 2
+        assert "3 variables" in model.summary()
+
+    def test_add_constraint_requires_constraint(self):
+        model = Model()
+        model.add_var("x")
+        with pytest.raises(TypeError):
+            model.add_constraint(42)
+
+    def test_trivially_infeasible_constraint_rejected(self):
+        from repro.ilp.expression import LinExpr
+
+        model = Model()
+        with pytest.raises(ValueError):
+            model.add_constraint(LinExpr.constant_expr(5) <= 0)
+
+    def test_get_and_has_var(self):
+        model = Model()
+        x = model.add_var("x")
+        assert model.has_var("x")
+        assert model.get_var("x") is x
+        assert not model.has_var("y")
+
+
+class TestSolve:
+    def test_simple_lp_optimum(self):
+        model = Model("lp")
+        x = model.add_continuous("x", low=0, up=10)
+        y = model.add_continuous("y", low=0, up=10)
+        model.add_constraint(x + y >= 4)
+        model.minimize(3 * x + 5 * y)
+        result = model.solve()
+        assert result.status is SolverStatus.OPTIMAL
+        assert result.objective == pytest.approx(12.0)
+        assert x.solution == pytest.approx(4.0)
+
+    def test_integer_rounding(self):
+        model = Model("ip")
+        x = model.add_integer("x", low=0, up=10)
+        model.add_constraint(2 * x >= 7)
+        model.minimize(x)
+        result = model.solve()
+        assert result.status.is_optimal()
+        assert x.solution == 4
+
+    def test_binary_knapsack(self):
+        model = Model("knapsack")
+        values = [6, 10, 12]
+        weights = [1, 2, 3]
+        items = [model.add_binary(f"item{i}") for i in range(3)]
+        model.add_constraint(lin_sum(w * item for w, item in zip(weights, items)) <= 4)
+        model.maximize(lin_sum(v * item for v, item in zip(values, items)))
+        result = model.solve()
+        assert result.status.is_optimal()
+        chosen = [i for i, item in enumerate(items) if item.as_bool()]
+        assert chosen == [0, 2]
+        assert result.objective == pytest.approx(18.0)
+
+    def test_infeasible_model(self):
+        model = Model("infeasible")
+        x = model.add_continuous("x", low=0, up=1)
+        model.add_constraint(x >= 2)
+        model.minimize(x)
+        result = model.solve()
+        assert result.status is SolverStatus.INFEASIBLE
+        assert not result
+
+    def test_empty_model_is_trivially_optimal(self):
+        model = Model("empty")
+        result = model.solve()
+        assert result.status is SolverStatus.OPTIMAL
+
+    def test_equality_constraint(self):
+        model = Model("eq")
+        x = model.add_integer("x", low=0, up=100)
+        model.add_constraint(x == 42)
+        model.minimize(x)
+        result = model.solve()
+        assert x.solution == 42
+        assert result.status.is_optimal()
+
+    def test_result_values_by_name(self):
+        model = Model()
+        x = model.add_integer("x", low=3, up=3)
+        model.minimize(x)
+        result = model.solve()
+        assert result.value("x") == 3
+
+    def test_check_solution_reports_no_violations(self):
+        model = Model()
+        x = model.add_integer("x", low=0, up=5)
+        model.add_constraint(x >= 2)
+        model.minimize(x)
+        model.solve()
+        assert model.check_solution() == []
+
+    def test_maximize_sense(self):
+        model = Model()
+        x = model.add_continuous("x", low=0, up=7)
+        model.maximize(x)
+        result = model.solve()
+        assert x.solution == pytest.approx(7.0)
+        assert model.objective.sense is ObjectiveSense.MAXIMIZE
+
+    def test_solver_options_time_limit(self):
+        model = Model()
+        x = model.add_integer("x", low=0, up=5)
+        model.add_constraint(x >= 1)
+        model.minimize(x)
+        result = model.solve(SolverOptions(time_limit_s=5.0))
+        assert result.status.is_feasible()
+
+    def test_wall_time_recorded(self):
+        model = Model()
+        x = model.add_integer("x", low=0, up=5)
+        model.minimize(x)
+        result = model.solve()
+        assert result.wall_time_s >= 0.0
+
+
+class TestWeightedObjective:
+    def test_weighted_objective_combines_terms(self):
+        model = Model()
+        x = model.add_continuous("x", low=1, up=1)
+        y = model.add_continuous("y", low=2, up=2)
+        objective = weighted_objective([(100.0, x), (1.0, y)])
+        model.minimize(objective)
+        model.solve()
+        assert model.objective_value() == pytest.approx(102.0)

@@ -1,0 +1,63 @@
+"""Cross-module integration tests: schedule -> architecture -> layout -> replay."""
+
+import pytest
+
+from repro import FlowConfig, synthesize
+from repro.graph.generators import RandomAssayConfig, random_assay
+from repro.graph.library import build_ivd
+from repro.scheduling.transport import extract_transport_tasks, storage_requirements
+from repro.simulation.simulator import ChipSimulator
+from repro.storagebaseline.comparison import compare_with_dedicated_storage
+
+
+class TestEndToEndConsistency:
+    def test_full_flow_artifacts_are_mutually_consistent(self, ra_result):
+        schedule = ra_result.schedule
+        architecture = ra_result.architecture
+
+        # 1. Every transportation task implied by the schedule is routed.
+        tasks = extract_transport_tasks(schedule)
+        routed_ids = {routed.task.task_id for routed in architecture.routed_tasks}
+        assert routed_ids == {t.task_id for t in tasks}
+
+        # 2. Every storage requirement is realized by a caching segment.
+        requirements = storage_requirements(schedule)
+        cached = [r for r in architecture.routed_tasks if r.storage_edge is not None]
+        assert len(cached) >= len(requirements)
+
+        # 3. The replay is conflict free and covers the whole schedule.
+        simulation = ChipSimulator(schedule, architecture).run()
+        assert simulation.problems == []
+        assert simulation.makespan >= schedule.makespan
+
+        # 4. The physical design keeps every used segment.
+        assert len(ra_result.physical.compact_layout.channels) == architecture.num_edges
+
+    def test_distributed_storage_beats_dedicated_on_storage_heavy_assay(self, ra_result):
+        comparison = compare_with_dedicated_storage(ra_result.schedule, ra_result.architecture)
+        assert comparison.execution_time_ratio <= 1.0
+
+    def test_ivd_with_detectors_end_to_end(self):
+        config = FlowConfig(num_mixers=2, num_detectors=2, ilp_operation_limit=0)
+        result = synthesize(build_ivd(), config)
+        assert result.schedule.validate() == []
+        assert result.architecture.validate() == []
+        kinds = {result.library.device(d).kind.value for d in result.schedule.devices_used()}
+        assert "detector" in kinds
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_random_assays_survive_the_whole_pipeline(self, seed):
+        graph = random_assay(RandomAssayConfig(num_operations=15, seed=seed))
+        config = FlowConfig(num_mixers=3, ilp_operation_limit=0)
+        result = synthesize(graph, config)
+        assert result.schedule.validate() == []
+        assert result.architecture.validate() == []
+        simulation = ChipSimulator(result.schedule, result.architecture).run()
+        assert simulation.problems == []
+        width, height = result.physical.compact_dimensions
+        assert width > 0 and height > 0
+
+    def test_transport_time_zero_is_supported(self, diamond_graph):
+        config = FlowConfig(num_mixers=2, transport_time=0, ilp_operation_limit=0)
+        result = synthesize(diamond_graph, config)
+        assert result.schedule.validate() == []

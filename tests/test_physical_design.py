@@ -1,0 +1,96 @@
+"""Tests of device insertion, iterative compression and SVG export."""
+
+import pytest
+
+from repro.physical.compression import CompressionConfig, compress_layout
+from repro.physical.device_insertion import insert_devices
+from repro.physical.layout import layout_from_architecture
+from repro.physical.pipeline import PhysicalDesignConfig, build_physical_design
+from repro.physical.svg_export import layout_to_svg
+
+
+class TestDeviceInsertion:
+    def test_devices_appear_and_layout_grows(self, pcr_result):
+        architecture = pcr_result.architecture
+        scaled = layout_from_architecture(architecture, pitch=5.0)
+        expanded = insert_devices(scaled, architecture, pcr_result.library)
+        assert len(expanded.devices) >= len(pcr_result.schedule.devices_used())
+        sw, sh = scaled.dimensions()
+        ew, eh = expanded.dimensions()
+        assert ew >= sw and eh >= sh
+        assert ew > sw or eh > sh
+
+    def test_no_device_overlaps_after_insertion(self, pcr_result):
+        architecture = pcr_result.architecture
+        scaled = layout_from_architecture(architecture, pitch=5.0)
+        expanded = insert_devices(scaled, architecture, pcr_result.library)
+        assert [p for p in expanded.validate() if "overlap" in p] == []
+
+
+class TestCompression:
+    def test_compression_never_grows_the_layout(self, pcr_result):
+        expanded = pcr_result.physical.expanded_layout
+        result = compress_layout(expanded)
+        iw, ih = result.initial_dimensions
+        fw, fh = result.final_dimensions
+        assert fw <= iw and fh <= ih
+        assert 0.0 <= result.area_reduction <= 1.0
+
+    def test_compression_preserves_constraints(self, pcr_result):
+        compact = pcr_result.physical.compact_layout
+        problems = compact.validate()
+        assert problems == []
+
+    def test_storage_segments_keep_their_length(self, ra_result):
+        compact = ra_result.physical.compact_layout
+        for channel in compact.channels:
+            if channel.is_storage:
+                assert channel.length + 1e-9 >= channel.min_length
+
+    def test_iteration_cap_respected(self, pcr_result):
+        result = compress_layout(
+            pcr_result.physical.expanded_layout, CompressionConfig(max_iterations=1)
+        )
+        assert result.iterations <= 1
+
+
+class TestPipeline:
+    def test_dimensions_chain(self, pcr_result):
+        physical = pcr_result.physical
+        # d_r <= d_e (device insertion grows), d_p <= d_e (compression shrinks).
+        assert physical.architecture_dimensions[0] <= physical.expanded_dimensions[0]
+        assert physical.compact_dimensions[0] <= physical.expanded_dimensions[0]
+        assert physical.compact_dimensions[1] <= physical.expanded_dimensions[1]
+        assert physical.area_reduction >= 0.0
+
+    def test_custom_pitch_scales_architecture_dimension(self, pcr_result):
+        small = build_physical_design(
+            pcr_result.architecture, pcr_result.library, PhysicalDesignConfig(pitch=2.0)
+        )
+        large = build_physical_design(
+            pcr_result.architecture, pcr_result.library, PhysicalDesignConfig(pitch=8.0)
+        )
+        assert small.architecture_dimensions[0] < large.architecture_dimensions[0]
+
+    def test_wall_time_recorded(self, pcr_result):
+        assert pcr_result.physical.wall_time_s >= 0.0
+
+
+class TestSvgExport:
+    def test_svg_contains_devices_and_channels(self, pcr_result, tmp_path):
+        layout = pcr_result.physical.compact_layout
+        svg = layout_to_svg(layout, tmp_path / "chip.svg")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert (tmp_path / "chip.svg").exists()
+        for device in layout.devices:
+            assert device.device_id in svg
+        assert svg.count("<polyline") == len(layout.channels)
+
+    def test_highlighting(self, pcr_result):
+        layout = pcr_result.physical.compact_layout
+        if not layout.channels:
+            pytest.skip("no channels to highlight")
+        highlighted = layout.channels[0].edge
+        svg = layout_to_svg(layout, highlight_edges=[highlighted])
+        assert "#1f6fd6" in svg

@@ -1,0 +1,54 @@
+"""Tests of the execution-time-only baseline and binding analysis."""
+
+import pytest
+
+from repro.devices.device import default_device_library
+from repro.scheduling.baseline import ExecutionTimeOnlyScheduler
+from repro.scheduling.binding import binding_summary, device_utilization, operations_per_device
+from repro.scheduling.list_scheduler import ListScheduler
+
+
+class TestExecutionTimeOnlyScheduler:
+    def test_unknown_engine_rejected(self, two_mixer_library):
+        with pytest.raises(ValueError):
+            ExecutionTimeOnlyScheduler(two_mixer_library, engine="quantum")
+
+    def test_list_engine_produces_valid_schedule(self, pcr_graph, two_mixer_library):
+        schedule = ExecutionTimeOnlyScheduler(two_mixer_library, engine="list").schedule(pcr_graph)
+        assert schedule.validate() == []
+
+    def test_ilp_engine_produces_valid_schedule(self, diamond_graph, two_mixer_library):
+        schedule = ExecutionTimeOnlyScheduler(
+            two_mixer_library, engine="ilp", time_limit_s=20
+        ).schedule(diamond_graph)
+        assert schedule.validate() == []
+
+    def test_baseline_not_slower_than_storage_aware(self, pcr_graph, two_mixer_library):
+        """Optimizing time only can never lengthen the schedule (list engine)."""
+        baseline = ExecutionTimeOnlyScheduler(two_mixer_library, engine="list").schedule(pcr_graph)
+        aware = ListScheduler(two_mixer_library).schedule(pcr_graph)
+        assert baseline.makespan <= aware.makespan + 2 * 10
+
+
+class TestBindingAnalysis:
+    def test_utilization_bounds(self, pcr_schedule):
+        usage = device_utilization(pcr_schedule)
+        assert set(usage) == {"mixer1", "mixer2"}
+        for entry in usage.values():
+            assert 0.0 <= entry.utilization <= 1.0
+            assert entry.busy_time + entry.idle_time == pcr_schedule.makespan
+
+    def test_operation_counts_sum_to_graph(self, pcr_schedule):
+        usage = device_utilization(pcr_schedule)
+        total_ops = sum(u.num_operations for u in usage.values())
+        assert total_ops == len(pcr_schedule.graph.device_operations())
+
+    def test_binding_summary_mentions_every_device(self, pcr_schedule):
+        lines = binding_summary(pcr_schedule)
+        assert len(lines) == 2
+        assert any("mixer1" in line for line in lines)
+
+    def test_operations_per_device_partition(self, pcr_schedule):
+        mapping = operations_per_device(pcr_schedule)
+        all_ops = [op for ops in mapping.values() for op in ops]
+        assert sorted(all_ops) == sorted(op.op_id for op in pcr_schedule.graph.device_operations())

@@ -20,9 +20,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="use the exact engines with paper-like time limits")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel workers for the assay syntheses (default 1; "
+                        "see examples/batch_evaluation.py for the full batch-engine flow)")
     args = parser.parse_args()
 
-    settings = ExperimentSettings(fast=not args.full)
+    settings = ExperimentSettings(fast=not args.full, max_workers=max(1, args.workers))
 
     print("=" * 72)
     print("Table 2: scheduling, architectural synthesis and physical design")
@@ -35,7 +38,8 @@ def main() -> None:
     print("=" * 72)
     print(format_fig8(run_fig8(settings)))
 
-    small = ExperimentSettings(fast=settings.fast, assays=["RA30", "IVD", "PCR"])
+    small = ExperimentSettings(fast=settings.fast, assays=["RA30", "IVD", "PCR"],
+                               max_workers=settings.max_workers)
     print()
     print("=" * 72)
     print("Fig. 9: execution-time-only vs. execution-time + storage objective")

@@ -37,9 +37,17 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.archsyn.architecture import ChipArchitecture, RoutedSubPath, RoutedTask
 from repro.archsyn.grid import ConnectionGrid, EdgeId, edge_id
 from repro.archsyn.router import SynthesisError
-from repro.ilp import Model, SolverOptions, lin_sum
+from repro.ilp import Model, SolverLimitError, SolverOptions, SolverStatus, lin_sum
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.transport import TransportTask, extract_transport_tasks
+
+
+class SynthesisLimitError(SynthesisError, SolverLimitError):
+    """ILP synthesis hit its time limit with no incumbent.
+
+    Both a :class:`SynthesisError` (existing fallback paths keep catching it)
+    and a :class:`SolverLimitError` (the batch engine never memoizes it).
+    """
 
 
 @dataclass
@@ -110,9 +118,10 @@ class IlpSynthesizer:
         self.last_objective = result.objective
         self.last_wall_time_s = result.wall_time_s
         if not result.status.is_feasible():
-            raise SynthesisError(
-                f"ILP synthesis of {schedule.graph.name!r} failed: {result.status.value}"
-            )
+            message = f"ILP synthesis of {schedule.graph.name!r} failed: {result.status.value}"
+            if result.status is SolverStatus.TIME_LIMIT:
+                raise SynthesisLimitError(message)
+            raise SynthesisError(message)
 
         placement = self._extract_placement(place, devices, grid)
         architecture = ChipArchitecture(grid, placement)

@@ -1,0 +1,39 @@
+"""Parallel batch-synthesis engine with content-addressed result caching.
+
+The paper's whole evaluation (Table 2, Figs. 8-11) is a *batch* of
+independent assay syntheses.  This package turns that observation into the
+repo's service-shaped core:
+
+* :class:`~repro.batch.jobs.BatchJob` — one ``(graph, config)`` synthesis
+  request, loadable from a JSON manifest (``repro batch manifest.json``);
+* :class:`~repro.batch.cache.ResultCache` — a content-addressed cache keyed
+  by a stable hash of the canonically-serialized graph plus the flow
+  configuration, with an in-memory LRU tier and an optional on-disk tier;
+* :class:`~repro.batch.engine.BatchSynthesisEngine` — fans jobs out over a
+  ``ProcessPoolExecutor`` (or runs them inline for ``max_workers=1``) with
+  deterministic result ordering, consulting the cache before dispatching;
+* :class:`~repro.batch.report.BatchReport` — per-job makespan / grid size /
+  wall-clock aggregation in the style of ``repro.synthesis.report``.
+
+The experiment drivers (``repro.experiments``) and the CLI both go through
+this engine, so a warm-cache re-run of the paper evaluation performs zero
+solver invocations.
+"""
+
+from repro.batch.cache import CacheStats, ResultCache, cache_key
+from repro.batch.engine import BatchSynthesisEngine
+from repro.batch.jobs import BatchJob, job_from_spec, load_manifest
+from repro.batch.report import BatchReport, JobOutcome, format_batch_report
+
+__all__ = [
+    "BatchJob",
+    "BatchReport",
+    "BatchSynthesisEngine",
+    "CacheStats",
+    "JobOutcome",
+    "ResultCache",
+    "cache_key",
+    "format_batch_report",
+    "job_from_spec",
+    "load_manifest",
+]

@@ -1,0 +1,198 @@
+"""Content-addressed result cache: in-memory LRU tier + optional disk tier.
+
+A synthesis job is fully determined by its sequencing graph and its
+:class:`~repro.synthesis.config.FlowConfig` (every engine in the flow is
+deterministic), so results are cached under a SHA-256 digest of the
+canonically-serialized pair.  Two graphs built in different node orders hash
+equal; changing any duration, edge, or config knob changes the key.
+
+The cache is two-tiered:
+
+* an in-memory LRU dictionary bounded by ``max_entries`` — the hot tier that
+  serves repeated experiment runs within one process;
+* an optional on-disk tier (``cache_dir``) holding pickled
+  :class:`~repro.synthesis.flow.SynthesisResult` objects, so warm re-runs of
+  a batch manifest survive process restarts.  Disk entries are promoted into
+  the memory tier on hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.graph.serialization import canonical_graph_dict
+from repro.synthesis.config import FlowConfig
+from repro.synthesis.flow import SynthesisResult
+
+#: Bump when the cached payload's semantics change (invalidates old entries).
+_KEY_VERSION = 1
+
+
+def cache_key(graph: SequencingGraph, config: FlowConfig) -> str:
+    """Stable hex digest identifying a ``(graph, config)`` synthesis job.
+
+    The graph is serialized in canonical (sorted) form so insertion order
+    does not matter; the config is serialized field-by-field with enums as
+    strings.  The graph *name* is deliberately excluded — renaming an assay
+    does not change what gets synthesized.
+    """
+    graph_payload = canonical_graph_dict(graph)
+    graph_payload.pop("name", None)
+    payload = {
+        "version": _KEY_VERSION,
+        "graph": graph_payload,
+        "config": config.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by tier."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Two-tier (memory LRU + optional disk) cache of synthesis results.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on the in-memory tier; least-recently-used entries are evicted
+        first.  ``None`` means unbounded.
+    cache_dir:
+        Directory for the persistent tier; ``None`` disables it.  Entries are
+        stored as ``<digest>.pkl`` files; sharding is unnecessary at the
+        evaluation's scale.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 128,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, SynthesisResult]" = OrderedDict()
+        # Failed jobs are memoized in memory only (never on disk): synthesis
+        # is deterministic, so re-running an identical failed job in the same
+        # process just burns a solver run to reproduce the same error.  The
+        # exception object itself is kept so callers can re-raise it with its
+        # original type and traceback.
+        self._failures: Dict[str, BaseException] = {}
+
+    # ------------------------------------------------------------------- api
+    def get(self, key: str) -> Optional[SynthesisResult]:
+        """Look ``key`` up in both tiers; ``None`` on a miss."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        result = self._load_from_disk(key)
+        if result is not None:
+            self.stats.disk_hits += 1
+            self._store_memory(key, result)
+            return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: SynthesisResult) -> None:
+        """Insert into the memory tier and (if configured) the disk tier."""
+        self.stats.stores += 1
+        self._store_memory(key, result)
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            # Unique temp name per writer: several processes may share a
+            # cache_dir and solve the same miss concurrently; each must
+            # publish atomically without trampling the other's staging file.
+            tmp = path.with_name(f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+            try:
+                tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+                tmp.replace(path)  # atomic so readers never see partial files
+            except OSError:
+                # The disk tier is an optimization: a full disk or revoked
+                # permissions must not abort a batch whose solve already
+                # succeeded (reads treat bad entries as misses, symmetrically).
+                tmp.unlink(missing_ok=True)
+
+    def put_failure(self, key: str, error: BaseException) -> None:
+        """Memoize a failed job's exception (memory tier only)."""
+        self._failures[key] = error
+
+    def get_failure(self, key: str) -> Optional[BaseException]:
+        """The memoized exception for ``key``, or ``None``."""
+        return self._failures.get(key)
+
+    def contains(self, key: str) -> bool:
+        """Membership test that does not touch the stats or LRU order."""
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._disk_path(key).exists()
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        self._memory.clear()
+        self._failures.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -------------------------------------------------------------- internals
+    def _store_memory(self, key: str, result: SynthesisResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _load_from_disk(self, key: str) -> Optional[SynthesisResult]:
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:  # noqa: BLE001 - a corrupt entry is just a miss
+            path.unlink(missing_ok=True)
+            return None

@@ -1,0 +1,336 @@
+"""The batch-synthesis engine: fan out, cache, aggregate.
+
+The engine takes a list of :class:`~repro.batch.jobs.BatchJob` and produces a
+:class:`~repro.batch.report.BatchReport` whose outcomes are in job order, no
+matter how many workers ran them.  Jobs are first resolved against the
+:class:`~repro.batch.cache.ResultCache`; only cache misses are dispatched.
+With ``max_workers > 1`` misses run in a ``ProcessPoolExecutor`` — each
+worker receives the *serialized* graph and config (plain dicts, cheap to
+pickle) and sends back the pickled :class:`SynthesisResult`.  With one
+worker everything runs inline, which keeps tracebacks simple and lets tests
+monkeypatch :func:`repro.synthesis.flow.synthesize` to count solver runs.
+
+Failures are captured per job (``JobOutcome.error``) rather than aborting
+the batch — one infeasible assay must not take down a many-user batch — and
+never poison the cache.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.batch.cache import CacheStats, ResultCache, cache_key
+from repro.batch.jobs import BatchJob
+from repro.batch.report import BatchReport, JobOutcome
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.ilp import SolverLimitError
+from repro.synthesis import flow
+from repro.synthesis.config import FlowConfig
+from repro.synthesis.flow import SynthesisResult
+
+
+def _execute_serialized(
+    payload: Tuple[Dict[str, Any], Dict[str, Any]]
+) -> Tuple[bool, Any, float]:
+    """Worker-side job execution (module-level so it pickles on spawn too).
+
+    The graph is shipped in insertion-order form (:func:`graph_to_dict`) —
+    the cheapest faithful serialization.  Synthesis output is
+    insertion-order invariant (the schedulers order operations by graph
+    structure, and the content-addressed cache key relies on exactly that),
+    so parallel results match serial ones regardless of the form shipped.
+    Returns ``(ok, result_or_error, elapsed)`` with the
+    worker-measured synthesis time, so per-job timings — for failures just as
+    for successes — are not distorted by pool queueing.  Failures come back
+    as a detached exception (formatted traceback attached as a string) rather
+    than raising, so they pickle cleanly and carry their timing along.
+    """
+    graph_data, config_data = payload
+    graph = graph_from_dict(graph_data)
+    config = FlowConfig.from_dict(config_data)
+    start = time.perf_counter()
+    try:
+        result = flow.synthesize(graph, config)
+    except Exception as exc:  # noqa: BLE001 - shipped back, captured per job
+        return False, _detached_failure(exc), time.perf_counter() - start
+    return True, result, time.perf_counter() - start
+
+
+def _error_message(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _detached_failure(exc: BaseException) -> BaseException:
+    """A traceback-free copy of ``exc``, safe to memoize and re-raise.
+
+    Storing (or re-raising) the live exception object would pin the failed
+    solver run's whole frame stack in the cache and grow the shared object's
+    traceback on every re-raise.  The copy keeps the original type when the
+    exception reconstructs faithfully from its ``args``; otherwise it falls
+    back to a ``RuntimeError`` carrying the formatted message.  The original
+    failure's *formatted* traceback travels along as a string — attached as
+    an exception note (3.11+) so it prints with the re-raise — preserving
+    debuggability without keeping any frame alive.
+    """
+    try:
+        clone = type(exc)(*exc.args)
+        if str(clone) != str(exc):
+            raise ValueError("lossy reconstruction")
+    except Exception:  # noqa: BLE001 - any exotic signature falls back
+        clone = RuntimeError(_error_message(exc))
+    tb_text = getattr(exc, "_original_traceback", None)
+    if tb_text is None and exc.__traceback__ is not None:
+        tb_text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    if tb_text:
+        clone._original_traceback = tb_text
+        if hasattr(clone, "add_note"):  # Python >= 3.11
+            clone.add_note("original failure traceback:\n" + tb_text.rstrip())
+    return clone
+
+
+class BatchSynthesisEngine:
+    """Run many independent synthesis jobs with caching and parallelism.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count for cache-miss execution.  ``1`` (the default) runs
+        inline; higher values fan out over a process pool.
+    cache:
+        Shared :class:`ResultCache`; a private in-memory cache is created
+        when omitted.  Passing an explicit cache lets several engines (or
+        repeated CLI invocations via a disk tier) share results.
+    fail_fast:
+        When true, the first job failure raises instead of being recorded in
+        the report.
+    memoize_failures:
+        When true (the default), a failed job's exception is memoized in the
+        cache's memory tier and replayed for identical jobs instead of
+        re-running the solver.  Only deterministic failures are memoized:
+        limit-induced solver failures (:class:`SolverLimitError`) and worker
+        crashes are load-dependent, so those always re-run.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        fail_fast: bool = False,
+        memoize_failures: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.cache = cache if cache is not None else ResultCache()
+        self.fail_fast = fail_fast
+        self.memoize_failures = memoize_failures
+
+    def _record_failure(self, key: str, exc: BaseException) -> None:
+        # A SolverLimitError depends on machine load, not on the job's
+        # content — an identical re-run may succeed, so it is never memoized.
+        if self.memoize_failures and not isinstance(exc, SolverLimitError):
+            self.cache.put_failure(key, _detached_failure(exc))
+
+    # ------------------------------------------------------------------- api
+    def run(self, jobs: Sequence[BatchJob]) -> BatchReport:
+        """Execute ``jobs`` and return their outcomes in submission order."""
+        start = time.perf_counter()
+        stats_before = replace(self.cache.stats)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        # Tier 1: resolve every job against the cache first, so a warm batch
+        # never spins up the pool at all.  Jobs with identical content keys
+        # are solved once; the duplicates are aliases of the first.
+        pending: List[Tuple[int, BatchJob, str]] = []
+        aliases: Dict[str, List[Tuple[int, BatchJob]]] = {}
+        for index, job in enumerate(jobs):
+            key = cache_key(job.graph, job.config)
+            if key in aliases:
+                # Intra-batch duplicate of a job already dispatched: it never
+                # performs its own cache lookup, so the stats are not charged
+                # a second miss for work this batch does exactly once.
+                aliases[key].append((index, job))
+                continue
+            # The failure memo is consulted before the result tiers so a
+            # memoized failure is not also charged as a result-cache miss.
+            known_failure = self.cache.get_failure(key)
+            if known_failure is not None:
+                if self.fail_fast:
+                    raise _detached_failure(known_failure)
+                outcomes[index] = JobOutcome(
+                    job_id=job.job_id,
+                    cache_key=key,
+                    error=_error_message(known_failure),
+                    cache_hit=True,
+                    graph_name=job.graph.name,
+                )
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                outcomes[index] = JobOutcome(
+                    job_id=job.job_id,
+                    cache_key=key,
+                    result=cached,
+                    cache_hit=True,
+                    graph_name=job.graph.name,
+                )
+            else:
+                aliases[key] = []
+                pending.append((index, job, key))
+
+        if pending:
+            if self.max_workers > 1 and len(pending) > 1:
+                executed = self._run_pool(pending)
+            else:
+                executed = self._run_inline(pending)
+            for index, outcome in executed:
+                outcomes[index] = outcome
+                for alias_index, alias_job in aliases.get(outcome.cache_key, []):
+                    # An alias never executed anything itself — it shares the
+                    # first occurrence's outcome (result or failure alike).
+                    outcomes[alias_index] = JobOutcome(
+                        job_id=alias_job.job_id,
+                        cache_key=outcome.cache_key,
+                        result=outcome.result,
+                        error=outcome.error,
+                        cache_hit=True,
+                        graph_name=alias_job.graph.name,
+                    )
+
+        # Snapshot the cache counters as a per-batch delta: the cache may be
+        # shared across many batches, and a report must describe its own.
+        after = self.cache.stats
+        batch_stats = CacheStats(
+            memory_hits=after.memory_hits - stats_before.memory_hits,
+            disk_hits=after.disk_hits - stats_before.disk_hits,
+            misses=after.misses - stats_before.misses,
+            stores=after.stores - stats_before.stores,
+            evictions=after.evictions - stats_before.evictions,
+        )
+        return BatchReport(
+            outcomes=[o for o in outcomes if o is not None],
+            wall_time_s=time.perf_counter() - start,
+            max_workers=self.max_workers,
+            cache_stats=batch_stats,
+        )
+
+    def run_one(self, job: BatchJob) -> SynthesisResult:
+        """Convenience wrapper: run a single job and return its result.
+
+        Raises the underlying synthesis error on failure (the single-job
+        caller wants the traceback, not a report row).
+        """
+        key = cache_key(job.graph, job.config)
+        # Failure memo first, mirroring run(): a replayed failure must not be
+        # charged as a result-cache miss.
+        known_failure = self.cache.get_failure(key)
+        if known_failure is not None:
+            # Synthesis is deterministic: re-running an identical failed job
+            # would reproduce the same error at full solver cost.  A fresh
+            # detached copy is raised so repeated raises cannot pile
+            # tracebacks onto one shared object.
+            raise _detached_failure(known_failure)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            result = flow.synthesize(job.graph, job.config)
+        except Exception as exc:
+            self._record_failure(key, exc)
+            raise
+        self.cache.put(key, result)
+        return result
+
+    # -------------------------------------------------------------- internals
+    def _run_inline(
+        self, pending: List[Tuple[int, BatchJob, str]]
+    ) -> List[Tuple[int, JobOutcome]]:
+        executed: List[Tuple[int, JobOutcome]] = []
+        for index, job, key in pending:
+            job_start = time.perf_counter()
+            try:
+                result = flow.synthesize(job.graph, job.config)
+            except Exception as exc:  # noqa: BLE001 - captured per job
+                # Memoize even on the fail-fast path: the failure is just as
+                # deterministic, and a later run sharing this cache must not
+                # pay a full solver run to reproduce it.
+                self._record_failure(key, exc)
+                if self.fail_fast:
+                    raise
+                outcome = JobOutcome(
+                    job_id=job.job_id,
+                    cache_key=key,
+                    error=_error_message(exc),
+                    wall_time_s=time.perf_counter() - job_start,
+                    graph_name=job.graph.name,
+                )
+            else:
+                self.cache.put(key, result)
+                outcome = JobOutcome(
+                    job_id=job.job_id,
+                    cache_key=key,
+                    result=result,
+                    wall_time_s=time.perf_counter() - job_start,
+                    graph_name=job.graph.name,
+                )
+            executed.append((index, outcome))
+        return executed
+
+    def _run_pool(
+        self, pending: List[Tuple[int, BatchJob, str]]
+    ) -> List[Tuple[int, JobOutcome]]:
+        executed: List[Tuple[int, JobOutcome]] = []
+        workers = min(self.max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_info = {}
+            for index, job, key in pending:
+                payload = (graph_to_dict(job.graph), job.config.to_dict())
+                future = pool.submit(_execute_serialized, payload)
+                future_info[future] = (index, job, key, time.perf_counter())
+            # Collect as futures complete; the caller re-orders outcomes by
+            # index, so determinism of the report does not depend on this.
+            for future in as_completed(future_info):
+                index, job, key, submit_time = future_info[future]
+                crashed = False
+                try:
+                    ok, value, elapsed = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker/pickling crash
+                    # A job-level failure comes back tagged; reaching here
+                    # means the worker itself died (OOM-kill, broken pool),
+                    # so only queue-side timing exists.
+                    ok = False
+                    crashed = True
+                    value = exc
+                    elapsed = time.perf_counter() - submit_time
+                if not ok:
+                    # Infrastructure crashes are not properties of the
+                    # (graph, config) key — never memoize them.
+                    if not crashed:
+                        self._record_failure(key, value)
+                    if self.fail_fast:
+                        # Abort for real: drop queued jobs so the pool's
+                        # __exit__ does not sit out every remaining solve.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise _detached_failure(value)
+                    outcome = JobOutcome(
+                        job_id=job.job_id,
+                        cache_key=key,
+                        error=_error_message(value),
+                        wall_time_s=elapsed,
+                        graph_name=job.graph.name,
+                    )
+                else:
+                    self.cache.put(key, value)
+                    outcome = JobOutcome(
+                        job_id=job.job_id,
+                        cache_key=key,
+                        result=value,
+                        wall_time_s=elapsed,
+                        graph_name=job.graph.name,
+                    )
+                executed.append((index, outcome))
+        return executed

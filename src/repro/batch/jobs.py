@@ -1,0 +1,143 @@
+"""Batch job descriptions and JSON manifest loading.
+
+A manifest describes a batch of synthesis jobs::
+
+    {
+      "defaults": {"transport_time": 10},
+      "jobs": [
+        {"assay": "PCR"},
+        {"assay": "IVD", "config": {"num_detectors": 2}},
+        {"protocol": "my_assay.json", "id": "custom", "config": {"num_mixers": 3}}
+      ]
+    }
+
+Each job names either a built-in paper assay (``"assay"``) or a
+sequencing-graph JSON file (``"protocol"``, resolved relative to the
+manifest).  ``defaults`` and the per-job ``config`` are
+:meth:`~repro.synthesis.config.FlowConfig.from_dict` payloads; per-job keys
+override the defaults.  Jobs naming a paper assay start from
+:meth:`FlowConfig.paper_defaults_for` so a bare ``{"assay": "RA100"}`` gets
+the paper's per-assay device counts and grid size.  A top-level JSON list is
+accepted as shorthand for ``{"jobs": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.graph.library import PAPER_ASSAYS, assay_by_name
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.graph.serialization import load_graph
+from repro.synthesis.config import FlowConfig
+
+
+@dataclass
+class BatchJob:
+    """One synthesis request: a sequencing graph plus its flow configuration."""
+
+    job_id: str
+    graph: SequencingGraph
+    config: FlowConfig
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+
+
+def job_from_spec(
+    spec: Dict[str, Any],
+    defaults: Optional[Dict[str, Any]] = None,
+    base_dir: Optional[Path] = None,
+    index: int = 0,
+) -> BatchJob:
+    """Build one :class:`BatchJob` from a manifest entry.
+
+    Raises
+    ------
+    ValueError
+        If the entry names neither/both of ``assay`` and ``protocol``, names
+        an unknown assay, or carries invalid config keys.
+    """
+    unknown = set(spec) - {"assay", "protocol", "id", "config"}
+    if unknown:
+        raise ValueError(f"job {index}: unknown keys {sorted(unknown)}")
+    assay = spec.get("assay")
+    protocol = spec.get("protocol")
+    if bool(assay) == bool(protocol):
+        raise ValueError(
+            f"job {index}: exactly one of 'assay' or 'protocol' is required, got {spec!r}"
+        )
+
+    if assay:
+        if assay not in PAPER_ASSAYS:
+            raise ValueError(
+                f"job {index}: unknown assay {assay!r} (choose from {sorted(PAPER_ASSAYS)})"
+            )
+        graph = assay_by_name(assay)
+        base_config = FlowConfig.paper_defaults_for(assay).to_dict()
+        default_id = assay
+    else:
+        path = Path(protocol)
+        if base_dir is not None and not path.is_absolute():
+            path = base_dir / path
+        if not path.exists():
+            raise ValueError(f"job {index}: protocol file {path} does not exist")
+        graph = load_graph(path)
+        base_config = FlowConfig().to_dict()
+        default_id = graph.name or path.stem
+
+    overrides = dict(defaults or {})
+    overrides.update(spec.get("config") or {})
+    base_config.update(overrides)
+    try:
+        config = FlowConfig.from_dict(base_config)
+    except (TypeError, ValueError) as exc:
+        # from_dict validates keys, enum values, value types and field
+        # constraints; add the job's position so manifest errors are
+        # addressable.  TypeError is kept as a belt-and-braces net for any
+        # constraint __post_init__ evaluates on an exotic value.
+        raise ValueError(f"job {index}: {exc}") from exc
+    return BatchJob(job_id=str(spec.get("id", default_id)), graph=graph, config=config)
+
+
+def load_manifest(path: Union[str, Path]) -> List[BatchJob]:
+    """Load a batch manifest file into a list of jobs (manifest order).
+
+    Duplicate job ids are rejected so per-job results stay addressable in
+    reports and JSON output.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if isinstance(payload, list):
+        payload = {"jobs": payload}
+    if not isinstance(payload, dict) or not isinstance(payload.get("jobs"), list):
+        raise ValueError(f"manifest {path} must be a JSON list or an object with a 'jobs' list")
+    unknown = set(payload) - {"defaults", "jobs"}
+    if unknown:
+        # A typo like "default" would otherwise silently drop every default.
+        raise ValueError(f"manifest {path}: unknown top-level keys {sorted(unknown)}")
+    defaults = payload.get("defaults") or {}
+    if not isinstance(defaults, dict):
+        raise ValueError(f"manifest {path}: 'defaults' must be an object")
+
+    jobs: List[BatchJob] = []
+    used_ids: set = set()
+    for index, spec in enumerate(payload["jobs"]):
+        if not isinstance(spec, dict):
+            raise ValueError(f"manifest {path}: job {index} must be an object")
+        job = job_from_spec(spec, defaults=defaults, base_dir=path.parent, index=index)
+        if job.job_id in used_ids:
+            if "id" in spec:
+                raise ValueError(f"manifest {path}: duplicate job id {job.job_id!r}")
+            # Keep auto-derived ids unique when one assay appears twice; the
+            # suffix must also dodge explicit ids like "PCR#1".
+            suffix = 1
+            while f"{job.job_id}#{suffix}" in used_ids:
+                suffix += 1
+            job.job_id = f"{job.job_id}#{suffix}"
+        used_ids.add(job.job_id)
+        jobs.append(job)
+    return jobs

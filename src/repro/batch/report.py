@@ -1,0 +1,156 @@
+"""Aggregated reporting for batch runs (Table-2-style rows + batch totals)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.batch.cache import CacheStats
+from repro.synthesis.flow import SynthesisResult
+from repro.synthesis.metrics import FlowMetrics, collect_metrics
+from repro.synthesis.report import format_table2_row, table2_header
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a batch.
+
+    Exactly one of ``result`` / ``error`` is set.  ``cache_hit`` records
+    whether the result came out of the :class:`~repro.batch.cache.ResultCache`
+    instead of a solver run; ``wall_time_s`` is the per-job time as seen by
+    the engine (near zero for cache hits).
+    """
+
+    job_id: str
+    cache_key: str
+    result: Optional[SynthesisResult] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+    wall_time_s: float = 0.0
+    #: The submitted job's own graph name.  The cache key deliberately
+    #: ignores names, so a content-aliased job may share a result whose
+    #: ``graph.name`` belongs to another job; metrics are relabeled with
+    #: this so every report row shows its own assay.
+    graph_name: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def metrics(self) -> FlowMetrics:
+        if self.result is None:
+            raise ValueError(f"job {self.job_id!r} failed: {self.error}")
+        metrics = collect_metrics(self.result)
+        if self.graph_name is not None and metrics.assay != self.graph_name:
+            metrics = replace(metrics, assay=self.graph_name)
+        return metrics
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :meth:`BatchSynthesisEngine.run` call.
+
+    Outcomes appear in job submission order regardless of worker count, so a
+    parallel run is directly comparable to a serial one.  ``cache_stats`` is
+    the per-batch delta of the cache's counters (a shared cache serves many
+    batches; each report describes only its own lookups).
+    """
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    max_workers: int = 1
+    cache_stats: Optional[CacheStats] = None
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def outcome(self, job_id: str) -> JobOutcome:
+        for outcome in self.outcomes:
+            if outcome.job_id == job_id:
+                return outcome
+        raise KeyError(f"no job {job_id!r} in this batch")
+
+    def results(self) -> List[SynthesisResult]:
+        """Successful results in job order (failed jobs are skipped)."""
+        return [o.result for o in self.outcomes if o.result is not None]
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def num_cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def num_executed(self) -> int:
+        """Jobs that actually ran the synthesis flow (cache misses that succeeded or failed)."""
+        return sum(1 for o in self.outcomes if not o.cache_hit)
+
+    @property
+    def total_makespan(self) -> int:
+        return sum(o.result.schedule.makespan for o in self.outcomes if o.result is not None)
+
+    # ----------------------------------------------------------- formatting
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "jobs": len(self.outcomes),
+            "failed": self.num_failed,
+            "cache_hits": self.num_cache_hits,
+            "executed": self.num_executed,
+            "total_makespan": self.total_makespan,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "max_workers": self.max_workers,
+        }
+
+    def deterministic_summary(self) -> str:
+        """Run-invariant text form: everything except wall-clock timings.
+
+        Two runs of the same job list — serial or parallel, cold or warm
+        cache — must produce byte-identical output here; the regression
+        tests rely on that.
+        """
+        lines = []
+        for outcome in self.outcomes:
+            if outcome.result is None:
+                lines.append(f"{outcome.job_id}: FAILED {outcome.error}")
+                continue
+            m = outcome.metrics()
+            lines.append(
+                f"{outcome.job_id}: tE={m.execution_time} G={m.grid_shape[0]}x{m.grid_shape[1]} "
+                f"ne={m.num_edges} nv={m.num_valves} "
+                f"dp={m.dim_compact[0]}x{m.dim_compact[1]} "
+                f"transports={m.num_transport_tasks} key={outcome.cache_key[:12]}"
+            )
+        return "\n".join(lines)
+
+
+def format_batch_report(report: BatchReport) -> str:
+    """Human-readable batch report: Table 2 rows plus batch totals."""
+    lines: List[str] = []
+    lines.append("job".ljust(12) + " " + table2_header() + " " + "cache".ljust(6))
+    for outcome in report.outcomes:
+        if outcome.result is None:
+            lines.append(f"{outcome.job_id:<12} FAILED: {outcome.error}")
+            continue
+        row = format_table2_row(outcome.metrics())
+        tag = "hit" if outcome.cache_hit else "miss"
+        lines.append(f"{outcome.job_id:<12} {row} {tag:<6}")
+    stats = report.cache_stats
+    cache_line = ""
+    if stats is not None:
+        cache_line = (
+            f", cache {stats.hits}/{stats.lookups} hits"
+            f" ({stats.memory_hits} memory, {stats.disk_hits} disk)"
+        )
+    lines.append(
+        f"batch: {len(report.outcomes)} jobs ({report.num_failed} failed), "
+        f"{report.num_cache_hits} served from cache, "
+        f"{report.wall_time_s:.2f} s wall clock on {report.max_workers} worker(s)"
+        + cache_line
+    )
+    return "\n".join(lines)

@@ -13,11 +13,20 @@ or a custom protocol stored as JSON (see ``repro.graph.serialization``)::
 
 The command prints the synthesis report (schedule, architecture, layout
 metrics) and optionally writes the compact layout as an SVG drawing.
+
+Batch mode runs many jobs from a JSON manifest through the parallel
+batch-synthesis engine (see ``repro.batch.jobs`` for the manifest format)::
+
+    python -m repro batch manifest.json --workers 4 --cache-dir .repro-cache
+
+With a ``--cache-dir`` the results persist on disk, so re-running the same
+manifest completes without a single solver invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -33,6 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Synthesize a flow-based microfluidic biochip with distributed channel storage.",
+        epilog="Batch mode: 'repro batch MANIFEST.json [--workers N] [--cache-dir DIR]' runs "
+        "many jobs from a JSON manifest through the parallel batch engine "
+        "(see 'repro batch --help').",
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -83,8 +95,81 @@ def _config_from_args(args: argparse.Namespace) -> FlowConfig:
     )
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Run a batch of synthesis jobs from a JSON manifest "
+        "through the parallel batch-synthesis engine.",
+    )
+    parser.add_argument("manifest", type=Path, help="path to the JSON job manifest")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process count for cache-miss execution (default 1 = serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the persistent result-cache tier (default: memory only)")
+    parser.add_argument("--json", dest="json_out", type=Path, default=None,
+                        help="also write per-job metrics and batch totals to this JSON file")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort the batch on the first job failure")
+    return parser
+
+
+def run_batch(argv: List[str]) -> int:
+    """The ``repro batch`` subcommand; returns a process exit code."""
+    from repro.batch import BatchSynthesisEngine, ResultCache, format_batch_report, load_manifest
+
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+
+    if not args.manifest.exists():
+        parser.error(f"manifest file {args.manifest} does not exist")
+    try:
+        jobs = load_manifest(args.manifest)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"invalid manifest: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("manifest contains no jobs", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(cache_dir=args.cache_dir)
+    engine = BatchSynthesisEngine(
+        max_workers=max(1, args.workers), cache=cache, fail_fast=args.fail_fast
+    )
+    try:
+        report = engine.run(jobs)
+    except Exception as exc:  # noqa: BLE001 - fail-fast surfaces the first job error
+        print(f"batch failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(format_batch_report(report))
+
+    if args.json_out is not None:
+        payload = {
+            "summary": report.summary(),
+            "jobs": [
+                {
+                    "id": outcome.job_id,
+                    "cache_key": outcome.cache_key,
+                    "cache_hit": outcome.cache_hit,
+                    "wall_time_s": round(outcome.wall_time_s, 3),
+                    "error": outcome.error,
+                    "metrics": outcome.metrics().as_dict() if outcome.ok else None,
+                }
+                for outcome in report
+            ],
+        }
+        args.json_out.write_text(json.dumps(payload, indent=2))
+        print(f"\nbatch metrics written to {args.json_out}")
+
+    return 0 if report.num_failed == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return run_batch(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

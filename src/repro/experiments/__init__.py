@@ -7,7 +7,13 @@ heuristic engines and reduced ILP time limits) so the whole evaluation runs
 in minutes on a laptop; pass ``fast=False`` for the full-fidelity setup.
 """
 
-from repro.experiments.common import ExperimentSettings, assay_result, assay_names
+from repro.experiments.common import (
+    ExperimentSettings,
+    assay_names,
+    assay_result,
+    prefetch_assay_results,
+    result_cache,
+)
 from repro.experiments.table2 import Table2Row, run_table2
 from repro.experiments.fig8 import Fig8Point, run_fig8
 from repro.experiments.fig9 import Fig9Row, run_fig9
@@ -19,6 +25,8 @@ __all__ = [
     "ExperimentSettings",
     "assay_result",
     "assay_names",
+    "prefetch_assay_results",
+    "result_cache",
     "Table2Row",
     "run_table2",
     "Fig8Point",

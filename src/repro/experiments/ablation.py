@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentSettings
+from repro.batch.engine import BatchSynthesisEngine
+from repro.batch.jobs import BatchJob
+from repro.experiments.common import ExperimentSettings, result_cache
 from repro.graph.library import assay_by_name
 from repro.scheduling.transport import cross_device_gap_sum, total_storage_time
-from repro.synthesis.config import FlowConfig, SchedulerEngine
-from repro.synthesis.flow import synthesize
+from repro.synthesis.config import SchedulerEngine
+from repro.synthesis.flow import SynthesisResult
 from repro.synthesis.metrics import collect_metrics
 
 
@@ -34,38 +36,46 @@ class AblationRow:
     cross_device_gap: int
 
 
+def _ablation_row(label: str, result: SynthesisResult) -> AblationRow:
+    metrics = collect_metrics(result)
+    dims = metrics.dim_compact
+    return AblationRow(
+        label=label,
+        execution_time=metrics.execution_time,
+        num_edges=metrics.num_edges,
+        num_valves=metrics.num_valves,
+        compact_area=dims[0] * dims[1],
+        total_storage_time=total_storage_time(result.schedule),
+        cross_device_gap=cross_device_gap_sum(result.schedule),
+    )
+
+
 def run_grid_ablation(
     assay: str = "RA30",
     grid_sizes: Sequence[Tuple[int, int]] = ((3, 3), (4, 4), (5, 5), (6, 6)),
     settings: Optional[ExperimentSettings] = None,
 ) -> List[AblationRow]:
-    """Sweep the connection-grid size for one assay."""
+    """Sweep the connection-grid size for one assay.
+
+    The sweep points run as one batch through the engine; a grid too small
+    for the assay simply fails its job and is dropped from the rows.
+    """
     settings = settings or ExperimentSettings()
-    rows: List[AblationRow] = []
     graph = assay_by_name(assay)
+    jobs: List[BatchJob] = []
     for rows_count, cols_count in grid_sizes:
         config = settings.flow_config(assay)
         config.grid_rows = rows_count
         config.grid_cols = cols_count
         config.auto_expand_grid = False
-        try:
-            result = synthesize(graph, config)
-        except Exception:  # noqa: BLE001 - a too-small grid is a legitimate outcome
-            continue
-        metrics = collect_metrics(result)
-        dims = metrics.dim_compact
-        rows.append(
-            AblationRow(
-                label=f"{rows_count}x{cols_count}",
-                execution_time=metrics.execution_time,
-                num_edges=metrics.num_edges,
-                num_valves=metrics.num_valves,
-                compact_area=dims[0] * dims[1],
-                total_storage_time=total_storage_time(result.schedule),
-                cross_device_gap=cross_device_gap_sum(result.schedule),
-            )
-        )
-    return rows
+        jobs.append(BatchJob(job_id=f"{rows_count}x{cols_count}", graph=graph, config=config))
+    engine = BatchSynthesisEngine(max_workers=settings.max_workers, cache=result_cache())
+    report = engine.run(jobs)
+    return [
+        _ablation_row(outcome.job_id, outcome.result)
+        for outcome in report
+        if outcome.result is not None  # a too-small grid is a legitimate outcome
+    ]
 
 
 def run_weight_ablation(
@@ -79,25 +89,16 @@ def run_weight_ablation(
     result (the heuristic only has an on/off storage-awareness switch).
     """
     settings = settings or ExperimentSettings()
-    rows: List[AblationRow] = []
     graph = assay_by_name(assay)
+    jobs: List[BatchJob] = []
     for beta in betas:
         config = settings.flow_config(assay)
         config.scheduler = SchedulerEngine.ILP
         config.beta = beta
         config.storage_aware = beta > 0
-        result = synthesize(graph, config)
-        metrics = collect_metrics(result)
-        dims = metrics.dim_compact
-        rows.append(
-            AblationRow(
-                label=f"beta={beta:g}",
-                execution_time=metrics.execution_time,
-                num_edges=metrics.num_edges,
-                num_valves=metrics.num_valves,
-                compact_area=dims[0] * dims[1],
-                total_storage_time=total_storage_time(result.schedule),
-                cross_device_gap=cross_device_gap_sum(result.schedule),
-            )
-        )
-    return rows
+        jobs.append(BatchJob(job_id=f"beta={beta:g}", graph=graph, config=config))
+    engine = BatchSynthesisEngine(
+        max_workers=settings.max_workers, cache=result_cache(), fail_fast=True
+    )
+    report = engine.run(jobs)
+    return [_ablation_row(outcome.job_id, outcome.result) for outcome in report]

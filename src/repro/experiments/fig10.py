@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.common import ExperimentSettings, assay_names, assay_result
+from repro.experiments.common import (
+    ExperimentSettings,
+    assay_names,
+    assay_result,
+    prefetch_assay_results,
+)
 from repro.storagebaseline.comparison import StorageComparison, compare_with_dedicated_storage
 
 
@@ -29,8 +34,10 @@ class Fig10Row:
 def run_fig10(settings: Optional[ExperimentSettings] = None) -> List[Fig10Row]:
     """Regenerate the Fig. 10 ratios for all six assays."""
     settings = settings or ExperimentSettings()
+    names = assay_names(settings)
+    prefetch_assay_results(names, settings)
     rows: List[Fig10Row] = []
-    for name in assay_names(settings):
+    for name in names:
         result = assay_result(name, settings)
         comparison: StorageComparison = compare_with_dedicated_storage(
             result.schedule, result.architecture

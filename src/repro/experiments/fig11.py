@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import ExperimentSettings, assay_result
+from repro.experiments.common import ExperimentSettings, assay_result, prefetch_assay_results
 from repro.simulation.simulator import ChipSimulator
 from repro.simulation.snapshot import Snapshot, render_snapshot_ascii
 
@@ -35,6 +35,7 @@ def run_fig11(
     a transport happens while a sample is cached elsewhere (Fig. 11(b)).
     """
     settings = settings or ExperimentSettings()
+    prefetch_assay_results([assay], settings)
     result = assay_result(assay, settings)
     simulator = ChipSimulator(result.schedule, result.architecture)
     simulation = simulator.run()

@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.common import ExperimentSettings, assay_names, assay_result
+from repro.experiments.common import (
+    ExperimentSettings,
+    assay_names,
+    assay_result,
+    prefetch_assay_results,
+)
 
 
 #: Approximate ratios read off the paper's Fig. 8 bar chart (for
@@ -40,8 +45,10 @@ class Fig8Point:
 def run_fig8(settings: Optional[ExperimentSettings] = None) -> List[Fig8Point]:
     """Regenerate the Fig. 8 series for all six assays."""
     settings = settings or ExperimentSettings()
+    names = assay_names(settings)
+    prefetch_assay_results(names, settings)
     points: List[Fig8Point] = []
-    for name in assay_names(settings):
+    for name in names:
         result = assay_result(name, settings)
         architecture = result.architecture
         points.append(

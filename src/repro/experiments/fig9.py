@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.common import ExperimentSettings, assay_names, assay_result
+from repro.experiments.common import (
+    ExperimentSettings,
+    assay_names,
+    assay_result,
+    prefetch_assay_results,
+)
 from repro.synthesis.metrics import collect_metrics
 
 
@@ -53,8 +58,10 @@ class Fig9Row:
 def run_fig9(settings: Optional[ExperimentSettings] = None) -> List[Fig9Row]:
     """Regenerate the Fig. 9 comparison (RA30, IVD, PCR by default)."""
     settings = settings or ExperimentSettings()
+    names = assay_names(settings, small=True)
+    prefetch_assay_results(names, settings, storage_aware_variants=(True, False))
     rows: List[Fig9Row] = []
-    for name in assay_names(settings, small=True):
+    for name in names:
         with_storage = collect_metrics(assay_result(name, settings, storage_aware=True))
         time_only = collect_metrics(assay_result(name, settings, storage_aware=False))
         rows.append(

@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.common import ExperimentSettings, assay_names, assay_result
+from repro.experiments.common import (
+    ExperimentSettings,
+    assay_names,
+    assay_result,
+    prefetch_assay_results,
+)
 from repro.synthesis.metrics import FlowMetrics, collect_metrics
 from repro.synthesis.report import format_table2_row, table2_header
 
@@ -45,8 +50,10 @@ class Table2Row:
 def run_table2(settings: Optional[ExperimentSettings] = None) -> List[Table2Row]:
     """Regenerate Table 2 for all six assays (paper order)."""
     settings = settings or ExperimentSettings()
+    names = assay_names(settings)
+    prefetch_assay_results(names, settings)
     rows: List[Table2Row] = []
-    for name in assay_names(settings):
+    for name in names:
         result = assay_result(name, settings)
         metrics = collect_metrics(result)
         rows.append(Table2Row(metrics=metrics, paper=PAPER_TABLE2.get(name, {})))

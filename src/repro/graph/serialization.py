@@ -34,6 +34,22 @@ def graph_to_dict(graph: SequencingGraph) -> Dict[str, Any]:
     }
 
 
+def canonical_graph_dict(graph: SequencingGraph) -> Dict[str, Any]:
+    """Serialize a graph to a node-order-independent dictionary.
+
+    :func:`graph_to_dict` preserves insertion order, which is what a human
+    editing the JSON expects but makes the payload unsuitable as a cache key:
+    two graphs built by adding the same operations in different orders would
+    serialize differently.  This variant sorts operations by id and edges by
+    ``(parent, child)`` so structurally equal graphs produce identical
+    payloads (the batch engine's content-addressed cache hashes this form).
+    """
+    data = graph_to_dict(graph)
+    data["operations"] = sorted(data["operations"], key=lambda op: op["id"])
+    data["edges"] = sorted(data["edges"], key=lambda e: (e["from"], e["to"]))
+    return data
+
+
 def graph_from_dict(data: Dict[str, Any]) -> SequencingGraph:
     """Rebuild a graph from :func:`graph_to_dict` output.
 
@@ -54,6 +70,8 @@ def graph_from_dict(data: Dict[str, Any]) -> SequencingGraph:
             kind = OperationType(op_data.get("kind", "mix"))
         except ValueError as exc:
             raise ValueError(f"unknown operation kind {op_data.get('kind')!r}") from exc
+        if "id" not in op_data:
+            raise ValueError(f"operation entry {op_data!r} is missing its 'id'")
         graph.add_operation(
             Operation(
                 op_id=str(op_data["id"]),
@@ -63,7 +81,12 @@ def graph_from_dict(data: Dict[str, Any]) -> SequencingGraph:
             )
         )
     for edge in data["edges"]:
-        graph.add_edge(str(edge["from"]), str(edge["to"]))
+        if "from" not in edge or "to" not in edge:
+            raise ValueError(f"edge entry {edge!r} must contain 'from' and 'to'")
+        try:
+            graph.add_edge(str(edge["from"]), str(edge["to"]))
+        except KeyError as exc:
+            raise ValueError(f"edge {edge!r} references an unknown operation") from exc
     return graph
 
 

@@ -31,7 +31,7 @@ from repro.ilp.expression import LinExpr, Variable, lin_sum
 from repro.ilp.constraint import Constraint, ConstraintSense
 from repro.ilp.model import Model, Objective, ObjectiveSense
 from repro.ilp.solver import SolverOptions, SolveResult, solve_model
-from repro.ilp.status import SolverStatus
+from repro.ilp.status import SolverLimitError, SolverStatus
 from repro.ilp.bigm import (
     BigMContext,
     add_implication,
@@ -56,6 +56,7 @@ __all__ = [
     "SolveResult",
     "solve_model",
     "SolverStatus",
+    "SolverLimitError",
     "BigMContext",
     "add_implication",
     "add_either_or",

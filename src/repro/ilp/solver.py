@@ -55,6 +55,32 @@ _STATUS_BY_CODE = {
     4: SolverStatus.ERROR,
 }
 
+#: Tolerance for deciding that a returned value is integral.
+_INTEGRALITY_TOL = 1e-4
+
+
+def _usable_incumbent(x, model: Model) -> bool:
+    """True when ``x`` is a finite solution vector respecting integrality.
+
+    scipy's ``milp`` reports status code 1 for *any* iteration or time limit.
+    Depending on where HiGHS was interrupted, ``result.x`` may then be absent,
+    or hold a fractional/non-finite relaxation instead of a true MILP
+    incumbent.  Reporting such a vector as ``FEASIBLE`` would push garbage
+    start times and bindings into the scheduler, so anything non-finite or
+    non-integral is treated as "no incumbent".
+    """
+    if x is None:
+        return False
+    arr = np.asarray(x, dtype=float)
+    if arr.size != len(model.variables) or not np.all(np.isfinite(arr)):
+        return False
+    for var in model.variables:
+        if var.kind in ("integer", "binary"):
+            value = arr[var.index]
+            if abs(value - round(value)) > _INTEGRALITY_TOL:
+                return False
+    return True
+
 
 def solve_model(model: Model, options: Optional[SolverOptions] = None) -> SolveResult:
     """Lower ``model`` to matrix form and solve it with HiGHS.
@@ -97,9 +123,15 @@ def solve_model(model: Model, options: Optional[SolverOptions] = None) -> SolveR
     elapsed = time.perf_counter() - start
 
     status = _STATUS_BY_CODE.get(result.status, SolverStatus.ERROR)
-    has_solution = result.x is not None
-    if status is SolverStatus.TIME_LIMIT and has_solution:
-        status = SolverStatus.FEASIBLE
+    has_solution = _usable_incumbent(result.x, model)
+    if status is SolverStatus.TIME_LIMIT:
+        # Code 1 covers both "limit hit, incumbent available" (a feasible
+        # best-effort result, the paper's 30-minute practice) and "limit hit
+        # with no usable incumbent" — the latter must stay non-feasible so
+        # callers raise a clear error instead of consuming garbage values
+        # (the ILP scheduler/synthesizer abort; there is no automatic
+        # fallback to the heuristics).
+        status = SolverStatus.FEASIBLE if has_solution else SolverStatus.TIME_LIMIT
     if status is SolverStatus.OPTIMAL and not has_solution:
         status = SolverStatus.ERROR
 

@@ -14,7 +14,9 @@ class SolverStatus(enum.Enum):
                      this mirrors the paper's 30-minute best-effort results.
     ``INFEASIBLE``   the model has no feasible solution.
     ``UNBOUNDED``    the objective is unbounded.
-    ``TIME_LIMIT``   the time limit was reached without any incumbent.
+    ``TIME_LIMIT``   the iteration or time limit was reached without a usable
+                     incumbent; feasibility is unknown, so callers must treat
+                     it like ``INFEASIBLE`` (no solution values exist).
     ``ERROR``        the backend failed for another reason.
     """
 
@@ -31,3 +33,12 @@ class SolverStatus(enum.Enum):
 
     def is_optimal(self) -> bool:
         return self is SolverStatus.OPTIMAL
+
+
+class SolverLimitError(RuntimeError):
+    """An iteration/time limit expired before any usable incumbent was found.
+
+    Unlike infeasibility, this outcome depends on machine load and the
+    configured limit, so an identical re-run may well succeed.  The batch
+    engine keys off this type to never memoize such failures.
+    """

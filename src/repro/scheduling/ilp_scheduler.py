@@ -35,6 +35,7 @@ from repro.graph.analysis import critical_path_length
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.ilp import (
     Model,
+    SolverLimitError,
     SolverOptions,
     SolverStatus,
     lin_sum,
@@ -185,9 +186,14 @@ class IlpScheduler:
         self.last_objective = result.objective
 
         if not result.status.is_feasible():
-            raise RuntimeError(
+            message = (
                 f"ILP scheduling of {graph.name!r} failed: {result.status.value} ({result.message})"
             )
+            if result.status is SolverStatus.TIME_LIMIT:
+                # Limit-induced, no incumbent: load-dependent, so raised as a
+                # distinct type the batch engine knows not to memoize.
+                raise SolverLimitError(message)
+            raise RuntimeError(message)
 
         return self._extract_schedule(graph, start, assign, compatible)
 

@@ -3,8 +3,49 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple, Union, get_args, get_origin, get_type_hints
+
+
+def _check_value_type(name: str, value: Any, expected: Any) -> Any:
+    """Validate a config value loaded from JSON against its field's type.
+
+    Dataclasses do not type-check, so without this a manifest value like
+    ``"false"`` would silently become a truthy ``storage_aware``.  Integral
+    floats are accepted for int fields (JSON writers often emit ``10.0``),
+    ints are widened for float fields; bools are only valid for bool fields.
+    ``Optional``/``Union`` annotations are unwrapped: ``None`` passes when
+    admitted, otherwise the value may match any member type.
+    """
+    if get_origin(expected) is Union:
+        members = get_args(expected)
+        if value is None and type(None) in members:
+            return None
+        for member in members:
+            if member is type(None):
+                continue
+            try:
+                return _check_value_type(name, value, member)
+            except ValueError:
+                continue
+        names = " | ".join(m.__name__ for m in members)
+        raise ValueError(f"flow-config field {name!r} expects {names}, got {value!r}")
+    if expected is bool:
+        if isinstance(value, bool):
+            return value
+    elif expected is int:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+    elif expected is float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    elif isinstance(value, expected):
+        return value
+    raise ValueError(
+        f"flow-config field {name!r} expects {expected.__name__}, got {value!r}"
+    )
 
 
 class SchedulerEngine(enum.Enum):
@@ -75,6 +116,51 @@ class FlowConfig:
 
     def grid_shape(self) -> Tuple[int, int]:
         return (self.grid_rows, self.grid_cols)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form (enums become their string values).
+
+        The payload round-trips through :meth:`from_dict` and is hashed by the
+        batch engine's content-addressed result cache, so every field that can
+        change a synthesis outcome must appear here.
+        """
+        data: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = value.value if isinstance(value, enum.Enum) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlowConfig":
+        """Rebuild a configuration from :meth:`to_dict` output or a manifest.
+
+        Raises
+        ------
+        ValueError
+            On unknown keys, invalid enum values or wrong-typed values, so
+            typos in a batch manifest fail loudly instead of silently using
+            defaults (or silently flipping behavior — a JSON string like
+            ``"false"`` is truthy and must not pass for a bool).
+        """
+        # Expected types come from the field annotations (resolved once per
+        # call; ``from __future__ import annotations`` makes them strings),
+        # not ``type(field.default)`` — the latter would misfire on any
+        # future Optional or default_factory field.
+        hints = get_type_hints(cls)
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown flow-config keys: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            if name == "scheduler":
+                value = SchedulerEngine(value) if not isinstance(value, SchedulerEngine) else value
+            elif name == "synthesis":
+                value = SynthesisEngine(value) if not isinstance(value, SynthesisEngine) else value
+            else:
+                value = _check_value_type(name, value, hints[name])
+            kwargs[name] = value
+        return cls(**kwargs)
 
     @classmethod
     def paper_defaults_for(cls, assay_name: str) -> "FlowConfig":

@@ -1,0 +1,93 @@
+"""Golden regression tests: pinned results for the small library assays.
+
+These pin the exact makespan, grid size, kept-edge/valve counts and
+routed-task counts produced by both scheduler engines on the small paper
+assays, so performance refactors (parallel engines, caching, new routers)
+cannot silently change synthesis *results*.  If a change legitimately
+improves a number, update the table here — deliberately, in the same PR.
+
+The values were produced by the seed implementation's deterministic engines
+(list scheduler / exact ILP with a 20 s cap, heuristic synthesizer with the
+paper's per-assay grids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.batch.engine import BatchSynthesisEngine
+from repro.batch.jobs import BatchJob
+from repro.graph.library import assay_by_name
+from repro.synthesis.config import FlowConfig, SchedulerEngine
+from repro.synthesis.flow import SynthesisResult, synthesize
+
+
+@dataclass(frozen=True)
+class Golden:
+    makespan: int
+    grid: Tuple[int, int]
+    num_edges: int
+    num_valves: int
+    routed_tasks: int
+
+
+#: (assay, scheduler) -> pinned result.  RA30 is list-only: its 30 operations
+#: are far beyond any practical exact-ILP horizon.
+GOLDEN = {
+    ("RA30", SchedulerEngine.LIST): Golden(650, (5, 5), 23, 37, 9),
+    ("IVD", SchedulerEngine.LIST): Golden(280, (4, 4), 10, 14, 6),
+    ("PCR", SchedulerEngine.LIST): Golden(400, (4, 4), 7, 10, 3),
+    ("IVD", SchedulerEngine.ILP): Golden(280, (4, 4), 10, 14, 6),
+    ("PCR", SchedulerEngine.ILP): Golden(330, (4, 4), 10, 16, 3),
+}
+
+
+def golden_config(assay: str, scheduler: SchedulerEngine) -> FlowConfig:
+    config = FlowConfig.paper_defaults_for(assay)
+    config.scheduler = scheduler
+    config.ilp_time_limit_s = 20.0
+    return config
+
+
+def assert_matches_golden(result: SynthesisResult, golden: Golden, label: str) -> None:
+    measured = Golden(
+        makespan=result.schedule.makespan,
+        grid=result.architecture.grid.shape,
+        num_edges=result.architecture.num_edges,
+        num_valves=result.architecture.num_valves,
+        routed_tasks=len(result.architecture.routed_tasks),
+    )
+    assert measured == golden, f"{label}: measured {measured} != pinned {golden}"
+
+
+@pytest.mark.parametrize(
+    "assay,scheduler",
+    sorted(GOLDEN, key=lambda k: (k[0], k[1].value)),
+    ids=lambda value: value.value if isinstance(value, SchedulerEngine) else value,
+)
+def test_pinned_synthesis_results(assay, scheduler):
+    result = synthesize(assay_by_name(assay), golden_config(assay, scheduler))
+    assert result.scheduler_engine == scheduler.value
+    assert_matches_golden(result, GOLDEN[(assay, scheduler)], f"{assay}/{scheduler.value}")
+
+
+def test_batch_engine_reproduces_goldens_in_parallel():
+    """The parallel batch engine must land on the exact same pinned numbers."""
+    keys = sorted(GOLDEN, key=lambda k: (k[0], k[1].value))
+    jobs = [
+        BatchJob(f"{assay}/{scheduler.value}", assay_by_name(assay),
+                 golden_config(assay, scheduler))
+        for assay, scheduler in keys
+    ]
+    report = BatchSynthesisEngine(max_workers=3).run(jobs)
+    assert report.num_failed == 0
+    for (assay, scheduler), outcome in zip(keys, report):
+        assert_matches_golden(outcome.result, GOLDEN[(assay, scheduler)], outcome.job_id)
+
+
+def test_both_engines_agree_on_ivd():
+    """The exact ILP confirms the heuristic's IVD result (same golden row)."""
+    assert GOLDEN[("IVD", SchedulerEngine.LIST)] == GOLDEN[("IVD", SchedulerEngine.ILP)]

@@ -45,6 +45,40 @@ class TestDictRoundTrip:
         with pytest.raises(ValueError):
             graph_from_dict(payload)
 
+    def test_operation_without_id_rejected(self):
+        payload = graph_to_dict(build_pcr())
+        del payload["operations"][0]["id"]
+        with pytest.raises(ValueError, match="missing its 'id'"):
+            graph_from_dict(payload)
+
+    def test_incomplete_edge_rejected(self):
+        payload = graph_to_dict(build_pcr())
+        del payload["edges"][0]["to"]
+        with pytest.raises(ValueError, match="'from' and 'to'"):
+            graph_from_dict(payload)
+
+    def test_edge_to_unknown_operation_rejected(self):
+        payload = graph_to_dict(build_pcr())
+        payload["edges"][0]["to"] = "ghost"
+        with pytest.raises(ValueError, match="unknown operation"):
+            graph_from_dict(payload)
+
+    def test_canonical_dict_is_insertion_order_independent(self):
+        from repro.graph.serialization import canonical_graph_dict
+
+        graph = build_pcr()
+        payload = graph_to_dict(graph)
+        shuffled = dict(
+            payload,
+            operations=list(reversed(payload["operations"])),
+            edges=list(reversed(payload["edges"])),
+        )
+        other = graph_from_dict(shuffled)
+        # Sanity: the plain serialization really differs in order...
+        assert graph_to_dict(other) != payload
+        # ...while the canonical form does not.
+        assert canonical_graph_dict(other) == canonical_graph_dict(graph)
+
 
 class TestFileRoundTrip:
     def test_save_and_load(self, tmp_path):

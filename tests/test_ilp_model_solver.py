@@ -141,6 +141,72 @@ class TestSolve:
         assert result.wall_time_s >= 0.0
 
 
+class FakeMilpResult:
+    """Stand-in for ``scipy.optimize.milp``'s result object."""
+
+    def __init__(self, status, x, message="limit reached"):
+        self.status = status
+        self.x = x
+        self.message = message
+        self.mip_gap = None
+
+
+def limit_model():
+    model = Model("limit")
+    x = model.add_integer("x", low=0, up=5)
+    model.add_constraint(x >= 1)
+    model.minimize(x)
+    return model, x
+
+
+class TestLimitStatusMapping:
+    """Regression tests for the scipy status-code-1 mapping.
+
+    Code 1 means "iteration or time limit reached"; HiGHS may then return no
+    vector at all, or a fractional/non-finite relaxation instead of a true
+    incumbent.  None of those may surface as FEASIBLE with garbage values.
+    """
+
+    def solve_with_fake(self, monkeypatch, fake):
+        import repro.ilp.solver as solver_module
+
+        model, x = limit_model()
+        monkeypatch.setattr(solver_module, "milp", lambda **kwargs: fake)
+        return model.solve(), x
+
+    def test_limit_without_incumbent_is_not_feasible(self, monkeypatch):
+        result, x = self.solve_with_fake(monkeypatch, FakeMilpResult(1, None))
+        assert result.status is SolverStatus.TIME_LIMIT
+        assert not result.status.is_feasible()
+        assert not result
+        assert result.objective is None
+        assert result.values == {}
+        assert x.value is None
+
+    def test_limit_with_fractional_relaxation_is_not_feasible(self, monkeypatch):
+        result, x = self.solve_with_fake(monkeypatch, FakeMilpResult(1, [1.5]))
+        assert result.status is SolverStatus.TIME_LIMIT
+        assert result.values == {}
+        assert x.value is None
+
+    def test_limit_with_non_finite_vector_is_not_feasible(self, monkeypatch):
+        result, x = self.solve_with_fake(monkeypatch, FakeMilpResult(1, [float("nan")]))
+        assert result.status is SolverStatus.TIME_LIMIT
+        assert result.values == {}
+        assert x.value is None
+
+    def test_limit_with_true_incumbent_is_feasible(self, monkeypatch):
+        result, x = self.solve_with_fake(monkeypatch, FakeMilpResult(1, [2.0]))
+        assert result.status is SolverStatus.FEASIBLE
+        assert result.status.is_feasible()
+        assert result.value("x") == 2
+        assert x.value == 2
+
+    def test_optimal_without_vector_is_an_error(self, monkeypatch):
+        result, _ = self.solve_with_fake(monkeypatch, FakeMilpResult(0, None))
+        assert result.status is SolverStatus.ERROR
+
+
 class TestWeightedObjective:
     def test_weighted_objective_combines_terms(self):
         model = Model()

@@ -1,0 +1,203 @@
+"""Property-based tests of the router's time-multiplexing guarantees.
+
+For randomly generated assays the synthesized architecture must satisfy the
+paper's constraint (10), re-checked here by an *independent* verifier (not
+the router's own ``OccupancyTracker``):
+
+* no grid edge is claimed by two live reservations (transport or storage)
+  unless both are transport legs of split volumes from the same producer;
+* no switch node is claimed by two live *transport* paths (same exemption);
+* a caching segment blocks only its edge — its endpoint nodes stay crossable
+  by other paths (the ``p'_r`` endpoint exemption of Fig. 6);
+* the storing task's own legs enter and leave the segment at its endpoints,
+  and the three sub-path windows tile the task's transport window.
+
+Uses ``hypothesis`` when installed; otherwise falls back to a fixed sweep of
+seeded ``random.Random`` cases so the properties still run everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.archsyn.occupancy import Interval, OccupancyTracker
+from repro.archsyn.router import HeuristicSynthesizer, SynthesisConfig
+from repro.devices.device import default_device_library
+from repro.graph.generators import RandomAssayConfig, random_assay
+from repro.scheduling.list_scheduler import ListScheduler, ListSchedulerConfig
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    HAVE_HYPOTHESIS = False
+
+
+# --------------------------------------------------------------- the checker
+def _window(sub):
+    return (sub.start, max(sub.end, sub.start + 1))
+
+
+def _overlaps(a, b):
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def check_no_double_booking(architecture):
+    """Independently re-derive every reservation and assert exclusivity."""
+    device_nodes = architecture.device_nodes()
+
+    edge_claims = defaultdict(list)   # eid -> (window, purpose, task_id, group)
+    node_claims = defaultdict(list)   # node -> (window, task_id, group), transports only
+    for routed in architecture.routed_tasks:
+        group = routed.task.sample.producer
+        for sub in routed.subpaths:
+            window = _window(sub)
+            for eid in sub.edges:
+                edge_claims[eid].append((window, sub.purpose, routed.task.task_id, group))
+            if sub.purpose == "transport":
+                for node in sub.nodes:
+                    if node not in device_nodes:
+                        node_claims[node].append((window, routed.task.task_id, group))
+
+    for eid, claims in edge_claims.items():
+        for i, (win_a, purpose_a, task_a, group_a) in enumerate(claims):
+            for win_b, purpose_b, task_b, group_b in claims[i + 1:]:
+                if task_a == task_b or not _overlaps(win_a, win_b):
+                    continue
+                both_transport = purpose_a == "transport" and purpose_b == "transport"
+                same_split = both_transport and bool(group_a) and group_a == group_b
+                assert same_split, (
+                    f"edge {eid} double-booked: {task_a}({purpose_a}, {win_a}) vs "
+                    f"{task_b}({purpose_b}, {win_b})"
+                )
+
+    for node, claims in node_claims.items():
+        for i, (win_a, task_a, group_a) in enumerate(claims):
+            for win_b, task_b, group_b in claims[i + 1:]:
+                if task_a == task_b or not _overlaps(win_a, win_b):
+                    continue
+                assert bool(group_a) and group_a == group_b, (
+                    f"switch node {node} shared by live transports {task_a} and {task_b}"
+                )
+
+
+def check_storage_endpoint_exemption(architecture):
+    """Storage blocks its edge but not its endpoint nodes (``p'_r``)."""
+    grid = architecture.grid
+    for routed in architecture.routed_tasks:
+        storage = [s for s in routed.subpaths if s.purpose == "storage"]
+        if not storage:
+            continue
+        assert routed.task.needs_storage
+        (store,) = storage
+        legs = [s for s in routed.subpaths if s.purpose == "transport"]
+        assert len(legs) == 2, "a storing task has exactly two moving legs"
+        entry, exit_node = store.nodes
+        assert set(store.nodes) == set(grid.edge_endpoints(store.edges[0]))
+        # The sample physically enters at one endpoint and leaves at the other.
+        assert legs[0].nodes[-1] == exit_node
+        assert entry in legs[0].nodes
+        assert legs[1].nodes[0] == exit_node
+        # The three windows tile [depart, arrive) without gaps.
+        assert legs[0].end == store.start
+        assert store.end == legs[1].start
+        assert legs[0].start == routed.task.depart_time
+        assert legs[1].end == routed.task.arrive_time
+
+        # The exemption itself: endpoint nodes may appear in *other* tasks'
+        # live transport paths — that must not have been treated as a
+        # conflict, but the stored edge itself must never be.
+        for other in architecture.routed_tasks:
+            if other.task.task_id == routed.task.task_id:
+                continue
+            for sub in other.subpaths:
+                if sub.purpose != "transport" or not _overlaps(_window(sub), _window(store)):
+                    continue
+                assert store.edges[0] not in sub.edges, (
+                    f"task {other.task.task_id} drove through the segment caching "
+                    f"{routed.task.task_id}'s sample"
+                )
+
+
+def synthesize_random_case(num_operations, seed, num_mixers, grid_dim):
+    graph = random_assay(RandomAssayConfig(num_operations=num_operations, seed=seed))
+    library = default_device_library(num_mixers=num_mixers)
+    scheduler = ListScheduler(library, ListSchedulerConfig(transport_time=10, storage_aware=True))
+    schedule = scheduler.schedule(graph)
+    synthesizer = HeuristicSynthesizer(
+        SynthesisConfig(grid_rows=grid_dim, grid_cols=grid_dim, auto_expand_grid=True)
+    )
+    return synthesizer.synthesize(schedule)
+
+
+def assert_router_properties(num_operations, seed, num_mixers, grid_dim):
+    architecture = synthesize_random_case(num_operations, seed, num_mixers, grid_dim)
+    # Some tiny assays schedule onto a single device and need no transports
+    # at all; the properties then hold vacuously.
+    check_no_double_booking(architecture)
+    check_storage_endpoint_exemption(architecture)
+    assert architecture.validate() == []
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_operations=st.integers(min_value=6, max_value=18),
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_mixers=st.integers(min_value=2, max_value=4),
+        grid_dim=st.integers(min_value=4, max_value=5),
+    )
+    def test_router_never_double_books_hypothesis(num_operations, seed, num_mixers, grid_dim):
+        assert_router_properties(num_operations, seed, num_mixers, grid_dim)
+
+else:  # pragma: no cover - minimal-install fallback
+
+    @pytest.mark.parametrize("case", range(20))
+    def test_router_never_double_books_seeded(case):
+        rng = random.Random(20170 + case)
+        assert_router_properties(
+            num_operations=rng.randint(6, 18),
+            seed=rng.randint(0, 10_000),
+            num_mixers=rng.randint(2, 4),
+            grid_dim=rng.randint(4, 5),
+        )
+
+
+class TestOccupancyProperties:
+    """Randomized checks of the OccupancyTracker primitive itself."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_reserve_rejects_exactly_what_is_free_denies(self, seed):
+        rng = random.Random(seed)
+        tracker = OccupancyTracker()
+        for attempt in range(200):
+            resource = rng.choice(["e1", "e2", "n1", "n2"])
+            start = rng.randint(0, 50)
+            end = start + rng.randint(1, 10)
+            purpose = rng.choice(["transport", "storage"])
+            group = rng.choice(["", "gA", "gB"]) if purpose == "transport" else ""
+            free = tracker.is_free(resource, start, end, group=group)
+            try:
+                tracker.reserve(resource, start, end, purpose, owner=f"t{attempt}", group=group)
+                reserved = True
+            except ValueError:
+                reserved = False
+            assert reserved == free, (
+                f"is_free said {free} but reserve {'succeeded' if reserved else 'failed'} "
+                f"for {resource} [{start}, {end}) {purpose} group={group!r}"
+            )
+
+    def test_storage_is_ignored_only_when_asked(self):
+        tracker = OccupancyTracker()
+        tracker.reserve("edge", 0, 10, "storage", owner="cache")
+        assert not tracker.is_free("edge", 5, 6)
+        assert tracker.is_free("edge", 5, 6, ignore_storage=True)
+
+    def test_interval_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5, "transport")

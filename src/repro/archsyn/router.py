@@ -36,6 +36,7 @@ from repro.archsyn.architecture import ChipArchitecture, RoutedSubPath, RoutedTa
 from repro.archsyn.grid import ConnectionGrid, EdgeId, edge_id
 from repro.archsyn.occupancy import OccupancyTracker
 from repro.archsyn.placement import GreedyPlacer
+from repro.keys import derive_seed
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.transport import TransportTask, extract_transport_tasks
 
@@ -52,6 +53,14 @@ class SynthesisConfig:
     (Table 2 uses 4x4 for all assays except RA100's 5x5);
     ``auto_expand_grid`` lets the synthesizer retry on a larger grid when the
     initial one cannot accommodate all concurrent transportations.
+
+    ``seed`` drives the tie-breaking among equal-cost routing choices.  The
+    default ``0`` keeps the canonical lexicographic order (the order the
+    golden regression pins were recorded with); any non-zero seed reorders
+    ties via a SHA-derived per-node jitter (:func:`repro.keys.derive_seed`),
+    which is bit-reproducible across worker processes — unlike anything
+    touching Python's per-process ``hash()`` — so a seeded run is the same
+    run no matter which process executes it.
     """
 
     grid_rows: int = 4
@@ -59,6 +68,7 @@ class SynthesisConfig:
     auto_expand_grid: bool = True
     max_grid_dim: int = 9
     device_spacing: int = 2
+    seed: int = 0
 
 
 class HeuristicSynthesizer:
@@ -66,6 +76,27 @@ class HeuristicSynthesizer:
 
     def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
         self.config = config or SynthesisConfig()
+        # Node/edge names recur thousands of times across the router's inner
+        # loops, so seeded ranks are hashed once per distinct name, not once
+        # per heap push.
+        self._tiebreak_cache: Dict[Tuple[str, ...], int] = {}
+
+    def _tiebreak(self, *parts: str) -> int:
+        """Seeded, process-independent tie-break rank for a node or edge.
+
+        With the default ``seed == 0`` every rank is 0, so ties fall through
+        to the lexicographic component that follows it in each sort key —
+        byte-identical to the pre-seeded behavior the goldens pin.  A
+        non-zero seed assigns each name a stable pseudo-random rank, giving
+        sweeps a reproducible routing-diversity axis.
+        """
+        if not self.config.seed:
+            return 0
+        rank = self._tiebreak_cache.get(parts)
+        if rank is None:
+            rank = derive_seed(self.config.seed, "|".join(parts))
+            self._tiebreak_cache[parts] = rank
+        return rank
 
     # ------------------------------------------------------------------ API
     def synthesize(self, schedule: Schedule) -> ChipArchitecture:
@@ -244,13 +275,14 @@ class HeuristicSynthesizer:
 
         used_edges = getattr(self, "_used_edges", set())
 
-        def key(eid: EdgeId) -> Tuple[int, int, int, int, Tuple[str, str]]:
+        def key(eid: EdgeId) -> Tuple[int, int, int, int, int, Tuple[str, str]]:
             a, b = grid.edge_endpoints(eid)
             touches_device = 1 if (a in device_nodes or b in device_nodes) else 0
             already_used = 0 if eid in used_edges else 1
             to_target = grid.edge_distance_to_node(eid, target)
             to_source = grid.edge_distance_to_node(eid, source)
-            return (touches_device, already_used, to_target, to_source, (a, b))
+            return (touches_device, already_used, to_target, to_source,
+                    self._tiebreak(a, b), (a, b))
 
         candidates = []
         for eid in grid.edges():
@@ -380,12 +412,16 @@ class HeuristicSynthesizer:
         def port_touch(node: str) -> int:
             return sum(1 for nb in grid.neighbors(node) if nb in foreign_devices)
 
+        # Heap entries carry the seeded tie-break rank just before the node
+        # name: with seed 0 the rank is uniformly 0 and selection falls back
+        # to the name order (the pinned behavior); a non-zero seed explores
+        # equal-cost frontiers in a reproducibly shuffled order.
         distance: Dict[str, Tuple[int, int, int]] = {source: (0, 0, 0)}
         parent: Dict[str, str] = {}
-        heap: List[Tuple[int, int, int, str]] = [(0, 0, 0, source)]
+        heap: List[Tuple[int, int, int, int, str]] = [(0, 0, 0, self._tiebreak(source), source)]
         settled: Set[str] = set()
         while heap:
-            new_edges, ports, hops, current = heapq.heappop(heap)
+            new_edges, ports, hops, _rank, current = heapq.heappop(heap)
             if current in settled:
                 continue
             settled.add(current)
@@ -423,7 +459,9 @@ class HeuristicSynthesizer:
                 if neighbour not in distance or cost < distance[neighbour]:
                     distance[neighbour] = cost
                     parent[neighbour] = current
-                    heapq.heappush(heap, (cost[0], cost[1], cost[2], neighbour))
+                    heapq.heappush(
+                        heap, (cost[0], cost[1], cost[2], self._tiebreak(neighbour), neighbour)
+                    )
         return None
 
     def _commit_transport(

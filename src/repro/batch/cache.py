@@ -1,59 +1,79 @@
-"""Content-addressed result cache: in-memory LRU tier + optional disk tier.
+"""Content-addressed artifact cache: in-memory LRU tier + optional disk tier.
 
-A synthesis job is fully determined by its sequencing graph and its
-:class:`~repro.synthesis.config.FlowConfig` (every engine in the flow is
-deterministic), so results are cached under a SHA-256 digest of the
-canonically-serialized pair.  Two graphs built in different node orders hash
-equal; changing any duration, edge, or config knob changes the key.
+Since the staged-pipeline refactor the cache stores two kinds of entries
+under one namespace of SHA-256 keys:
+
+* **stage artifacts** (:mod:`repro.synthesis.pipeline`) under their stage
+  keys — ``hash(upstream artifact hash + the config slice the stage
+  consumes)`` — so a parameter sweep that only touches routing or
+  physical-design knobs replays the untouched upstream stages;
+* **assembled results** (:class:`~repro.synthesis.flow.SynthesisResult`)
+  under the run-level key of :func:`cache_key` — kept in the memory tier
+  only, since they are thin views over stage artifacts that already live on
+  disk.
+
+Every synthesis engine is deterministic, so equal keys mean equal content.
+Two graphs built in different node orders hash equal; changing any duration,
+edge, or config knob changes the key.
 
 The cache is two-tiered:
 
 * an in-memory LRU dictionary bounded by ``max_entries`` — the hot tier that
   serves repeated experiment runs within one process;
-* an optional on-disk tier (``cache_dir``) holding pickled
-  :class:`~repro.synthesis.flow.SynthesisResult` objects, so warm re-runs of
-  a batch manifest survive process restarts.  Disk entries are promoted into
-  the memory tier on hit.
+* an optional on-disk tier (``cache_dir``) holding pickled entries, so warm
+  re-runs of a batch manifest survive process restarts.  Disk entries are
+  wrapped in a ``(KEY_VERSION, payload)`` envelope; an entry written by an
+  older (or newer) key version is ignored and dropped — a stale cache
+  directory degrades to misses, it never crashes a run or, worse, replays a
+  payload with outdated semantics.  Disk hits are promoted into the memory
+  tier.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 import pickle
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
+from repro import keys
 from repro.graph.sequencing_graph import SequencingGraph
-from repro.graph.serialization import canonical_graph_dict
+from repro.keys import stable_digest
 from repro.synthesis.config import FlowConfig
-from repro.synthesis.flow import SynthesisResult
+from repro.synthesis.pipeline import graph_fingerprint
 
-#: Bump when the cached payload's semantics change (invalidates old entries).
-_KEY_VERSION = 1
+# The version constant itself lives in repro.keys so run-level and
+# stage-level keys share one source of truth; it is always read through the
+# module attribute (keys.KEY_VERSION), never copied, so a bump invalidates
+# every key kind at once.
 
 
-def cache_key(graph: SequencingGraph, config: FlowConfig) -> str:
+def cache_key(
+    graph: SequencingGraph,
+    config: FlowConfig,
+    graph_hash: Optional[str] = None,
+) -> str:
     """Stable hex digest identifying a ``(graph, config)`` synthesis job.
 
-    The graph is serialized in canonical (sorted) form so insertion order
-    does not matter; the config is serialized field-by-field with enums as
-    strings.  The graph *name* is deliberately excluded — renaming an assay
-    does not change what gets synthesized.
+    The run-level key over the complete pair — used for failure memoization
+    and intra-batch job aliasing.  (Stage-granular reuse uses the per-stage
+    keys of :meth:`repro.synthesis.pipeline.SynthesisPipeline.plan`, which
+    hash only the config slice each stage consumes.)  The graph enters via
+    the same canonical :func:`~repro.synthesis.pipeline.graph_fingerprint`
+    the stage keys build on — insertion order does not matter, and the
+    graph *name* is deliberately excluded: renaming an assay does not
+    change what gets synthesized.  Callers that already computed the
+    fingerprint pass it as ``graph_hash`` to skip re-canonicalizing.
     """
-    graph_payload = canonical_graph_dict(graph)
-    graph_payload.pop("name", None)
     payload = {
-        "version": _KEY_VERSION,
-        "graph": graph_payload,
+        "version": keys.KEY_VERSION,
+        "graph": graph_hash if graph_hash is not None else graph_fingerprint(graph),
         "config": config.to_dict(),
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return stable_digest(payload)
 
 
 @dataclass
@@ -80,7 +100,7 @@ class CacheStats:
 
 
 class ResultCache:
-    """Two-tier (memory LRU + optional disk) cache of synthesis results.
+    """Two-tier (memory LRU + optional disk) content-addressed cache.
 
     Parameters
     ----------
@@ -95,7 +115,7 @@ class ResultCache:
 
     def __init__(
         self,
-        max_entries: Optional[int] = 128,
+        max_entries: Optional[int] = 256,
         cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
@@ -105,7 +125,7 @@ class ResultCache:
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, SynthesisResult]" = OrderedDict()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
         # Failed jobs are memoized in memory only (never on disk): synthesis
         # is deterministic, so re-running an identical failed job in the same
         # process just burns a solver run to reproduce the same error.  The
@@ -114,32 +134,39 @@ class ResultCache:
         self._failures: Dict[str, BaseException] = {}
 
     # ------------------------------------------------------------------- api
-    def get(self, key: str) -> Optional[SynthesisResult]:
+    def get(self, key: str) -> Optional[Any]:
         """Look ``key`` up in both tiers; ``None`` on a miss."""
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
             return self._memory[key]
-        result = self._load_from_disk(key)
-        if result is not None:
+        value = self._load_from_disk(key)
+        if value is not None:
             self.stats.disk_hits += 1
-            self._store_memory(key, result)
-            return result
+            self._store_memory(key, value)
+            return value
         self.stats.misses += 1
         return None
 
-    def put(self, key: str, result: SynthesisResult) -> None:
-        """Insert into the memory tier and (if configured) the disk tier."""
+    def put(self, key: str, value: Any, disk: bool = True) -> None:
+        """Insert into the memory tier and (if configured) the disk tier.
+
+        ``disk=False`` keeps an entry memory-only even when a ``cache_dir``
+        is configured — used for assembled :class:`SynthesisResult` views,
+        whose stage artifacts already persist individually (writing the view
+        too would double every result's disk footprint).
+        """
         self.stats.stores += 1
-        self._store_memory(key, result)
-        if self.cache_dir is not None:
+        self._store_memory(key, value)
+        if disk and self.cache_dir is not None:
             path = self._disk_path(key)
             # Unique temp name per writer: several processes may share a
             # cache_dir and solve the same miss concurrently; each must
             # publish atomically without trampling the other's staging file.
             tmp = path.with_name(f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
             try:
-                tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+                envelope = (keys.KEY_VERSION, value)
+                tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
                 tmp.replace(path)  # atomic so readers never see partial files
             except OSError:
                 # The disk tier is an optimization: a full disk or revoked
@@ -173,8 +200,8 @@ class ResultCache:
         return len(self._memory)
 
     # -------------------------------------------------------------- internals
-    def _store_memory(self, key: str, result: SynthesisResult) -> None:
-        self._memory[key] = result
+    def _store_memory(self, key: str, value: Any) -> None:
+        self._memory[key] = value
         self._memory.move_to_end(key)
         if self.max_entries is not None:
             while len(self._memory) > self.max_entries:
@@ -185,14 +212,26 @@ class ResultCache:
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.pkl"
 
-    def _load_from_disk(self, key: str) -> Optional[SynthesisResult]:
+    def _load_from_disk(self, key: str) -> Optional[Any]:
         if self.cache_dir is None:
             return None
         path = self._disk_path(key)
         if not path.exists():
             return None
         try:
-            return pickle.loads(path.read_bytes())
+            envelope = pickle.loads(path.read_bytes())
         except Exception:  # noqa: BLE001 - a corrupt entry is just a miss
             path.unlink(missing_ok=True)
             return None
+        # Entries from another key version (including pre-envelope v1 files,
+        # which unpickle as a bare object) are stale by definition: the
+        # payload's semantics may have changed.  Treat them as misses and
+        # drop them so the directory converges to the current version.
+        if (
+            not isinstance(envelope, tuple)
+            or len(envelope) != 2
+            or envelope[0] != keys.KEY_VERSION
+        ):
+            path.unlink(missing_ok=True)
+            return None
+        return envelope[1]

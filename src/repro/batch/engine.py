@@ -1,14 +1,28 @@
-"""The batch-synthesis engine: fan out, cache, aggregate.
+"""The batch-synthesis engine: fan out per stage, cache, aggregate.
 
 The engine takes a list of :class:`~repro.batch.jobs.BatchJob` and produces a
 :class:`~repro.batch.report.BatchReport` whose outcomes are in job order, no
-matter how many workers ran them.  Jobs are first resolved against the
-:class:`~repro.batch.cache.ResultCache`; only cache misses are dispatched.
-With ``max_workers > 1`` misses run in a ``ProcessPoolExecutor`` — each
-worker receives the *serialized* graph and config (plain dicts, cheap to
-pickle) and sends back the pickled :class:`SynthesisResult`.  With one
-worker everything runs inline, which keeps tracebacks simple and lets tests
-monkeypatch :func:`repro.synthesis.flow.synthesize` to count solver runs.
+matter how many workers ran them.  Execution is **stage-granular**: every job
+is planned into its :class:`~repro.synthesis.pipeline.SynthesisPipeline`
+stage/key chain, and the stages run tier by tier (all schedule solves, then
+all architecture syntheses, then all physical designs):
+
+* within each tier, jobs sharing a stage key — e.g. the points of a sweep
+  that only varies physical-design knobs — are solved **once**; the others
+  share the artifact ("shared" in the report);
+* stage keys already in the :class:`~repro.batch.cache.ResultCache` are
+  replayed without running anything ("replayed");
+* with ``max_workers > 1`` the unique stage executions of a tier fan out
+  over a ``ProcessPoolExecutor`` — each worker receives the serialized graph
+  and config plus the pickled upstream artifact and sends back the pickled
+  stage artifact.  With one worker everything runs inline, which keeps
+  tracebacks simple and lets tests monkeypatch the stage classes to count
+  or fail solver runs.
+
+Because each tier's artifacts are stored in the cache the moment the tier
+completes, a batch interrupted by a worker crash resumes from the last
+completed stage on the next run: the schedule that solved before the crash
+is replayed, not re-solved.
 
 Failures are captured per job (``JobOutcome.error``) rather than aborting
 the batch — one infeasible assay must not take down a many-user batch — and
@@ -20,44 +34,55 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.batch.cache import CacheStats, ResultCache, cache_key
 from repro.batch.jobs import BatchJob
 from repro.batch.report import BatchReport, JobOutcome
+from repro.devices.device import DeviceLibrary
 from repro.graph.serialization import graph_from_dict, graph_to_dict
 from repro.ilp import SolverLimitError
-from repro.synthesis import flow
 from repro.synthesis.config import FlowConfig
-from repro.synthesis.flow import SynthesisResult
+from repro.synthesis.flow import SynthesisResult, build_library
+from repro.synthesis.pipeline import (
+    PlannedStage,
+    StageContext,
+    StageExecution,
+    SynthesisPipeline,
+    graph_fingerprint,
+    stage_by_name,
+)
 
 
-def _execute_serialized(
-    payload: Tuple[Dict[str, Any], Dict[str, Any]]
+def _execute_stage_serialized(
+    payload: Tuple[str, Dict[str, Any], Dict[str, Any], Any]
 ) -> Tuple[bool, Any, float]:
-    """Worker-side job execution (module-level so it pickles on spawn too).
+    """Worker-side single-stage execution (module-level so it pickles on spawn).
 
     The graph is shipped in insertion-order form (:func:`graph_to_dict`) —
     the cheapest faithful serialization.  Synthesis output is
     insertion-order invariant (the schedulers order operations by graph
-    structure, and the content-addressed cache key relies on exactly that),
+    structure, and the content-addressed cache keys rely on exactly that),
     so parallel results match serial ones regardless of the form shipped.
-    Returns ``(ok, result_or_error, elapsed)`` with the
-    worker-measured synthesis time, so per-job timings — for failures just as
-    for successes — are not distorted by pool queueing.  Failures come back
-    as a detached exception (formatted traceback attached as a string) rather
-    than raising, so they pickle cleanly and carry their timing along.
+    The upstream artifact rides along pickled by the pool itself.  Returns
+    ``(ok, artifact_or_error, elapsed)`` with the worker-measured stage
+    time, so per-stage timings — for failures just as for successes — are
+    not distorted by pool queueing.  Failures come back as a detached
+    exception (formatted traceback attached as a string) rather than
+    raising, so they pickle cleanly and carry their timing along.
     """
-    graph_data, config_data = payload
+    stage_name, graph_data, config_data, upstream = payload
+    stage = stage_by_name(stage_name)
     graph = graph_from_dict(graph_data)
     config = FlowConfig.from_dict(config_data)
+    context = StageContext(graph=graph, config=config, library=build_library(config))
     start = time.perf_counter()
     try:
-        result = flow.synthesize(graph, config)
+        artifact = stage.run(context, upstream)
     except Exception as exc:  # noqa: BLE001 - shipped back, captured per job
         return False, _detached_failure(exc), time.perf_counter() - start
-    return True, result, time.perf_counter() - start
+    return True, artifact, time.perf_counter() - start
 
 
 def _error_message(exc: BaseException) -> str:
@@ -92,18 +117,41 @@ def _detached_failure(exc: BaseException) -> BaseException:
     return clone
 
 
+@dataclass
+class _PendingJob:
+    """Book-keeping for one job that was not fully resolved up front."""
+
+    index: int
+    job: BatchJob
+    run_key: str
+    plan: List[PlannedStage]
+    library: DeviceLibrary
+    artifacts: List[Any] = field(default_factory=list)
+    executions: List[StageExecution] = field(default_factory=list)
+    error: Optional[BaseException] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def ran_time_s(self) -> float:
+        """Time this job spent on stages it executed itself."""
+        return sum(e.wall_time_s for e in self.executions if e.action == "ran")
+
+
 class BatchSynthesisEngine:
-    """Run many independent synthesis jobs with caching and parallelism.
+    """Run many independent synthesis jobs with stage caching and parallelism.
 
     Parameters
     ----------
     max_workers:
-        Process count for cache-miss execution.  ``1`` (the default) runs
-        inline; higher values fan out over a process pool.
+        Process count for stage execution.  ``1`` (the default) runs
+        inline; higher values fan each tier's unique stage executions out
+        over a process pool.
     cache:
         Shared :class:`ResultCache`; a private in-memory cache is created
         when omitted.  Passing an explicit cache lets several engines (or
-        repeated CLI invocations via a disk tier) share results.
+        repeated CLI invocations via a disk tier) share stage artifacts.
     fail_fast:
         When true, the first job failure raises instead of being recorded in
         the report.
@@ -113,6 +161,9 @@ class BatchSynthesisEngine:
         re-running the solver.  Only deterministic failures are memoized:
         limit-induced solver failures (:class:`SolverLimitError`) and worker
         crashes are load-dependent, so those always re-run.
+    pipeline:
+        The staged pipeline to execute; defaults to the standard
+        schedule → archsyn → physical chain.
     """
 
     def __init__(
@@ -121,6 +172,7 @@ class BatchSynthesisEngine:
         cache: Optional[ResultCache] = None,
         fail_fast: bool = False,
         memoize_failures: bool = True,
+        pipeline: Optional[SynthesisPipeline] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -128,6 +180,7 @@ class BatchSynthesisEngine:
         self.cache = cache if cache is not None else ResultCache()
         self.fail_fast = fail_fast
         self.memoize_failures = memoize_failures
+        self.pipeline = pipeline if pipeline is not None else SynthesisPipeline()
 
     def _record_failure(self, key: str, exc: BaseException) -> None:
         # A SolverLimitError depends on machine load, not on the job's
@@ -142,64 +195,79 @@ class BatchSynthesisEngine:
         stats_before = replace(self.cache.stats)
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
 
-        # Tier 1: resolve every job against the cache first, so a warm batch
-        # never spins up the pool at all.  Jobs with identical content keys
-        # are solved once; the duplicates are aliases of the first.
-        pending: List[Tuple[int, BatchJob, str]] = []
+        # Tier 0: resolve every job against the failure memo and the
+        # assembled-result memory tier, so a warm batch never plans a single
+        # stage.  Jobs with identical run-level keys are solved once; the
+        # duplicates are aliases of the first.
+        pending: List[_PendingJob] = []
         aliases: Dict[str, List[Tuple[int, BatchJob]]] = {}
         for index, job in enumerate(jobs):
-            key = cache_key(job.graph, job.config)
-            if key in aliases:
-                # Intra-batch duplicate of a job already dispatched: it never
-                # performs its own cache lookup, so the stats are not charged
-                # a second miss for work this batch does exactly once.
-                aliases[key].append((index, job))
+            # One canonicalization per job: the fingerprint feeds both the
+            # run-level key and (for misses) the stage plan.
+            fingerprint = graph_fingerprint(job.graph)
+            run_key = cache_key(job.graph, job.config, graph_hash=fingerprint)
+            if run_key in aliases:
+                # Intra-batch duplicate of a job already planned: it never
+                # performs its own lookups, so the stats are not charged
+                # twice for work this batch does exactly once.
+                aliases[run_key].append((index, job))
                 continue
             # The failure memo is consulted before the result tiers so a
-            # memoized failure is not also charged as a result-cache miss.
-            known_failure = self.cache.get_failure(key)
+            # memoized failure is not also charged as a cache miss.
+            known_failure = self.cache.get_failure(run_key)
             if known_failure is not None:
                 if self.fail_fast:
                     raise _detached_failure(known_failure)
                 outcomes[index] = JobOutcome(
                     job_id=job.job_id,
-                    cache_key=key,
+                    cache_key=run_key,
                     error=_error_message(known_failure),
                     cache_hit=True,
                     graph_name=job.graph.name,
                 )
                 continue
-            cached = self.cache.get(key)
+            cached = self.cache.get(run_key)
             if cached is not None:
                 outcomes[index] = JobOutcome(
                     job_id=job.job_id,
-                    cache_key=key,
+                    cache_key=run_key,
                     result=cached,
                     cache_hit=True,
                     graph_name=job.graph.name,
                 )
             else:
-                aliases[key] = []
-                pending.append((index, job, key))
-
-        if pending:
-            if self.max_workers > 1 and len(pending) > 1:
-                executed = self._run_pool(pending)
-            else:
-                executed = self._run_inline(pending)
-            for index, outcome in executed:
-                outcomes[index] = outcome
-                for alias_index, alias_job in aliases.get(outcome.cache_key, []):
-                    # An alias never executed anything itself — it shares the
-                    # first occurrence's outcome (result or failure alike).
-                    outcomes[alias_index] = JobOutcome(
-                        job_id=alias_job.job_id,
-                        cache_key=outcome.cache_key,
-                        result=outcome.result,
-                        error=outcome.error,
-                        cache_hit=True,
-                        graph_name=alias_job.graph.name,
+                aliases[run_key] = []
+                pending.append(
+                    _PendingJob(
+                        index=index,
+                        job=job,
+                        run_key=run_key,
+                        plan=self.pipeline.plan(
+                            job.graph, job.config, graph_hash=fingerprint
+                        ),
+                        library=build_library(job.config),
                     )
+                )
+
+        # Tier 1..N: run the pipeline stage by stage across all pending jobs.
+        for tier in range(len(self.pipeline.stages)):
+            self._run_tier(tier, pending)
+
+        # Assemble outcomes (and alias copies) in submission order.
+        for p in pending:
+            outcomes[p.index] = self._finish_pending(p)
+            for alias_index, alias_job in aliases.get(p.run_key, []):
+                source = outcomes[p.index]
+                # An alias never executed anything itself — it shares the
+                # first occurrence's outcome (result or failure alike).
+                outcomes[alias_index] = JobOutcome(
+                    job_id=alias_job.job_id,
+                    cache_key=source.cache_key,
+                    result=source.result,
+                    error=source.error,
+                    cache_hit=True,
+                    graph_name=alias_job.graph.name,
+                )
 
         # Snapshot the cache counters as a per-batch delta: the cache may be
         # shared across many batches, and a report must describe its own.
@@ -222,115 +290,201 @@ class BatchSynthesisEngine:
         """Convenience wrapper: run a single job and return its result.
 
         Raises the underlying synthesis error on failure (the single-job
-        caller wants the traceback, not a report row).
+        caller wants the traceback, not a report row).  Execution goes
+        through the staged pipeline against the shared cache, so even a
+        cold run reuses whatever upstream stage artifacts other jobs left
+        behind.
         """
-        key = cache_key(job.graph, job.config)
+        fingerprint = graph_fingerprint(job.graph)
+        run_key = cache_key(job.graph, job.config, graph_hash=fingerprint)
         # Failure memo first, mirroring run(): a replayed failure must not be
-        # charged as a result-cache miss.
-        known_failure = self.cache.get_failure(key)
+        # charged as a cache miss.
+        known_failure = self.cache.get_failure(run_key)
         if known_failure is not None:
             # Synthesis is deterministic: re-running an identical failed job
             # would reproduce the same error at full solver cost.  A fresh
             # detached copy is raised so repeated raises cannot pile
             # tracebacks onto one shared object.
             raise _detached_failure(known_failure)
-        cached = self.cache.get(key)
+        cached = self.cache.get(run_key)
         if cached is not None:
             return cached
         try:
-            result = flow.synthesize(job.graph, job.config)
+            result = self.pipeline.run(
+                job.graph, job.config, cache=self.cache, graph_hash=fingerprint
+            )
         except Exception as exc:
-            self._record_failure(key, exc)
+            self._record_failure(run_key, exc)
             raise
-        self.cache.put(key, result)
+        # Memory tier only: the stage artifacts persist individually.
+        self.cache.put(run_key, result, disk=False)
         return result
 
     # -------------------------------------------------------------- internals
-    def _run_inline(
-        self, pending: List[Tuple[int, BatchJob, str]]
-    ) -> List[Tuple[int, JobOutcome]]:
-        executed: List[Tuple[int, JobOutcome]] = []
-        for index, job, key in pending:
-            job_start = time.perf_counter()
-            try:
-                result = flow.synthesize(job.graph, job.config)
-            except Exception as exc:  # noqa: BLE001 - captured per job
-                # Memoize even on the fail-fast path: the failure is just as
-                # deterministic, and a later run sharing this cache must not
-                # pay a full solver run to reproduce it.
-                self._record_failure(key, exc)
-                if self.fail_fast:
-                    raise
-                outcome = JobOutcome(
-                    job_id=job.job_id,
-                    cache_key=key,
-                    error=_error_message(exc),
-                    wall_time_s=time.perf_counter() - job_start,
-                    graph_name=job.graph.name,
+    def _run_tier(self, tier: int, pending: List[_PendingJob]) -> None:
+        """Resolve stage ``tier`` for every live pending job.
+
+        Cache hits are replayed; the remaining work is grouped by stage key
+        (one execution per distinct key, shared by every job in the group)
+        and run inline or over the pool.
+        """
+        stage = self.pipeline.stages[tier]
+        groups: Dict[str, List[_PendingJob]] = {}
+        for p in pending:
+            if p.failed:
+                continue
+            stage_key = p.plan[tier].key
+            if stage_key in groups:
+                groups[stage_key].append(p)
+                continue
+            artifact = self.cache.get(stage_key)
+            if artifact is not None:
+                p.artifacts.append(artifact)
+                p.executions.append(
+                    StageExecution(stage=stage.name, key=stage_key, action="replayed")
                 )
             else:
-                self.cache.put(key, result)
-                outcome = JobOutcome(
-                    job_id=job.job_id,
-                    cache_key=key,
-                    result=result,
-                    wall_time_s=time.perf_counter() - job_start,
-                    graph_name=job.graph.name,
-                )
-            executed.append((index, outcome))
+                groups[stage_key] = [p]
+        if not groups:
+            return
+
+        if self.max_workers > 1 and len(groups) > 1:
+            executed = self._run_tier_pool(tier, groups)
+        else:
+            executed = self._run_tier_inline(tier, groups)
+
+        for stage_key, (ok, value, elapsed, crashed) in executed.items():
+            group = groups[stage_key]
+            if ok:
+                self.cache.put(stage_key, value)
+                for position, p in enumerate(group):
+                    p.artifacts.append(value)
+                    p.executions.append(
+                        StageExecution(
+                            stage=stage.name,
+                            key=stage_key,
+                            action="ran" if position == 0 else "shared",
+                            wall_time_s=elapsed if position == 0 else 0.0,
+                        )
+                    )
+            else:
+                for p in group:
+                    p.error = value
+                    p.executions.append(
+                        StageExecution(
+                            stage=stage.name,
+                            key=stage_key,
+                            action="ran",
+                            wall_time_s=elapsed,
+                        )
+                    )
+                    # Infrastructure crashes are not properties of the job's
+                    # content — never memoize them; deterministic stage
+                    # failures are memoized under each sharing job's run key
+                    # so identical future jobs replay the error solver-free.
+                    if not crashed:
+                        self._record_failure(p.run_key, value)
+                if self.fail_fast:
+                    raise _detached_failure(value)
+
+    def _run_tier_inline(
+        self, tier: int, groups: Dict[str, List[_PendingJob]]
+    ) -> Dict[str, Tuple[bool, Any, float, bool]]:
+        stage = self.pipeline.stages[tier]
+        executed: Dict[str, Tuple[bool, Any, float, bool]] = {}
+        for stage_key, group in groups.items():
+            rep = group[0]
+            upstream = rep.artifacts[tier - 1] if tier > 0 else None
+            context = StageContext(
+                graph=rep.job.graph, config=rep.job.config, library=rep.library
+            )
+            start = time.perf_counter()
+            try:
+                artifact = stage.run(context, upstream)
+            except Exception as exc:  # noqa: BLE001 - captured per job
+                executed[stage_key] = (False, exc, time.perf_counter() - start, False)
+                if self.fail_fast:
+                    # The caller memoizes and raises; skip the doomed rest.
+                    return executed
+            else:
+                executed[stage_key] = (True, artifact, time.perf_counter() - start, False)
         return executed
 
-    def _run_pool(
-        self, pending: List[Tuple[int, BatchJob, str]]
-    ) -> List[Tuple[int, JobOutcome]]:
-        executed: List[Tuple[int, JobOutcome]] = []
-        workers = min(self.max_workers, len(pending))
+    def _run_tier_pool(
+        self, tier: int, groups: Dict[str, List[_PendingJob]]
+    ) -> Dict[str, Tuple[bool, Any, float, bool]]:
+        stage = self.pipeline.stages[tier]
+        executed: Dict[str, Tuple[bool, Any, float, bool]] = {}
+        workers = min(self.max_workers, len(groups))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             future_info = {}
-            for index, job, key in pending:
-                payload = (graph_to_dict(job.graph), job.config.to_dict())
-                future = pool.submit(_execute_serialized, payload)
-                future_info[future] = (index, job, key, time.perf_counter())
-            # Collect as futures complete; the caller re-orders outcomes by
-            # index, so determinism of the report does not depend on this.
+            for stage_key, group in groups.items():
+                rep = group[0]
+                upstream = rep.artifacts[tier - 1] if tier > 0 else None
+                payload = (
+                    stage.name,
+                    graph_to_dict(rep.job.graph),
+                    rep.job.config.to_dict(),
+                    upstream,
+                )
+                future = pool.submit(_execute_stage_serialized, payload)
+                future_info[future] = (stage_key, time.perf_counter())
+            # Collect as futures complete; artifacts are keyed by stage key,
+            # so determinism of the report does not depend on this order.
             for future in as_completed(future_info):
-                index, job, key, submit_time = future_info[future]
-                crashed = False
+                stage_key, submit_time = future_info[future]
                 try:
                     ok, value, elapsed = future.result()
+                    crashed = False
                 except Exception as exc:  # noqa: BLE001 - worker/pickling crash
-                    # A job-level failure comes back tagged; reaching here
+                    # A stage-level failure comes back tagged; reaching here
                     # means the worker itself died (OOM-kill, broken pool),
-                    # so only queue-side timing exists.
+                    # so only queue-side timing exists.  Artifacts of earlier
+                    # tiers are already in the cache, so the next run resumes
+                    # from the last completed stage instead of starting over.
                     ok = False
                     crashed = True
                     value = exc
                     elapsed = time.perf_counter() - submit_time
-                if not ok:
-                    # Infrastructure crashes are not properties of the
-                    # (graph, config) key — never memoize them.
-                    if not crashed:
-                        self._record_failure(key, value)
-                    if self.fail_fast:
-                        # Abort for real: drop queued jobs so the pool's
-                        # __exit__ does not sit out every remaining solve.
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise _detached_failure(value)
-                    outcome = JobOutcome(
-                        job_id=job.job_id,
-                        cache_key=key,
-                        error=_error_message(value),
-                        wall_time_s=elapsed,
-                        graph_name=job.graph.name,
-                    )
-                else:
-                    self.cache.put(key, value)
-                    outcome = JobOutcome(
-                        job_id=job.job_id,
-                        cache_key=key,
-                        result=value,
-                        wall_time_s=elapsed,
-                        graph_name=job.graph.name,
-                    )
-                executed.append((index, outcome))
+                if not ok and self.fail_fast:
+                    # Abort for real: drop queued stages so the pool's
+                    # __exit__ does not sit out every remaining solve.
+                    # Deterministic failures are still memoized by the
+                    # caller via the executed map before it raises.
+                    executed[stage_key] = (ok, value, elapsed, crashed)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    return executed
+                executed[stage_key] = (ok, value, elapsed, crashed)
         return executed
+
+    def _finish_pending(self, p: _PendingJob) -> JobOutcome:
+        if p.failed:
+            return JobOutcome(
+                job_id=p.job.job_id,
+                cache_key=p.run_key,
+                error=_error_message(p.error),
+                wall_time_s=p.ran_time_s(),
+                graph_name=p.job.graph.name,
+                stages=list(p.executions),
+            )
+        schedule_art, arch_art, physical_art = p.artifacts
+        result = SynthesisResult.from_artifacts(
+            graph=p.job.graph,
+            library=p.library,
+            config=p.job.config,
+            schedule_artifact=schedule_art,
+            architecture_artifact=arch_art,
+            physical_artifact=physical_art,
+        )
+        # Memory tier only: the stage artifacts persist individually.
+        self.cache.put(p.run_key, result, disk=False)
+        ran_any = any(e.action == "ran" for e in p.executions)
+        return JobOutcome(
+            job_id=p.job.job_id,
+            cache_key=p.run_key,
+            result=result,
+            cache_hit=not ran_any,
+            wall_time_s=p.ran_time_s(),
+            graph_name=p.job.graph.name,
+            stages=list(p.executions),
+        )

@@ -23,8 +23,9 @@ accepted as shorthand for ``{"jobs": [...]}``.
 
 from __future__ import annotations
 
+import itertools
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -141,3 +142,97 @@ def load_manifest(path: Union[str, Path]) -> List[BatchJob]:
         used_ids.add(job.job_id)
         jobs.append(job)
     return jobs
+
+
+# ------------------------------------------------------------------ sweep grids
+
+def _format_sweep_value(value: Any) -> str:
+    """Compact, unambiguous value rendering for sweep-point job ids."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def expand_sweep(
+    spec: Dict[str, Any],
+    base_dir: Optional[Path] = None,
+) -> List[BatchJob]:
+    """Expand a parameter-grid sweep spec into stage-shared batch jobs.
+
+    A sweep spec names one assay (or protocol file) and a grid of
+    :class:`FlowConfig` overrides::
+
+        {
+          "assay": "PCR",
+          "base": {"ilp_operation_limit": 0},
+          "sweep": {"pitch": [5.0, 6.0], "min_channel_spacing": [1.0, 2.0]}
+        }
+
+    The cartesian product of the ``sweep`` axes (axes in spec order, values
+    in list order) becomes one job per point, with ids like
+    ``PCR/pitch=5,min_channel_spacing=1``.  All points share one graph and
+    one ``base`` config, so when a sweep only varies downstream knobs the
+    batch engine executes the untouched upstream stages exactly once: a
+    pitch sweep performs one scheduling solve and one architecture
+    synthesis no matter how many points it has.
+
+    Raises
+    ------
+    ValueError
+        On unknown keys, an empty grid, non-list axis values, axes that are
+        not :class:`FlowConfig` fields, or invalid config values (reported
+        with the offending sweep point's id).
+    """
+    unknown = set(spec) - {"assay", "protocol", "id", "base", "sweep"}
+    if unknown:
+        raise ValueError(f"sweep spec: unknown keys {sorted(unknown)}")
+    sweep = spec.get("sweep")
+    if not isinstance(sweep, dict) or not sweep:
+        raise ValueError("sweep spec: 'sweep' must be a non-empty object of field -> values")
+    known_fields = {f.name for f in fields(FlowConfig)}
+    unknown_axes = set(sweep) - known_fields
+    if unknown_axes:
+        raise ValueError(f"sweep spec: unknown flow-config axes {sorted(unknown_axes)}")
+    for axis, values in sweep.items():
+        if not isinstance(values, list) or not values:
+            raise ValueError(f"sweep spec: axis {axis!r} must map to a non-empty list")
+    base = spec.get("base") or {}
+    if not isinstance(base, dict):
+        raise ValueError("sweep spec: 'base' must be an object")
+    overlap = set(base) & set(sweep)
+    if overlap:
+        raise ValueError(f"sweep spec: {sorted(overlap)} appear in both 'base' and 'sweep'")
+
+    source = {key: spec[key] for key in ("assay", "protocol") if key in spec}
+    prefix = spec.get("id") or spec.get("assay") or Path(str(spec.get("protocol"))).stem
+
+    axes = list(sweep)
+    jobs: List[BatchJob] = []
+    used_ids: set = set()
+    for index, combo in enumerate(itertools.product(*(sweep[a] for a in axes))):
+        point = dict(zip(axes, combo))
+        point_id = ",".join(f"{a}={_format_sweep_value(v)}" for a, v in point.items())
+        job_spec = {**source, "id": f"{prefix}/{point_id}", "config": {**base, **point}}
+        job = job_from_spec(job_spec, base_dir=base_dir, index=index)
+        if job.job_id in used_ids:
+            # Mirrors load_manifest's duplicate-id rejection: axis values that
+            # render identically (5 vs 5.0, floats closer than %g resolves)
+            # would otherwise produce indistinguishable report rows.
+            raise ValueError(
+                f"sweep spec: grid point {index} duplicates job id {job.job_id!r} "
+                "(axis values render identically)"
+            )
+        used_ids.add(job.job_id)
+        jobs.append(job)
+    return jobs
+
+
+def load_sweep(path: Union[str, Path]) -> List[BatchJob]:
+    """Load a sweep spec file and expand it into jobs (grid order)."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"sweep spec {path} must be a JSON object")
+    return expand_sweep(payload, base_dir=path.parent)

@@ -1,4 +1,13 @@
-"""Aggregated reporting for batch runs (Table-2-style rows + batch totals)."""
+"""Aggregated reporting for batch runs (Table-2-style rows + batch totals).
+
+Since the staged refactor every :class:`JobOutcome` carries its per-stage
+execution trail (:class:`~repro.synthesis.pipeline.StageExecution`): which
+stages actually *ran* a solver, which were *replayed* from the cache, and
+which were *shared* with another job of the same batch.
+:meth:`BatchReport.stage_summary` aggregates the trail across the batch —
+the number a sweep user cares about is "how many scheduling solves did this
+grid cost me", and it is printed with every report.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +17,7 @@ from typing import Any, Dict, List, Optional
 from repro.batch.cache import CacheStats
 from repro.synthesis.flow import SynthesisResult
 from repro.synthesis.metrics import FlowMetrics, collect_metrics
+from repro.synthesis.pipeline import StageExecution
 from repro.synthesis.report import format_table2_row, table2_header
 
 
@@ -16,9 +26,12 @@ class JobOutcome:
     """What happened to one job of a batch.
 
     Exactly one of ``result`` / ``error`` is set.  ``cache_hit`` records
-    whether the result came out of the :class:`~repro.batch.cache.ResultCache`
-    instead of a solver run; ``wall_time_s`` is the per-job time as seen by
-    the engine (near zero for cache hits).
+    whether the job completed without executing a single stage (every
+    artifact came from the :class:`~repro.batch.cache.ResultCache` or was
+    shared); ``wall_time_s`` is the time the job spent on stages it ran
+    itself (zero for cache hits).  ``stages`` is the per-stage trail, in
+    pipeline order; it is empty for jobs resolved from the failure memo or
+    the assembled-result tier (nothing was even planned for those).
     """
 
     job_id: str
@@ -32,10 +45,28 @@ class JobOutcome:
     #: ``graph.name`` belongs to another job; metrics are relabeled with
     #: this so every report row shows its own assay.
     graph_name: Optional[str] = None
+    stages: List[StageExecution] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.result is not None
+
+    def stages_ran(self) -> List[str]:
+        """Names of the stages this job executed itself (pipeline order)."""
+        return [e.stage for e in self.stages if e.action == "ran"]
+
+    def stages_reused(self) -> List[str]:
+        """Names of the stages served from the cache or shared in-batch."""
+        return [e.stage for e in self.stages if e.action != "ran"]
+
+    def stage_tag(self) -> str:
+        """Compact per-job stage trail, e.g. ``S=hit A=ran P=ran``."""
+        if not self.stages:
+            return "result=hit" if self.cache_hit else ""
+        marks = {"ran": "ran", "replayed": "hit", "shared": "shr"}
+        return " ".join(
+            f"{e.stage[:5]}={marks.get(e.action, e.action)}" for e in self.stages
+        )
 
     def metrics(self) -> FlowMetrics:
         if self.result is None:
@@ -88,12 +119,35 @@ class BatchReport:
 
     @property
     def num_executed(self) -> int:
-        """Jobs that actually ran the synthesis flow (cache misses that succeeded or failed)."""
+        """Jobs that ran at least one stage themselves (full hits excluded)."""
         return sum(1 for o in self.outcomes if not o.cache_hit)
 
     @property
     def total_makespan(self) -> int:
         return sum(o.result.schedule.makespan for o in self.outcomes if o.result is not None)
+
+    def stage_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-stage aggregate: how many jobs ran / replayed / shared it.
+
+        ``ran`` counts actual solver executions this batch paid for;
+        ``replayed`` counts artifacts served from the cache; ``shared``
+        counts jobs that rode along on another job's execution within this
+        batch.  ``wall_time_s`` sums the execution time of the ``ran``
+        entries — the real cost of the stage across the batch.
+        """
+        summary: Dict[str, Dict[str, Any]] = {}
+        for outcome in self.outcomes:
+            for execution in outcome.stages:
+                row = summary.setdefault(
+                    execution.stage,
+                    {"ran": 0, "replayed": 0, "shared": 0, "wall_time_s": 0.0},
+                )
+                row[execution.action] += 1
+                if execution.action == "ran":
+                    row["wall_time_s"] += execution.wall_time_s
+        for row in summary.values():
+            row["wall_time_s"] = round(row["wall_time_s"], 3)
+        return summary
 
     # ----------------------------------------------------------- formatting
     def summary(self) -> Dict[str, Any]:
@@ -105,6 +159,7 @@ class BatchReport:
             "total_makespan": self.total_makespan,
             "wall_time_s": round(self.wall_time_s, 3),
             "max_workers": self.max_workers,
+            "stages": self.stage_summary(),
         }
 
     def deterministic_summary(self) -> str:
@@ -112,7 +167,8 @@ class BatchReport:
 
         Two runs of the same job list — serial or parallel, cold or warm
         cache — must produce byte-identical output here; the regression
-        tests rely on that.
+        tests rely on that.  (Stage actions are deliberately excluded: a
+        warm run replays stages a cold run executed.)
         """
         lines = []
         for outcome in self.outcomes:
@@ -129,17 +185,38 @@ class BatchReport:
         return "\n".join(lines)
 
 
+def format_stage_summary(report: BatchReport) -> str:
+    """The per-stage breakdown as printable lines (one per stage).
+
+    The smoke tests grep these lines — e.g. a warm sweep must show
+    ``stage schedule: 0 ran`` — so the format is stable: counts first,
+    timing last.
+    """
+    summary = report.stage_summary()
+    if not summary:
+        return ""
+    lines = []
+    for stage_name, row in summary.items():
+        lines.append(
+            f"stage {stage_name}: {row['ran']} ran, {row['replayed']} replayed, "
+            f"{row['shared']} shared, {row['wall_time_s']:.2f} s solve time"
+        )
+    return "\n".join(lines)
+
+
 def format_batch_report(report: BatchReport) -> str:
     """Human-readable batch report: Table 2 rows plus batch totals."""
     lines: List[str] = []
-    lines.append("job".ljust(12) + " " + table2_header() + " " + "cache".ljust(6))
+    lines.append("job".ljust(12) + " " + table2_header() + " " + "stages".ljust(6))
     for outcome in report.outcomes:
         if outcome.result is None:
             lines.append(f"{outcome.job_id:<12} FAILED: {outcome.error}")
             continue
         row = format_table2_row(outcome.metrics())
-        tag = "hit" if outcome.cache_hit else "miss"
-        lines.append(f"{outcome.job_id:<12} {row} {tag:<6}")
+        lines.append(f"{outcome.job_id:<12} {row} {outcome.stage_tag()}")
+    stage_lines = format_stage_summary(report)
+    if stage_lines:
+        lines.append(stage_lines)
     stats = report.cache_stats
     cache_line = ""
     if stats is not None:

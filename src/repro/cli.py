@@ -14,13 +14,23 @@ or a custom protocol stored as JSON (see ``repro.graph.serialization``)::
 The command prints the synthesis report (schedule, architecture, layout
 metrics) and optionally writes the compact layout as an SVG drawing.
 
-Batch mode runs many jobs from a JSON manifest through the parallel
+Batch mode runs many jobs from a JSON manifest through the stage-granular
 batch-synthesis engine (see ``repro.batch.jobs`` for the manifest format)::
 
     python -m repro batch manifest.json --workers 4 --cache-dir .repro-cache
 
-With a ``--cache-dir`` the results persist on disk, so re-running the same
-manifest completes without a single solver invocation.
+With a ``--cache-dir`` the stage artifacts persist on disk, so re-running
+the same manifest completes without a single solver invocation.
+
+Sweep mode expands a parameter grid into stage-shared jobs (see
+:func:`repro.batch.jobs.expand_sweep` for the spec format)::
+
+    python -m repro sweep sweep.json --workers 4 --cache-dir .repro-cache
+
+Sweep points that only vary downstream knobs (say, physical-design
+parameters) share the upstream stage artifacts: the schedule is solved once
+for the whole grid, and the report's ``stage`` lines show exactly which
+stages ran versus were replayed or shared.
 """
 
 from __future__ import annotations
@@ -43,8 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Synthesize a flow-based microfluidic biochip with distributed channel storage.",
         epilog="Batch mode: 'repro batch MANIFEST.json [--workers N] [--cache-dir DIR]' runs "
-        "many jobs from a JSON manifest through the parallel batch engine "
-        "(see 'repro batch --help').",
+        "many jobs from a JSON manifest through the stage-granular batch engine "
+        "(see 'repro batch --help').  Sweep mode: 'repro sweep SPEC.json' expands a "
+        "parameter grid into stage-shared jobs (see 'repro sweep --help').",
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -95,17 +106,14 @@ def _config_from_args(args: argparse.Namespace) -> FlowConfig:
     )
 
 
-def build_batch_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro batch",
-        description="Run a batch of synthesis jobs from a JSON manifest "
-        "through the parallel batch-synthesis engine.",
-    )
-    parser.add_argument("manifest", type=Path, help="path to the JSON job manifest")
+def _build_jobs_parser(prog: str, description: str, source_help: str) -> argparse.ArgumentParser:
+    """Shared argument surface of the ``batch`` and ``sweep`` subcommands."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("spec", type=Path, help=source_help)
     parser.add_argument("--workers", type=int, default=1,
-                        help="process count for cache-miss execution (default 1 = serial)")
+                        help="process count for stage execution (default 1 = serial)")
     parser.add_argument("--cache-dir", type=Path, default=None,
-                        help="directory for the persistent result-cache tier (default: memory only)")
+                        help="directory for the persistent stage-cache tier (default: memory only)")
     parser.add_argument("--json", dest="json_out", type=Path, default=None,
                         help="also write per-job metrics and batch totals to this JSON file")
     parser.add_argument("--fail-fast", action="store_true",
@@ -113,22 +121,50 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_batch(argv: List[str]) -> int:
-    """The ``repro batch`` subcommand; returns a process exit code."""
-    from repro.batch import BatchSynthesisEngine, ResultCache, format_batch_report, load_manifest
+def build_batch_parser() -> argparse.ArgumentParser:
+    return _build_jobs_parser(
+        prog="repro batch",
+        description="Run a batch of synthesis jobs from a JSON manifest "
+        "through the stage-granular batch-synthesis engine.",
+        source_help="path to the JSON job manifest",
+    )
 
-    parser = build_batch_parser()
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    return _build_jobs_parser(
+        prog="repro sweep",
+        description="Expand a parameter-grid sweep spec into stage-shared "
+        "jobs and run them through the batch engine; sweep points that only "
+        "vary downstream knobs reuse the upstream stage artifacts (e.g. a "
+        "physical-design sweep performs exactly one scheduling solve).",
+        source_help="path to the JSON sweep spec "
+        '(e.g. {"assay": "PCR", "sweep": {"pitch": [5, 6]}})',
+    )
+
+
+def _run_jobs_command(argv: List[str], sweep: bool) -> int:
+    """Shared implementation of the ``batch`` and ``sweep`` subcommands."""
+    from repro.batch import (
+        BatchSynthesisEngine,
+        ResultCache,
+        format_batch_report,
+        load_manifest,
+        load_sweep,
+    )
+
+    parser = build_sweep_parser() if sweep else build_batch_parser()
     args = parser.parse_args(argv)
+    kind = "sweep spec" if sweep else "manifest"
 
-    if not args.manifest.exists():
-        parser.error(f"manifest file {args.manifest} does not exist")
+    if not args.spec.exists():
+        parser.error(f"{kind} file {args.spec} does not exist")
     try:
-        jobs = load_manifest(args.manifest)
+        jobs = load_sweep(args.spec) if sweep else load_manifest(args.spec)
     except (ValueError, json.JSONDecodeError) as exc:
-        print(f"invalid manifest: {exc}", file=sys.stderr)
+        print(f"invalid {kind}: {exc}", file=sys.stderr)
         return 2
     if not jobs:
-        print("manifest contains no jobs", file=sys.stderr)
+        print(f"{kind} contains no jobs", file=sys.stderr)
         return 2
 
     cache = ResultCache(cache_dir=args.cache_dir)
@@ -153,6 +189,14 @@ def run_batch(argv: List[str]) -> int:
                     "cache_hit": outcome.cache_hit,
                     "wall_time_s": round(outcome.wall_time_s, 3),
                     "error": outcome.error,
+                    "stages": [
+                        {
+                            "stage": execution.stage,
+                            "action": execution.action,
+                            "wall_time_s": round(execution.wall_time_s, 3),
+                        }
+                        for execution in outcome.stages
+                    ],
                     "metrics": outcome.metrics().as_dict() if outcome.ok else None,
                 }
                 for outcome in report
@@ -164,12 +208,24 @@ def run_batch(argv: List[str]) -> int:
     return 0 if report.num_failed == 0 else 1
 
 
+def run_batch(argv: List[str]) -> int:
+    """The ``repro batch`` subcommand; returns a process exit code."""
+    return _run_jobs_command(argv, sweep=False)
+
+
+def run_sweep(argv: List[str]) -> int:
+    """The ``repro sweep`` subcommand; returns a process exit code."""
+    return _run_jobs_command(argv, sweep=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return run_batch(list(argv[1:]))
+    if argv and argv[0] == "sweep":
+        return run_sweep(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

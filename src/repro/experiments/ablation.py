@@ -57,8 +57,12 @@ def run_grid_ablation(
 ) -> List[AblationRow]:
     """Sweep the connection-grid size for one assay.
 
-    The sweep points run as one batch through the engine; a grid too small
-    for the assay simply fails its job and is dropped from the rows.
+    The sweep points run as one batch through the engine.  The grid size
+    only enters the architecture stage's config slice, so the whole sweep
+    performs exactly one scheduling solve — every point shares the cached
+    schedule artifact and re-runs placement/routing + physical design.  A
+    grid too small for the assay simply fails its job and is dropped from
+    the rows.
     """
     settings = settings or ExperimentSettings()
     graph = assay_by_name(assay)

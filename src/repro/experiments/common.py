@@ -1,13 +1,19 @@
 """Shared plumbing of the experiment modules.
 
-All experiments obtain synthesis results through the batch engine
-(:mod:`repro.batch`): each table/figure first *prefetches* the assays it
-needs — fanning out over processes when the settings ask for it — and then
-reads the individual results from the shared content-addressed cache.
-Because the cache is keyed by the serialized ``(graph, config)`` pair,
+All experiments obtain synthesis results through the stage-granular batch
+engine (:mod:`repro.batch`): each table/figure first *prefetches* the assays
+it needs — fanning out over processes when the settings ask for it — and
+then reads the individual results from the shared content-addressed cache.
 Table 2, Fig. 8 and Fig. 10 all reuse the same storage-aware synthesis
 result per assay, and a warm re-run of the whole evaluation performs zero
 solver invocations.
+
+Since the staged refactor the sharing is finer than whole results: the
+cache also holds per-stage artifacts, so experiment variants that agree on
+a *prefix* of the pipeline share it.  Fig. 9's time-only variants change
+the scheduler objective and legitimately re-solve everything, but e.g. the
+grid-size ablation re-uses one schedule artifact across every grid point —
+only placement/routing and physical design run per point.
 """
 
 from __future__ import annotations

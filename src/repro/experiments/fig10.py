@@ -11,7 +11,7 @@ from repro.experiments.common import (
     assay_result,
     prefetch_assay_results,
 )
-from repro.storagebaseline.comparison import StorageComparison, compare_with_dedicated_storage
+from repro.storagebaseline.comparison import StorageComparison, compare_result
 
 
 @dataclass
@@ -39,9 +39,7 @@ def run_fig10(settings: Optional[ExperimentSettings] = None) -> List[Fig10Row]:
     rows: List[Fig10Row] = []
     for name in names:
         result = assay_result(name, settings)
-        comparison: StorageComparison = compare_with_dedicated_storage(
-            result.schedule, result.architecture
-        )
+        comparison: StorageComparison = compare_result(result)
         rows.append(
             Fig10Row(
                 assay=name,

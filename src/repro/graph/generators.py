@@ -16,6 +16,13 @@ from typing import List, Optional, Sequence
 
 from repro.graph.sequencing_graph import Operation, OperationType, SequencingGraph
 from repro.graph.validation import assert_valid
+from repro.keys import derive_seed
+
+#: Root seed of all synthetic-graph randomness.  Sub-seeds are derived from
+#: it with :func:`repro.keys.derive_seed` (SHA-based, so identical in every
+#: worker process — never Python's per-process ``hash()``), which makes
+#: synthetic-graph runs bit-reproducible across processes and machines.
+DEFAULT_SEED = 2017
 
 
 @dataclass
@@ -43,7 +50,7 @@ class RandomAssayConfig:
     """
 
     num_operations: int
-    seed: int = 2017
+    seed: int = DEFAULT_SEED
     durations: Sequence[int] = (50, 60, 70, 80, 90, 100)
     merge_probability: float = 0.9
     layer_width: int = 8
@@ -124,13 +131,23 @@ def _pick_parents(
     return candidates[:count]
 
 
-def paper_random_assay(num_operations: int) -> SequencingGraph:
+def paper_random_assay(
+    num_operations: int, root_seed: Optional[int] = None
+) -> SequencingGraph:
     """The RA30/RA70/RA100 stand-ins used throughout the benchmarks.
 
-    Uses fixed seeds so every experiment in the repository sees the exact
-    same graphs.
+    With the default ``root_seed=None`` the historical per-size seed table
+    is used, so every experiment (and the golden regression pins) sees the
+    exact graphs the seed implementation produced.  Passing a ``root_seed``
+    threads one seed through the whole family instead: each size's seed is
+    derived from it with :func:`repro.keys.derive_seed`, which is stable
+    across processes, so a seeded sweep of synthetic assays is
+    bit-reproducible no matter which worker generates which graph.
     """
-    seeds = {30: 30017, 70: 70017, 100: 100017}
-    seed = seeds.get(num_operations, 2017 + num_operations)
+    if root_seed is None:
+        seeds = {30: 30017, 70: 70017, 100: 100017}
+        seed = seeds.get(num_operations, DEFAULT_SEED + num_operations)
+    else:
+        seed = derive_seed(root_seed, f"paper-random-assay/{num_operations}")
     config = RandomAssayConfig(num_operations=num_operations, seed=seed)
     return random_assay(config)

@@ -1,0 +1,49 @@
+"""Shared content-addressing primitives: key version, digests, seeds.
+
+Every content-addressed key in the repository — the run-level key of
+:func:`repro.batch.cache.cache_key` and the per-stage keys of
+:class:`repro.synthesis.pipeline.SynthesisPipeline` — embeds the single
+:data:`KEY_VERSION` constant below, and every disk-cache entry is wrapped in
+an envelope carrying it.  Bump it exactly once per incompatible change of
+any cached payload's semantics; stale disk entries from an older version are
+then ignored (treated as misses and dropped), never unpickled into the
+wrong shape.
+
+The module deliberately has no repro-internal imports so every layer
+(graph generators, the router, the batch cache) can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: Version of all content-addressed cache keys and disk-entry envelopes.
+#: v1: run-level keys over (graph, config) pairs (PR 1).
+#: v2: staged pipeline — per-stage keys, artifact payloads, FlowConfig.seed.
+KEY_VERSION = 2
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload.
+
+    The payload is serialized with sorted keys and no whitespace, so dicts
+    hash equal regardless of insertion order and the digest is stable across
+    processes and Python versions (unlike built-in ``hash()``, which is
+    randomized per process).
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a stable 63-bit sub-seed from ``root_seed`` for ``label``.
+
+    Lets one root seed fan out into independent, reproducible streams (one
+    per generated assay, one for router tie-breaking) without the streams
+    correlating.  Uses SHA-256 rather than ``hash()`` so the derivation is
+    identical in every worker process.
+    """
+    blob = f"{root_seed}:{label}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1

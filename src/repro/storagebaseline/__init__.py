@@ -16,7 +16,11 @@ the distributed-channel-storage result can be compared against it:
 
 from repro.storagebaseline.retiming import DedicatedStorageRetiming, RetimedSchedule
 from repro.storagebaseline.resources import BaselineResources, baseline_resources
-from repro.storagebaseline.comparison import StorageComparison, compare_with_dedicated_storage
+from repro.storagebaseline.comparison import (
+    StorageComparison,
+    compare_result,
+    compare_with_dedicated_storage,
+)
 
 __all__ = [
     "DedicatedStorageRetiming",
@@ -24,5 +28,6 @@ __all__ = [
     "BaselineResources",
     "baseline_resources",
     "StorageComparison",
+    "compare_result",
     "compare_with_dedicated_storage",
 ]

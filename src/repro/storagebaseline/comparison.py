@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.archsyn.architecture import ChipArchitecture
 from repro.archsyn.router import SynthesisConfig
 from repro.scheduling.schedule import Schedule
 from repro.storagebaseline.resources import BaselineResources, baseline_resources
 from repro.storagebaseline.retiming import DedicatedStorageRetiming, RetimedSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a layering cycle
+    from repro.synthesis.flow import SynthesisResult
 
 
 @dataclass
@@ -74,3 +77,27 @@ def compare_with_dedicated_storage(
         baseline=resources,
         retimed=retimed,
     )
+
+
+def compare_result(
+    result: "SynthesisResult",
+    num_ports: int = 1,
+    synthesis_config: Optional[SynthesisConfig] = None,
+) -> StorageComparison:
+    """Fig. 10 comparison straight from an assembled synthesis result.
+
+    ``SynthesisResult`` is a view over the pipeline's stage artifacts, so
+    this works identically whether the schedule and architecture were
+    computed fresh or replayed from the stage cache.  The comparison is
+    labeled with the *result's* graph name (not the schedule's), so a
+    content-aliased result compares under the name the caller asked for.
+    """
+    comparison = compare_with_dedicated_storage(
+        result.schedule,
+        result.architecture,
+        num_ports=num_ports,
+        synthesis_config=synthesis_config,
+    )
+    if comparison.assay != result.graph.name:
+        comparison.assay = result.graph.name
+    return comparison

@@ -1,23 +1,49 @@
 """End-to-end synthesis pipeline (the paper's complete flow).
 
-:func:`synthesize` chains the three stages — scheduling & binding with
-storage minimization, architectural synthesis with distributed channel
-storage, and iterative physical compression — and returns a
-:class:`SynthesisResult` bundling every intermediate artifact and the metrics
-reported in the paper's evaluation (Table 2, Figs. 8–10).
+The flow is an explicit staged pipeline
+(:class:`~repro.synthesis.pipeline.SynthesisPipeline`): scheduling & binding
+with storage minimization (:class:`~repro.synthesis.pipeline.ScheduleStage`),
+architectural synthesis with distributed channel storage
+(:class:`~repro.synthesis.pipeline.ArchSynthStage`), and iterative physical
+compression (:class:`~repro.synthesis.pipeline.PhysicalStage`).  Each stage
+produces a typed, serializable artifact with a content-addressed cache key,
+and :class:`SynthesisResult` is a thin view assembled from the three
+artifacts.  :func:`synthesize` remains the one-call convenience entry point.
 """
 
 from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
 from repro.synthesis.flow import SynthesisResult, synthesize
 from repro.synthesis.metrics import FlowMetrics, collect_metrics
+from repro.synthesis.pipeline import (
+    ArchitectureArtifact,
+    ArchSynthStage,
+    PhysicalArtifact,
+    PhysicalStage,
+    ScheduleArtifact,
+    ScheduleStage,
+    StageExecution,
+    SynthesisPipeline,
+    stage_invocations,
+    reset_stage_invocations,
+)
 from repro.synthesis.report import format_table2_row, table2_header, result_report
 
 __all__ = [
+    "ArchitectureArtifact",
+    "ArchSynthStage",
     "FlowConfig",
+    "PhysicalArtifact",
+    "PhysicalStage",
+    "ScheduleArtifact",
+    "ScheduleStage",
     "SchedulerEngine",
+    "StageExecution",
     "SynthesisEngine",
+    "SynthesisPipeline",
     "SynthesisResult",
     "synthesize",
+    "stage_invocations",
+    "reset_stage_invocations",
     "FlowMetrics",
     "collect_metrics",
     "format_table2_row",

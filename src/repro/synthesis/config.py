@@ -100,6 +100,14 @@ class FlowConfig:
     auto_expand_grid: bool = True
     max_grid_dim: int = 9
     archsyn_time_limit_s: float = 120.0
+    #: Root seed threaded through the heuristic router's tie-breaking (and
+    #: available to synthetic-graph generation via the same derivation
+    #: helper, :func:`repro.keys.derive_seed`).  ``0`` keeps the canonical
+    #: lexicographic tie-break order that the golden regression pins were
+    #: recorded with; any non-zero seed reorders equal-cost routing choices
+    #: deterministically and bit-reproducibly across worker processes, which
+    #: makes ``seed`` a sweepable axis for routing-diversity experiments.
+    seed: int = 0
 
     # Physical design.
     pitch: float = 5.0

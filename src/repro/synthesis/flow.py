@@ -1,27 +1,49 @@
-"""The end-to-end synthesis flow."""
+"""The end-to-end synthesis flow.
+
+Since the staged refactor, the actual execution lives in
+:mod:`repro.synthesis.pipeline` (``ScheduleStage`` → ``ArchSynthStage`` →
+``PhysicalStage`` with typed, individually cacheable artifacts); this module
+keeps the public entry point :func:`synthesize`, the engine builders the
+stages delegate to, and :class:`SynthesisResult` — now a thin view assembled
+from the three stage artifacts so existing callers and tests are unaffected
+by where each piece was computed (fresh run, stage replay, or a mix).
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.archsyn.architecture import ChipArchitecture
 from repro.archsyn.ilp_synthesis import IlpSynthesisConfig, IlpSynthesizer
 from repro.archsyn.router import HeuristicSynthesizer, SynthesisConfig
 from repro.devices.device import DeviceLibrary, default_device_library
 from repro.graph.sequencing_graph import SequencingGraph
-from repro.graph.validation import assert_valid
-from repro.physical.pipeline import PhysicalDesignConfig, PhysicalDesignResult, build_physical_design
+from repro.physical.pipeline import PhysicalDesignResult
 from repro.scheduling.ilp_scheduler import IlpScheduler, IlpSchedulerConfig
 from repro.scheduling.list_scheduler import ListScheduler, ListSchedulerConfig
 from repro.scheduling.schedule import Schedule
 from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.synthesis.pipeline import (
+        ArchitectureArtifact,
+        PhysicalArtifact,
+        ScheduleArtifact,
+    )
+
 
 @dataclass
 class SynthesisResult:
-    """Everything the flow produces for one assay."""
+    """Everything the flow produces for one assay.
+
+    A thin view over the three stage artifacts: the fields below are exactly
+    what :meth:`from_artifacts` copies out of a
+    (:class:`~repro.synthesis.pipeline.ScheduleArtifact`,
+    :class:`~repro.synthesis.pipeline.ArchitectureArtifact`,
+    :class:`~repro.synthesis.pipeline.PhysicalArtifact`) triple, so a result
+    assembled from cached artifacts is indistinguishable from a fresh run.
+    """
 
     graph: SequencingGraph
     library: DeviceLibrary
@@ -43,6 +65,31 @@ class SynthesisResult:
     @property
     def total_runtime_s(self) -> float:
         return self.scheduling_time_s + self.synthesis_time_s + self.physical_time_s
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        graph: SequencingGraph,
+        library: DeviceLibrary,
+        config: FlowConfig,
+        schedule_artifact: "ScheduleArtifact",
+        architecture_artifact: "ArchitectureArtifact",
+        physical_artifact: "PhysicalArtifact",
+    ) -> "SynthesisResult":
+        """Assemble the result view from the three stage artifacts."""
+        return cls(
+            graph=graph,
+            library=library,
+            config=config,
+            schedule=schedule_artifact.schedule,
+            architecture=architecture_artifact.architecture,
+            physical=physical_artifact.physical,
+            scheduling_time_s=schedule_artifact.scheduling_time_s,
+            synthesis_time_s=architecture_artifact.synthesis_time_s,
+            physical_time_s=physical_artifact.physical.wall_time_s,
+            scheduler_engine=schedule_artifact.scheduler_engine,
+            synthesis_engine=architecture_artifact.synthesis_engine,
+        )
 
 
 def build_library(config: FlowConfig) -> DeviceLibrary:
@@ -101,6 +148,7 @@ def _build_synthesizer(config: FlowConfig):
                 grid_cols=config.grid_cols,
                 auto_expand_grid=config.auto_expand_grid,
                 max_grid_dim=config.max_grid_dim,
+                seed=config.seed,
             )
         ),
         "heuristic",
@@ -113,6 +161,11 @@ def synthesize(
     library: Optional[DeviceLibrary] = None,
 ) -> SynthesisResult:
     """Run the complete flow (schedule → architecture → layout) on an assay.
+
+    A convenience wrapper over :class:`~repro.synthesis.pipeline.
+    SynthesisPipeline` that runs all three stages without a cache.  Callers
+    that want stage-granular reuse (parameter sweeps, warm re-runs) should go
+    through the batch engine or hold a pipeline + cache themselves.
 
     Parameters
     ----------
@@ -129,40 +182,9 @@ def synthesize(
     SynthesisResult
         Schedule, architecture, physical design and per-stage runtimes.
     """
-    config = config or FlowConfig()
-    assert_valid(graph)
-    library = library or build_library(config)
+    # Imported here: pipeline imports this module for the result type and
+    # the engine builders, so the dependency must stay one-directional at
+    # import time.
+    from repro.synthesis.pipeline import SynthesisPipeline
 
-    scheduler, scheduler_name = _build_scheduler(config, library, graph)
-    start = time.perf_counter()
-    schedule = scheduler.schedule(graph)
-    scheduling_time = time.perf_counter() - start
-
-    synthesizer, synthesis_name = _build_synthesizer(config)
-    start = time.perf_counter()
-    architecture = synthesizer.synthesize(schedule)
-    synthesis_time = time.perf_counter() - start
-
-    physical = build_physical_design(
-        architecture,
-        library,
-        PhysicalDesignConfig(
-            pitch=config.pitch,
-            storage_segment_length=config.storage_segment_length,
-            min_channel_spacing=config.min_channel_spacing,
-        ),
-    )
-
-    return SynthesisResult(
-        graph=graph,
-        library=library,
-        config=config,
-        schedule=schedule,
-        architecture=architecture,
-        physical=physical,
-        scheduling_time_s=scheduling_time,
-        synthesis_time_s=synthesis_time,
-        physical_time_s=physical.wall_time_s,
-        scheduler_engine=scheduler_name,
-        synthesis_engine=synthesis_name,
-    )
+    return SynthesisPipeline().run(graph, config=config, library=library)

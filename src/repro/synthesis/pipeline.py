@@ -1,0 +1,405 @@
+"""Staged synthesis pipeline: typed artifacts + per-stage cache keys.
+
+The paper's flow is inherently staged — scheduling/binding, architectural
+synthesis (placement + routing), physical design — and this module makes the
+stages explicit instead of hiding them inside one opaque ``synthesize()``
+call:
+
+* :class:`ScheduleStage` → :class:`ScheduleArtifact` (the bound, timed
+  schedule);
+* :class:`ArchSynthStage` → :class:`ArchitectureArtifact` (the placed and
+  routed connection grid);
+* :class:`PhysicalStage` → :class:`PhysicalArtifact` (the scaled, expanded
+  and compacted layout).
+
+Each stage declares the exact slice of :class:`FlowConfig` fields it
+consumes (:attr:`Stage.config_fields`), and its cache key is::
+
+    sha256(KEY_VERSION, stage name, upstream artifact hash, config slice)
+
+where the first stage's upstream hash is the canonical graph fingerprint and
+every later stage's upstream hash is its predecessor's *key* (the stages are
+deterministic, so the key of an artifact is a faithful content address for
+it).  Changing only a routing knob therefore leaves the schedule key — and
+any cached :class:`ScheduleArtifact` — untouched, and changing only
+physical-design parameters reuses schedule *and* architecture.  This is the
+seam the batch engine (:mod:`repro.batch.engine`) memoizes and parallelizes
+at, and :class:`~repro.synthesis.flow.SynthesisResult` is just a thin view
+assembled from the three artifacts.
+
+The module also keeps in-process solver-invocation counters
+(:func:`stage_invocations`): every *actual* stage execution — a scheduling
+solve, an architecture synthesis, a physical-design run — increments its
+stage's counter, while cache replays do not.  Tests use the counters to
+prove stage-granular reuse (e.g. a two-point sweep varying only the pitch
+performs exactly one scheduling solve).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.device import DeviceLibrary
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.graph.serialization import canonical_graph_dict
+from repro.graph.validation import assert_valid
+from repro import keys
+from repro.keys import stable_digest
+from repro.physical.pipeline import PhysicalDesignConfig, PhysicalDesignResult, build_physical_design
+from repro.synthesis.config import FlowConfig
+from repro.synthesis.flow import (
+    SynthesisResult,
+    _build_scheduler,
+    _build_synthesizer,
+    build_library,
+)
+
+# --------------------------------------------------------------------- counters
+
+#: In-process count of actual stage executions (cache replays excluded).
+_STAGE_INVOCATIONS: Dict[str, int] = {}
+
+
+def record_invocation(stage_name: str) -> None:
+    _STAGE_INVOCATIONS[stage_name] = _STAGE_INVOCATIONS.get(stage_name, 0) + 1
+
+
+def stage_invocations() -> Dict[str, int]:
+    """Copy of the per-stage solver-invocation counters (this process)."""
+    return dict(_STAGE_INVOCATIONS)
+
+
+def reset_stage_invocations() -> None:
+    _STAGE_INVOCATIONS.clear()
+
+
+# -------------------------------------------------------------------- artifacts
+
+
+@dataclass
+class ScheduleArtifact:
+    """Output of :class:`ScheduleStage`: the bound, timed schedule.
+
+    The wall time of the original solve travels with the artifact, so a
+    replayed schedule reports the solver time that actually produced it
+    (mirroring the run-level cache semantics of PR 1).
+    """
+
+    schedule: Any  # repro.scheduling.schedule.Schedule
+    scheduler_engine: str
+    scheduling_time_s: float
+
+
+@dataclass
+class ArchitectureArtifact:
+    """Output of :class:`ArchSynthStage`: the placed and routed grid."""
+
+    architecture: Any  # repro.archsyn.architecture.ChipArchitecture
+    synthesis_engine: str
+    synthesis_time_s: float
+
+
+@dataclass
+class PhysicalArtifact:
+    """Output of :class:`PhysicalStage`: all three layout steps."""
+
+    physical: PhysicalDesignResult
+
+
+@dataclass
+class StageContext:
+    """Everything a stage may read besides its upstream artifact."""
+
+    graph: SequencingGraph
+    config: FlowConfig
+    library: DeviceLibrary
+
+
+@dataclass(frozen=True)
+class StageExecution:
+    """How one stage of one job was satisfied (for batch reporting).
+
+    ``action`` is ``"ran"`` (this job paid for the execution), ``"replayed"``
+    (served from the stage cache) or ``"shared"`` (computed once for another
+    job of the same batch and shared).
+    """
+
+    stage: str
+    key: str
+    action: str
+    wall_time_s: float = 0.0
+
+
+# ----------------------------------------------------------------------- stages
+
+
+class Stage:
+    """One step of the synthesis pipeline.
+
+    Subclasses set :attr:`name`, declare the :class:`FlowConfig` fields they
+    consume in :attr:`config_fields` (the *only* fields that enter their
+    cache key — a stage whose slice is untouched by a config change replays
+    its cached artifact), and implement :meth:`run`.
+    """
+
+    name: str = ""
+    config_fields: Tuple[str, ...] = ()
+
+    def config_slice(self, config: FlowConfig) -> Dict[str, Any]:
+        data = config.to_dict()
+        return {field: data[field] for field in self.config_fields}
+
+    def key(self, upstream_hash: str, config: FlowConfig) -> str:
+        return stable_digest(
+            {
+                "version": keys.KEY_VERSION,
+                "stage": self.name,
+                "upstream": upstream_hash,
+                "config": self.config_slice(config),
+            }
+        )
+
+    def run(self, context: StageContext, upstream: Any) -> Any:
+        raise NotImplementedError
+
+
+class ScheduleStage(Stage):
+    """Scheduling & binding (Section 3.1): operations → devices → times."""
+
+    name = "schedule"
+    config_fields = (
+        "num_mixers",
+        "num_detectors",
+        "num_heaters",
+        "scheduler",
+        "transport_time",
+        "alpha",
+        "beta",
+        "storage_aware",
+        "ilp_time_limit_s",
+        "ilp_operation_limit",
+    )
+
+    def run(self, context: StageContext, upstream: None) -> ScheduleArtifact:
+        record_invocation(self.name)
+        scheduler, scheduler_name = _build_scheduler(
+            context.config, context.library, context.graph
+        )
+        start = time.perf_counter()
+        schedule = scheduler.schedule(context.graph)
+        elapsed = time.perf_counter() - start
+        return ScheduleArtifact(
+            schedule=schedule,
+            scheduler_engine=scheduler_name,
+            scheduling_time_s=elapsed,
+        )
+
+
+class ArchSynthStage(Stage):
+    """Architectural synthesis (Section 3.2): placement + routing."""
+
+    name = "archsyn"
+    config_fields = (
+        "synthesis",
+        "grid_rows",
+        "grid_cols",
+        "auto_expand_grid",
+        "max_grid_dim",
+        "archsyn_time_limit_s",
+        "seed",
+    )
+
+    def run(self, context: StageContext, upstream: ScheduleArtifact) -> ArchitectureArtifact:
+        record_invocation(self.name)
+        synthesizer, synthesis_name = _build_synthesizer(context.config)
+        start = time.perf_counter()
+        architecture = synthesizer.synthesize(upstream.schedule)
+        elapsed = time.perf_counter() - start
+        return ArchitectureArtifact(
+            architecture=architecture,
+            synthesis_engine=synthesis_name,
+            synthesis_time_s=elapsed,
+        )
+
+
+class PhysicalStage(Stage):
+    """Physical design (Section 3.3): scaling → device insertion → compaction.
+
+    The device counts appear in this stage's slice because device insertion
+    reads the library's footprints; they also feed the schedule stage, so
+    changing them invalidates the whole chain (as it must).
+    """
+
+    name = "physical"
+    config_fields = (
+        "pitch",
+        "storage_segment_length",
+        "min_channel_spacing",
+        "num_mixers",
+        "num_detectors",
+        "num_heaters",
+    )
+
+    def run(self, context: StageContext, upstream: ArchitectureArtifact) -> PhysicalArtifact:
+        record_invocation(self.name)
+        config = context.config
+        physical = build_physical_design(
+            upstream.architecture,
+            context.library,
+            PhysicalDesignConfig(
+                pitch=config.pitch,
+                storage_segment_length=config.storage_segment_length,
+                min_channel_spacing=config.min_channel_spacing,
+            ),
+        )
+        return PhysicalArtifact(physical=physical)
+
+
+#: Stage singletons (stages are stateless) in pipeline order.
+SCHEDULE_STAGE = ScheduleStage()
+ARCHSYN_STAGE = ArchSynthStage()
+PHYSICAL_STAGE = PhysicalStage()
+DEFAULT_STAGES: Tuple[Stage, ...] = (SCHEDULE_STAGE, ARCHSYN_STAGE, PHYSICAL_STAGE)
+STAGES_BY_NAME: Dict[str, Stage] = {stage.name: stage for stage in DEFAULT_STAGES}
+
+
+def stage_by_name(name: str) -> Stage:
+    """Resolve a stage singleton by name (used by pool worker payloads)."""
+    try:
+        return STAGES_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown pipeline stage {name!r}") from None
+
+
+# --------------------------------------------------------------------- pipeline
+
+
+@dataclass(frozen=True)
+class PlannedStage:
+    """One stage of a concrete job plus its content-addressed key."""
+
+    stage: Stage
+    key: str
+
+
+def graph_fingerprint(graph: SequencingGraph) -> str:
+    """Canonical content hash of a graph (name excluded, order-invariant)."""
+    payload = canonical_graph_dict(graph)
+    payload.pop("name", None)
+    return stable_digest({"version": keys.KEY_VERSION, "graph": payload})
+
+
+class SynthesisPipeline:
+    """The explicit three-stage flow with optional per-stage caching.
+
+    ``run`` executes the stages in order; with a cache, each stage first
+    looks its key up and replays the artifact on a hit, so e.g. re-running
+    with only a different ``pitch`` performs zero scheduling solves and zero
+    architecture syntheses.  Passing an explicit device ``library`` disables
+    caching for that run: the keys address configs, not ad-hoc libraries.
+    """
+
+    def __init__(self, stages: Optional[Sequence[Stage]] = None) -> None:
+        self.stages: Tuple[Stage, ...] = tuple(stages) if stages else DEFAULT_STAGES
+
+    def plan(
+        self,
+        graph: SequencingGraph,
+        config: FlowConfig,
+        graph_hash: Optional[str] = None,
+    ) -> List[PlannedStage]:
+        """The stage/key chain ``run`` would use, without executing anything.
+
+        ``graph_hash`` lets callers that already computed the graph's
+        :func:`graph_fingerprint` (the batch engine computes it once per
+        job, for the run-level key) skip re-canonicalizing the graph.
+        """
+        upstream = graph_hash if graph_hash is not None else graph_fingerprint(graph)
+        planned: List[PlannedStage] = []
+        for stage in self.stages:
+            key = stage.key(upstream, config)
+            planned.append(PlannedStage(stage=stage, key=key))
+            upstream = key
+        return planned
+
+    def run(
+        self,
+        graph: SequencingGraph,
+        config: Optional[FlowConfig] = None,
+        library: Optional[DeviceLibrary] = None,
+        cache: Optional[Any] = None,
+        executions: Optional[List[StageExecution]] = None,
+        graph_hash: Optional[str] = None,
+    ) -> SynthesisResult:
+        """Run (or replay) all stages and assemble a :class:`SynthesisResult`.
+
+        Parameters
+        ----------
+        cache:
+            A :class:`repro.batch.cache.ResultCache` (or anything with
+            ``get``/``put``); stage artifacts are looked up and stored under
+            their stage keys.  ``None`` runs everything.
+        executions:
+            When given, one :class:`StageExecution` per stage is appended,
+            recording whether the stage ran or replayed and how long it took.
+        graph_hash:
+            Optional precomputed :func:`graph_fingerprint` of ``graph``.
+        """
+        config = config or FlowConfig()
+        assert_valid(graph)
+        use_cache = cache is not None and library is None
+        library = library or build_library(config)
+        context = StageContext(graph=graph, config=config, library=library)
+
+        planned = self.plan(graph, config, graph_hash=graph_hash) if use_cache else [
+            PlannedStage(stage=stage, key="") for stage in self.stages
+        ]
+        artifacts: List[Any] = []
+        upstream: Any = None
+        for planned_stage in planned:
+            stage = planned_stage.stage
+            start = time.perf_counter()
+            artifact = cache.get(planned_stage.key) if use_cache else None
+            if artifact is not None:
+                action = "replayed"
+            else:
+                artifact = stage.run(context, upstream)
+                if use_cache:
+                    cache.put(planned_stage.key, artifact)
+                action = "ran"
+            if executions is not None:
+                executions.append(
+                    StageExecution(
+                        stage=stage.name,
+                        key=planned_stage.key,
+                        action=action,
+                        wall_time_s=time.perf_counter() - start,
+                    )
+                )
+            artifacts.append(artifact)
+            upstream = artifact
+
+        schedule_art, arch_art, physical_art = artifacts
+        return SynthesisResult.from_artifacts(
+            graph=graph,
+            library=library,
+            config=config,
+            schedule_artifact=schedule_art,
+            architecture_artifact=arch_art,
+            physical_artifact=physical_art,
+        )
+
+
+def covered_config_fields() -> set:
+    """Union of all stage config slices (tested to equal FlowConfig's fields).
+
+    Guards the cache keys against silent staleness: a new :class:`FlowConfig`
+    field that no stage declares would change synthesis behavior without
+    changing any stage key, so a test asserts this union stays complete.
+    """
+    covered: set = set()
+    for stage in DEFAULT_STAGES:
+        covered.update(stage.config_fields)
+    return covered

@@ -176,6 +176,41 @@ class TestResultCache:
         assert cache.get("bad") is None
         assert not (tmp_path / "bad.pkl").exists()  # corrupt entries are dropped
 
+    def test_stale_key_version_disk_entry_is_ignored_not_crashed_on(
+        self, pcr_result, tmp_path
+    ):
+        """An entry written under another KEY_VERSION is a miss, and dropped."""
+        import pickle
+
+        from repro.keys import KEY_VERSION
+
+        stale = pickle.dumps((KEY_VERSION - 1, pcr_result), protocol=pickle.HIGHEST_PROTOCOL)
+        (tmp_path / "stale.pkl").write_bytes(stale)
+        # Pre-envelope v1 files pickled the bare object, with no version at
+        # all; those must degrade to misses just the same.
+        legacy = pickle.dumps(pcr_result, protocol=pickle.HIGHEST_PROTOCOL)
+        (tmp_path / "legacy.pkl").write_bytes(legacy)
+
+        cache = ResultCache(cache_dir=tmp_path)
+        assert cache.get("stale") is None
+        assert cache.get("legacy") is None
+        assert not (tmp_path / "stale.pkl").exists()
+        assert not (tmp_path / "legacy.pkl").exists()
+
+    def test_run_level_and_stage_keys_share_one_version_constant(self, monkeypatch):
+        """Satellite guard: bumping KEY_VERSION invalidates *both* key kinds."""
+        import repro.keys as keys_module
+        from repro.synthesis.pipeline import SynthesisPipeline
+
+        graph = build_graph(OPS, EDGES)
+        config = FlowConfig()
+        run_before = cache_key(graph, config)
+        plan_before = [p.key for p in SynthesisPipeline().plan(graph, config)]
+        monkeypatch.setattr(keys_module, "KEY_VERSION", keys_module.KEY_VERSION + 1)
+        assert cache_key(graph, config) != run_before
+        plan_after = [p.key for p in SynthesisPipeline().plan(graph, config)]
+        assert all(a != b for a, b in zip(plan_before, plan_after))
+
     def test_clear(self, pcr_result, tmp_path):
         cache = ResultCache(cache_dir=tmp_path)
         cache.put("k", pcr_result)

@@ -1,4 +1,4 @@
-"""Tests of the batch-synthesis engine, manifests, and the batch CLI."""
+"""Tests of the batch-synthesis engine, manifests, sweeps, and the CLI."""
 
 import json
 
@@ -6,14 +6,26 @@ import pytest
 
 from repro.batch.cache import ResultCache
 from repro.batch.engine import BatchSynthesisEngine
-from repro.batch.jobs import BatchJob, job_from_spec, load_manifest
+from repro.batch.jobs import BatchJob, expand_sweep, job_from_spec, load_manifest
 from repro.batch.report import format_batch_report
 from repro.cli import main
 from repro.experiments.common import PAPER_ASSAY_ORDER, ExperimentSettings, assay_job
 from repro.graph.library import assay_by_name, build_pcr
 from repro.graph.serialization import save_graph
 from repro.synthesis.config import FlowConfig
-import repro.synthesis.flow as flow_module
+from repro.synthesis.pipeline import (
+    ScheduleStage,
+    reset_stage_invocations,
+    stage_invocations,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    """Each test observes only its own solver invocations."""
+    reset_stage_invocations()
+    yield
+    reset_stage_invocations()
 
 
 def fast_jobs(names):
@@ -45,28 +57,28 @@ class TestEngine:
         assert [o.job_id for o in parallel_report] == PAPER_ASSAY_ORDER
         assert parallel_report.deterministic_summary() == serial_report.deterministic_summary()
 
-    def test_warm_cache_run_invokes_zero_solvers(self, monkeypatch):
-        """Acceptance: a second run of the same jobs never calls synthesize."""
+    def test_warm_cache_run_invokes_zero_solvers(self):
+        """Acceptance: a second run of the same jobs never runs a stage."""
         engine = BatchSynthesisEngine(max_workers=1, cache=ResultCache())
         cold = engine.run(fast_jobs(["PCR", "IVD"]))
         assert cold.num_executed == 2
+        cold_invocations = stage_invocations()
+        assert cold_invocations == {"schedule": 2, "archsyn": 2, "physical": 2}
 
-        calls = []
-
-        def counting_synthesize(*args, **kwargs):
-            calls.append(args)
-            raise AssertionError("synthesize must not run on a warm cache")
-
-        monkeypatch.setattr(flow_module, "synthesize", counting_synthesize)
         warm = engine.run(fast_jobs(["PCR", "IVD"]))
-        assert calls == []
+        assert stage_invocations() == cold_invocations  # zero new solver runs
         assert warm.num_cache_hits == 2
         assert warm.num_executed == 0
         assert warm.deterministic_summary() == cold.deterministic_summary()
         # cache_stats is a per-batch delta, not the cache's lifetime counters.
+        # The warm run is resolved entirely from the assembled-result tier:
+        # one memory hit per job, not a single stage lookup.
         assert warm.cache_stats.hits == 2
         assert warm.cache_stats.misses == 0
-        assert cold.cache_stats.misses == 2
+        # A cold job misses its run-level key and each of its three stage
+        # keys once; everything it computes is stored.
+        assert cold.cache_stats.misses == 8
+        assert cold.cache_stats.stores == 8
 
     def test_warm_parallel_run_never_spawns_a_pool(self, monkeypatch):
         import repro.batch.engine as engine_module
@@ -81,26 +93,19 @@ class TestEngine:
         warm = engine.run(fast_jobs(["PCR", "IVD"]))
         assert warm.num_cache_hits == 2
 
-    def test_duplicate_jobs_in_one_batch_are_solved_once(self, monkeypatch):
-        calls = []
-        real_synthesize = flow_module.synthesize
-
-        def counting_synthesize(*args, **kwargs):
-            calls.append(args)
-            return real_synthesize(*args, **kwargs)
-
-        monkeypatch.setattr(flow_module, "synthesize", counting_synthesize)
+    def test_duplicate_jobs_in_one_batch_are_solved_once(self):
         jobs = fast_jobs(["PCR"]) + fast_jobs(["PCR"])
         report = BatchSynthesisEngine(max_workers=1, cache=ResultCache()).run(jobs)
-        assert len(calls) == 1
+        assert stage_invocations() == {"schedule": 1, "archsyn": 1, "physical": 1}
         assert len(report) == 2
         assert report.outcomes[0].cache_hit is False
         assert report.outcomes[1].cache_hit is True
         assert report.outcomes[0].result is report.outcomes[1].result
-        # The duplicate never performs its own cache lookup, so the batch's
-        # stats show one miss — not a contradictory "1 hit of 0/2 lookups".
-        assert report.cache_stats.misses == 1
-        assert report.cache_stats.lookups == 1
+        # The duplicate never performs its own lookups, so the batch's stats
+        # show only the first job's misses (run key + three stage keys) —
+        # not a contradictory hit count exceeding the lookups.
+        assert report.cache_stats.misses == 4
+        assert report.cache_stats.lookups == 4
 
     def test_failures_are_captured_per_job(self):
         # IVD needs detectors; with none the scheduler cannot bind the
@@ -128,10 +133,10 @@ class TestEngine:
         error = first.outcomes[0].error
         assert error
 
-        def no_rerun(*args, **kwargs):
+        def no_rerun(self, context, upstream):
             raise AssertionError("a memoized failure must not re-run synthesis")
 
-        monkeypatch.setattr(flow_module, "synthesize", no_rerun)
+        monkeypatch.setattr(ScheduleStage, "run", no_rerun)
         rerun = engine.run([bad])
         assert rerun.outcomes[0].error == error
         assert rerun.outcomes[0].cache_hit is True
@@ -147,11 +152,11 @@ class TestEngine:
 
         calls = []
 
-        def limited_synthesize(*args, **kwargs):
-            calls.append(args)
+        def limited_stage_run(self, context, upstream):
+            calls.append(context.graph.name)
             raise SolverLimitError("ILP scheduling failed: time_limit")
 
-        monkeypatch.setattr(flow_module, "synthesize", limited_synthesize)
+        monkeypatch.setattr(ScheduleStage, "run", limited_stage_run)
         engine = BatchSynthesisEngine(max_workers=1, cache=ResultCache())
         job = fast_jobs(["PCR"])[0]
         first = engine.run([job])
@@ -269,6 +274,107 @@ class TestManifest:
     def test_missing_protocol_file_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="does not exist"):
             job_from_spec({"protocol": str(tmp_path / "missing.json")})
+
+
+class TestSweep:
+    def test_expand_sweep_grid_order_and_ids(self):
+        jobs = expand_sweep({
+            "assay": "PCR",
+            "base": {"ilp_operation_limit": 0},
+            "sweep": {"pitch": [5.0, 6.0], "storage_aware": [True, False]},
+        })
+        assert [j.job_id for j in jobs] == [
+            "PCR/pitch=5,storage_aware=true",
+            "PCR/pitch=5,storage_aware=false",
+            "PCR/pitch=6,storage_aware=true",
+            "PCR/pitch=6,storage_aware=false",
+        ]
+        assert all(j.config.ilp_operation_limit == 0 for j in jobs)
+        assert jobs[0].config.pitch == 5.0 and jobs[3].config.pitch == 6.0
+        # Paper per-assay defaults still apply underneath the grid.
+        assert all(j.config.num_mixers == 2 for j in jobs)
+
+    def test_expand_sweep_protocol_source(self, tmp_path):
+        save_graph(build_pcr(), tmp_path / "custom.json")
+        jobs = expand_sweep(
+            {"protocol": "custom.json", "sweep": {"pitch": [5.0]}},
+            base_dir=tmp_path,
+        )
+        assert jobs[0].job_id == "custom/pitch=5"
+        assert len(jobs[0].graph) == 15
+
+    def test_expand_sweep_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            expand_sweep({"assay": "PCR", "sweep": {"pitch": [5]}, "grid": {}})
+        with pytest.raises(ValueError, match="non-empty object"):
+            expand_sweep({"assay": "PCR"})
+        with pytest.raises(ValueError, match="non-empty object"):
+            expand_sweep({"assay": "PCR", "sweep": {}})
+        with pytest.raises(ValueError, match="unknown flow-config axes"):
+            expand_sweep({"assay": "PCR", "sweep": {"warp_factor": [9]}})
+        with pytest.raises(ValueError, match="non-empty list"):
+            expand_sweep({"assay": "PCR", "sweep": {"pitch": []}})
+        with pytest.raises(ValueError, match="both 'base' and 'sweep'"):
+            expand_sweep({"assay": "PCR", "base": {"pitch": 5.0},
+                          "sweep": {"pitch": [5.0]}})
+        with pytest.raises(ValueError, match="exactly one"):
+            expand_sweep({"sweep": {"pitch": [5.0]}})
+        # Invalid values surface with the offending point's position.
+        with pytest.raises(ValueError, match="job 1"):
+            expand_sweep({"assay": "PCR", "sweep": {"num_mixers": [2, 0]}})
+        # Axis values that render identically would produce duplicate ids.
+        with pytest.raises(ValueError, match="duplicates job id"):
+            expand_sweep({"assay": "PCR", "sweep": {"pitch": [5, 5.0]}})
+
+    def test_sweep_cli_shares_upstream_stages(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({
+            "assay": "PCR",
+            "base": {"ilp_operation_limit": 0},
+            "sweep": {"pitch": [5.0, 6.0]},
+        }))
+        assert main(["sweep", str(spec)]) == 0
+        output = capsys.readouterr().out
+        # The second grid point reuses the schedule stage: one solve total.
+        assert "stage schedule: 1 ran, 0 replayed, 1 shared" in output
+        assert "stage archsyn: 1 ran, 0 replayed, 1 shared" in output
+        assert "stage physical: 2 ran" in output
+
+    def test_sweep_cli_warm_disk_cache_runs_nothing(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({
+            "assay": "PCR",
+            "base": {"ilp_operation_limit": 0},
+            "sweep": {"pitch": [5.0, 6.0]},
+        }))
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", str(spec), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(spec), "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "stage schedule: 0 ran, 2 replayed" in output
+        assert "2 served from cache" in output
+
+    def test_sweep_cli_invalid_spec_errors(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"assay": "PCR", "sweep": {"warp": [1]}}))
+        assert main(["sweep", str(spec)]) == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_sweep_cli_json_output_includes_stages(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({
+            "assay": "PCR",
+            "base": {"ilp_operation_limit": 0},
+            "sweep": {"pitch": [5.0, 6.0]},
+        }))
+        out = tmp_path / "report.json"
+        assert main(["sweep", str(spec), "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["stages"]["schedule"]["ran"] == 1
+        assert payload["summary"]["stages"]["schedule"]["shared"] == 1
+        second = payload["jobs"][1]
+        assert [s["action"] for s in second["stages"]] == ["shared", "shared", "ran"]
 
 
 class TestBatchCli:

@@ -28,7 +28,14 @@ performs exactly one scheduling solve.
 
 from repro.batch.cache import CacheStats, ResultCache, cache_key
 from repro.batch.engine import BatchSynthesisEngine
-from repro.batch.jobs import BatchJob, expand_sweep, job_from_spec, load_manifest, load_sweep
+from repro.batch.jobs import (
+    BatchJob,
+    expand_sweep,
+    job_from_spec,
+    load_manifest,
+    load_sweep,
+    manifest_jobs,
+)
 from repro.batch.report import (
     BatchReport,
     JobOutcome,
@@ -50,4 +57,5 @@ __all__ = [
     "job_from_spec",
     "load_manifest",
     "load_sweep",
+    "manifest_jobs",
 ]

@@ -88,14 +88,17 @@ class CacheStats:
 
     @property
     def hits(self) -> int:
+        """Total hits across both tiers."""
         return self.memory_hits + self.disk_hits
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from a tier (0.0 with no lookups)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -126,6 +129,10 @@ class ResultCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        # Keys inserted with put(..., disk=False): thin views over artifacts
+        # that persist individually, deliberately excluded from the disk
+        # tier — and therefore also from flush_to_disk().
+        self._memory_only: set = set()
         # Failed jobs are memoized in memory only (never on disk): synthesis
         # is deterministic, so re-running an identical failed job in the same
         # process just burns a solver run to reproduce the same error.  The
@@ -158,21 +165,36 @@ class ResultCache:
         """
         self.stats.stores += 1
         self._store_memory(key, value)
-        if disk and self.cache_dir is not None:
-            path = self._disk_path(key)
-            # Unique temp name per writer: several processes may share a
-            # cache_dir and solve the same miss concurrently; each must
-            # publish atomically without trampling the other's staging file.
-            tmp = path.with_name(f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
-            try:
-                envelope = (keys.KEY_VERSION, value)
-                tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
-                tmp.replace(path)  # atomic so readers never see partial files
-            except OSError:
-                # The disk tier is an optimization: a full disk or revoked
-                # permissions must not abort a batch whose solve already
-                # succeeded (reads treat bad entries as misses, symmetrically).
-                tmp.unlink(missing_ok=True)
+        if disk:
+            self._memory_only.discard(key)
+            if self.cache_dir is not None:
+                self._write_disk(key, value)
+        else:
+            self._memory_only.add(key)
+
+    def flush_to_disk(self) -> int:
+        """Write durable memory-tier entries missing from the disk tier.
+
+        The safety net behind the synthesis service's graceful shutdown:
+        normal ``put`` calls write through to disk immediately, but a write
+        may have soft-failed (full disk, revoked permissions) or an entry
+        may have been deleted out from under the process.  Flushing
+        re-publishes every durable entry whose ``<key>.pkl`` file is absent,
+        so a restarted server resumes from the last completed stage instead
+        of re-solving it.  Entries stored with ``disk=False`` (assembled
+        result views) are skipped — their stage artifacts persist
+        individually.  Returns the number of entries written; a cache
+        without a disk tier flushes nothing.
+        """
+        if self.cache_dir is None:
+            return 0
+        written = 0
+        for key, value in list(self._memory.items()):
+            if key in self._memory_only or self._disk_path(key).exists():
+                continue
+            if self._write_disk(key, value):
+                written += 1
+        return written
 
     def put_failure(self, key: str, error: BaseException) -> None:
         """Memoize a failed job's exception (memory tier only)."""
@@ -191,6 +213,7 @@ class ResultCache:
     def clear(self, disk: bool = False) -> None:
         """Drop the memory tier (and the disk tier with ``disk=True``)."""
         self._memory.clear()
+        self._memory_only.clear()
         self._failures.clear()
         if disk and self.cache_dir is not None:
             for path in self.cache_dir.glob("*.pkl"):
@@ -205,12 +228,32 @@ class ResultCache:
         self._memory.move_to_end(key)
         if self.max_entries is not None:
             while len(self._memory) > self.max_entries:
-                self._memory.popitem(last=False)
+                evicted, _ = self._memory.popitem(last=False)
+                self._memory_only.discard(evicted)
                 self.stats.evictions += 1
 
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.pkl"
+
+    def _write_disk(self, key: str, value: Any) -> bool:
+        """Atomically publish one entry to the disk tier; ``True`` on success."""
+        path = self._disk_path(key)
+        # Unique temp name per writer: several processes may share a
+        # cache_dir and solve the same miss concurrently; each must
+        # publish atomically without trampling the other's staging file.
+        tmp = path.with_name(f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            envelope = (keys.KEY_VERSION, value)
+            tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.replace(path)  # atomic so readers never see partial files
+        except OSError:
+            # The disk tier is an optimization: a full disk or revoked
+            # permissions must not abort a batch whose solve already
+            # succeeded (reads treat bad entries as misses, symmetrically).
+            tmp.unlink(missing_ok=True)
+            return False
+        return True
 
     def _load_from_disk(self, key: str) -> Optional[Any]:
         if self.cache_dir is None:

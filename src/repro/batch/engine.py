@@ -188,6 +188,37 @@ class BatchSynthesisEngine:
         if self.memoize_failures and not isinstance(exc, SolverLimitError):
             self.cache.put_failure(key, _detached_failure(exc))
 
+    def _abandon_claim(self, key: str) -> None:
+        """Release a single-flight claim the cache may hold on ``key``.
+
+        A plain :class:`ResultCache` has no claims and this is a no-op, but
+        the synthesis service wraps the shared cache in a single-flight
+        layer (:class:`repro.service.singleflight.SingleFlightCache`) whose
+        ``get`` *claims* a missed key: concurrent engine runs then block on
+        the claim instead of duplicating the solve.  A successful ``put``
+        releases the claim; every path that ends without a ``put`` — a
+        failed stage, a fail-fast abort — must call this instead, or the
+        waiting run would sit out the claim timeout for an artifact that is
+        never coming.
+        """
+        abandon = getattr(self.cache, "abandon", None)
+        if abandon is not None:
+            abandon(key)
+
+    def _get_nowait(self, key: str) -> Optional[Any]:
+        """A cache lookup that never blocks on another engine's claim.
+
+        Run-level keys are resolved with this instead of ``get``: a job's
+        run key stays effectively held for its entire run, so *waiting* on
+        one from inside another run could chain into a hold-and-wait cycle
+        between concurrent engines.  Treating a foreign in-flight run as a
+        plain miss costs only the assembled-result shortcut — the job then
+        plans its stages, whose claims are deadlock-free (sorted, per-tier)
+        and still deduplicate all real solver work.
+        """
+        getter = getattr(self.cache, "get_nowait", None)
+        return getter(key) if getter is not None else self.cache.get(key)
+
     # ------------------------------------------------------------------- api
     def run(self, jobs: Sequence[BatchJob]) -> BatchReport:
         """Execute ``jobs`` and return their outcomes in submission order."""
@@ -226,7 +257,7 @@ class BatchSynthesisEngine:
                     graph_name=job.graph.name,
                 )
                 continue
-            cached = self.cache.get(run_key)
+            cached = self._get_nowait(run_key)
             if cached is not None:
                 outcomes[index] = JobOutcome(
                     job_id=job.job_id,
@@ -249,11 +280,14 @@ class BatchSynthesisEngine:
                     )
                 )
 
-        # Tier 1..N: run the pipeline stage by stage across all pending jobs.
+        # Tier 1..N: run the pipeline stage by stage across all pending jobs,
+        # then assemble outcomes (and alias copies) in submission order.
+        # Run-level keys carry no single-flight claims (tier 0 resolves them
+        # via _get_nowait), so there is nothing to release for failed jobs —
+        # stage-key claims are managed entirely inside _run_tier.
         for tier in range(len(self.pipeline.stages)):
             self._run_tier(tier, pending)
 
-        # Assemble outcomes (and alias copies) in submission order.
         for p in pending:
             outcomes[p.index] = self._finish_pending(p)
             for alias_index, alias_job in aliases.get(p.run_key, []):
@@ -306,7 +340,7 @@ class BatchSynthesisEngine:
             # detached copy is raised so repeated raises cannot pile
             # tracebacks onto one shared object.
             raise _detached_failure(known_failure)
-        cached = self.cache.get(run_key)
+        cached = self._get_nowait(run_key)
         if cached is not None:
             return cached
         try:
@@ -314,6 +348,9 @@ class BatchSynthesisEngine:
                 job.graph, job.config, cache=self.cache, graph_hash=fingerprint
             )
         except Exception as exc:
+            # No claims to release here: run-level keys are looked up
+            # claim-free (_get_nowait) and the pipeline releases the stage
+            # claim of a failed stage itself.
             self._record_failure(run_key, exc)
             raise
         # Memory tier only: the stage artifacts persist individually.
@@ -329,25 +366,58 @@ class BatchSynthesisEngine:
         and run inline or over the pool.
         """
         stage = self.pipeline.stages[tier]
-        groups: Dict[str, List[_PendingJob]] = {}
+        by_key: Dict[str, List[_PendingJob]] = {}
         for p in pending:
             if p.failed:
                 continue
-            stage_key = p.plan[tier].key
-            if stage_key in groups:
-                groups[stage_key].append(p)
-                continue
+            by_key.setdefault(p.plan[tier].key, []).append(p)
+        # Resolve the tier's unique keys in *sorted* order.  Under a
+        # single-flight cache a miss claims the key and a foreign claim
+        # blocks, so concurrent engines must acquire claims in one global
+        # order — two engines visiting overlapping keys in opposite orders
+        # would otherwise hold-and-wait on each other (ABBA deadlock) until
+        # the claim timeout.  All waits happen against same-tier keys (keys
+        # embed the stage name, and claims are released when the tier ends),
+        # so sorted acquisition per tier rules the cycle out entirely.
+        groups: Dict[str, List[_PendingJob]] = {}
+        for stage_key in sorted(by_key):
+            group = by_key[stage_key]
             artifact = self.cache.get(stage_key)
             if artifact is not None:
-                p.artifacts.append(artifact)
-                p.executions.append(
-                    StageExecution(stage=stage.name, key=stage_key, action="replayed")
-                )
+                for p in group:
+                    p.artifacts.append(artifact)
+                    p.executions.append(
+                        StageExecution(
+                            stage=stage.name, key=stage_key, action="replayed"
+                        )
+                    )
             else:
-                groups[stage_key] = [p]
+                groups[stage_key] = group
         if not groups:
             return
 
+        # Any stage key whose execution does not end in a cache.put must have
+        # its single-flight claim (taken by the miss above) released, or a
+        # concurrent engine sharing the cache would wait out the claim
+        # timeout.  The finally covers failed stages, fail-fast raises, and
+        # keys the aborted inline/pool runners never reached.
+        stored: set = set()
+        try:
+            self._resolve_tier(tier, groups, stored)
+        finally:
+            for stage_key in groups:
+                if stage_key not in stored:
+                    self._abandon_claim(stage_key)
+
+    def _resolve_tier(
+        self, tier: int, groups: Dict[str, List[_PendingJob]], stored: set
+    ) -> None:
+        """Execute a tier's unique stage keys and distribute the artifacts.
+
+        ``stored`` collects the stage keys whose artifacts were published to
+        the cache, so the caller knows which claims are already released.
+        """
+        stage = self.pipeline.stages[tier]
         if self.max_workers > 1 and len(groups) > 1:
             executed = self._run_tier_pool(tier, groups)
         else:
@@ -357,6 +427,7 @@ class BatchSynthesisEngine:
             group = groups[stage_key]
             if ok:
                 self.cache.put(stage_key, value)
+                stored.add(stage_key)
                 for position, p in enumerate(group):
                     p.artifacts.append(value)
                     p.executions.append(

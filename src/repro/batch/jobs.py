@@ -104,35 +104,39 @@ def job_from_spec(
     return BatchJob(job_id=str(spec.get("id", default_id)), graph=graph, config=config)
 
 
-def load_manifest(path: Union[str, Path]) -> List[BatchJob]:
-    """Load a batch manifest file into a list of jobs (manifest order).
+def manifest_jobs(
+    payload: Any,
+    base_dir: Optional[Path] = None,
+    source: str = "manifest",
+) -> List[BatchJob]:
+    """Build the job list of an already-parsed manifest payload.
 
-    Duplicate job ids are rejected so per-job results stay addressable in
-    reports and JSON output.
+    The structural core shared by :func:`load_manifest` (manifest files) and
+    the synthesis service (manifest bodies posted over HTTP — there is no
+    file, so errors are reported against ``source``).  Duplicate job ids are
+    rejected so per-job results stay addressable in reports and JSON output.
     """
-    path = Path(path)
-    payload = json.loads(path.read_text())
     if isinstance(payload, list):
         payload = {"jobs": payload}
     if not isinstance(payload, dict) or not isinstance(payload.get("jobs"), list):
-        raise ValueError(f"manifest {path} must be a JSON list or an object with a 'jobs' list")
+        raise ValueError(f"{source} must be a JSON list or an object with a 'jobs' list")
     unknown = set(payload) - {"defaults", "jobs"}
     if unknown:
         # A typo like "default" would otherwise silently drop every default.
-        raise ValueError(f"manifest {path}: unknown top-level keys {sorted(unknown)}")
+        raise ValueError(f"{source}: unknown top-level keys {sorted(unknown)}")
     defaults = payload.get("defaults") or {}
     if not isinstance(defaults, dict):
-        raise ValueError(f"manifest {path}: 'defaults' must be an object")
+        raise ValueError(f"{source}: 'defaults' must be an object")
 
     jobs: List[BatchJob] = []
     used_ids: set = set()
     for index, spec in enumerate(payload["jobs"]):
         if not isinstance(spec, dict):
-            raise ValueError(f"manifest {path}: job {index} must be an object")
-        job = job_from_spec(spec, defaults=defaults, base_dir=path.parent, index=index)
+            raise ValueError(f"{source}: job {index} must be an object")
+        job = job_from_spec(spec, defaults=defaults, base_dir=base_dir, index=index)
         if job.job_id in used_ids:
             if "id" in spec:
-                raise ValueError(f"manifest {path}: duplicate job id {job.job_id!r}")
+                raise ValueError(f"{source}: duplicate job id {job.job_id!r}")
             # Keep auto-derived ids unique when one assay appears twice; the
             # suffix must also dodge explicit ids like "PCR#1".
             suffix = 1
@@ -142,6 +146,17 @@ def load_manifest(path: Union[str, Path]) -> List[BatchJob]:
         used_ids.add(job.job_id)
         jobs.append(job)
     return jobs
+
+
+def load_manifest(path: Union[str, Path]) -> List[BatchJob]:
+    """Load a batch manifest file into a list of jobs (manifest order).
+
+    Protocol paths inside the manifest resolve relative to the manifest
+    file's directory.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    return manifest_jobs(payload, base_dir=path.parent, source=f"manifest {path}")
 
 
 # ------------------------------------------------------------------ sweep grids

@@ -49,6 +49,7 @@ class JobOutcome:
 
     @property
     def ok(self) -> bool:
+        """Whether the job produced a result (as opposed to an error)."""
         return self.result is not None
 
     def stages_ran(self) -> List[str]:
@@ -69,12 +70,45 @@ class JobOutcome:
         )
 
     def metrics(self) -> FlowMetrics:
+        """Table-2 metrics of the result, relabeled with this job's assay.
+
+        Raises
+        ------
+        ValueError
+            When the job failed (there is no result to measure).
+        """
         if self.result is None:
             raise ValueError(f"job {self.job_id!r} failed: {self.error}")
         metrics = collect_metrics(self.result)
         if self.graph_name is not None and metrics.assay != self.graph_name:
             metrics = replace(metrics, assay=self.graph_name)
         return metrics
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-serializable form of this outcome (no result object inside).
+
+        One shared shape for every machine-readable surface: the CLI's
+        ``--json`` files and the synthesis service's ``GET /jobs/{id}/result``
+        responses are built from exactly this, so downstream tooling parses
+        one format.  Failed jobs carry ``error`` and a ``null`` metrics
+        block.
+        """
+        return {
+            "id": self.job_id,
+            "cache_key": self.cache_key,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "error": self.error,
+            "stages": [
+                {
+                    "stage": execution.stage,
+                    "action": execution.action,
+                    "wall_time_s": round(execution.wall_time_s, 3),
+                }
+                for execution in self.stages
+            ],
+            "metrics": self.metrics().as_dict() if self.ok else None,
+        }
 
 
 @dataclass
@@ -100,6 +134,7 @@ class BatchReport:
         return iter(self.outcomes)
 
     def outcome(self, job_id: str) -> JobOutcome:
+        """The outcome with ``job_id``; :class:`KeyError` when absent."""
         for outcome in self.outcomes:
             if outcome.job_id == job_id:
                 return outcome
@@ -111,10 +146,12 @@ class BatchReport:
 
     @property
     def num_failed(self) -> int:
+        """Number of jobs that ended in an error."""
         return sum(1 for o in self.outcomes if not o.ok)
 
     @property
     def num_cache_hits(self) -> int:
+        """Jobs that completed without executing a single stage."""
         return sum(1 for o in self.outcomes if o.cache_hit)
 
     @property
@@ -124,6 +161,7 @@ class BatchReport:
 
     @property
     def total_makespan(self) -> int:
+        """Sum of the successful jobs' schedule makespans."""
         return sum(o.result.schedule.makespan for o in self.outcomes if o.result is not None)
 
     def stage_summary(self) -> Dict[str, Dict[str, Any]]:
@@ -151,6 +189,7 @@ class BatchReport:
 
     # ----------------------------------------------------------- formatting
     def summary(self) -> Dict[str, Any]:
+        """Batch totals plus the per-stage breakdown, JSON-serializable."""
         return {
             "jobs": len(self.outcomes),
             "failed": self.num_failed,
@@ -160,6 +199,19 @@ class BatchReport:
             "wall_time_s": round(self.wall_time_s, 3),
             "max_workers": self.max_workers,
             "stages": self.stage_summary(),
+        }
+
+    def to_json_payload(self) -> Dict[str, Any]:
+        """The whole report as one JSON-serializable payload.
+
+        ``{"summary": ..., "jobs": [...]}`` with the batch totals of
+        :meth:`summary` and one :meth:`JobOutcome.payload` per job, in
+        submission order.  Written verbatim by ``repro batch --json`` and
+        returned verbatim by the synthesis service's result endpoint.
+        """
+        return {
+            "summary": self.summary(),
+            "jobs": [outcome.payload() for outcome in self.outcomes],
         }
 
     def deterministic_summary(self) -> str:

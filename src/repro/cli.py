@@ -31,6 +31,17 @@ Sweep points that only vary downstream knobs (say, physical-design
 parameters) share the upstream stage artifacts: the schedule is solved once
 for the whole grid, and the report's ``stage`` lines show exactly which
 stages ran versus were replayed or shared.
+
+Serve mode runs the long-lived HTTP synthesis service (see
+``repro.service`` and ``docs/service.md``)::
+
+    python -m repro serve --port 8642 --workers 2 --cache-dir .repro-cache
+
+Batch manifests and sweep specs are then submitted over HTTP
+(``POST /jobs``) and share one hot in-process stage cache across requests,
+including concurrent ones.
+
+See ``docs/cli.md`` for the full subcommand and exit-code reference.
 """
 
 from __future__ import annotations
@@ -55,7 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Batch mode: 'repro batch MANIFEST.json [--workers N] [--cache-dir DIR]' runs "
         "many jobs from a JSON manifest through the stage-granular batch engine "
         "(see 'repro batch --help').  Sweep mode: 'repro sweep SPEC.json' expands a "
-        "parameter grid into stage-shared jobs (see 'repro sweep --help').",
+        "parameter grid into stage-shared jobs (see 'repro sweep --help').  "
+        "Serve mode: 'repro serve' runs the long-lived HTTP synthesis service "
+        "(see 'repro serve --help' and docs/service.md).",
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -142,6 +155,82 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument surface of the ``repro serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the long-lived synthesis service: an asyncio HTTP "
+        "server accepting batch manifests and sweep specs on POST /jobs, with "
+        "one shared stage cache so concurrent and repeated submissions reuse "
+        "each other's schedule/architecture artifacts (see docs/service.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port; 0 binds an ephemeral port (default 8642)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="number of jobs run concurrently (default 2)")
+    parser.add_argument("--engine-workers", type=int, default=1,
+                        help="process count for each job's stage tiers (default 1 = inline)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the persistent stage-cache tier "
+                        "(default: memory only; required for restart resume)")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        help="seconds shutdown waits for running jobs before "
+                        "flushing the cache and exiting (default 5)")
+    return parser
+
+
+def run_serve(argv: List[str]) -> int:
+    """The ``repro serve`` subcommand; blocks until shutdown, returns 0."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.service import ServiceConfig, SynthesisService
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1 or args.engine_workers < 1:
+        parser.error("--workers and --engine-workers must be at least 1")
+
+    service = SynthesisService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            engine_workers=args.engine_workers,
+            cache_dir=args.cache_dir,
+            drain_timeout_s=args.drain_timeout,
+        )
+    )
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            # Not every platform wires loop signal handlers (Windows);
+            # KeyboardInterrupt still lands in the except below there.
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, service.request_shutdown)
+        await service.start()
+        print(
+            f"repro service listening on http://{args.host}:{service.bound_port} "
+            f"({args.workers} worker(s), cache_dir={args.cache_dir})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            flushed = service.flushed_on_shutdown
+            print(f"repro service stopped ({flushed or 0} artifact(s) flushed)", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     """Shared implementation of the ``batch`` and ``sweep`` subcommands."""
     from repro.batch import (
@@ -180,29 +269,7 @@ def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     print(format_batch_report(report))
 
     if args.json_out is not None:
-        payload = {
-            "summary": report.summary(),
-            "jobs": [
-                {
-                    "id": outcome.job_id,
-                    "cache_key": outcome.cache_key,
-                    "cache_hit": outcome.cache_hit,
-                    "wall_time_s": round(outcome.wall_time_s, 3),
-                    "error": outcome.error,
-                    "stages": [
-                        {
-                            "stage": execution.stage,
-                            "action": execution.action,
-                            "wall_time_s": round(execution.wall_time_s, 3),
-                        }
-                        for execution in outcome.stages
-                    ],
-                    "metrics": outcome.metrics().as_dict() if outcome.ok else None,
-                }
-                for outcome in report
-            ],
-        }
-        args.json_out.write_text(json.dumps(payload, indent=2))
+        args.json_out.write_text(json.dumps(report.to_json_payload(), indent=2))
         print(f"\nbatch metrics written to {args.json_out}")
 
     return 0 if report.num_failed == 0 else 1
@@ -226,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_batch(list(argv[1:]))
     if argv and argv[0] == "sweep":
         return run_sweep(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return run_serve(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -37,6 +37,22 @@ def stable_digest(payload: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def derive_job_id(payload: Any, sequence: int) -> str:
+    """Derive the id of one synthesis-service job from its manifest body.
+
+    The id is ``job-<digest12>-<sequence>``: a 12-hex-digit prefix of the
+    manifest's :func:`stable_digest` (version-stamped, so a
+    :data:`KEY_VERSION` bump renames every job id together with every cache
+    key) plus the server-assigned submission sequence number.  The digest
+    prefix makes identical submissions *recognizable* — two clients posting
+    the same sweep see ids sharing a prefix — while the sequence keeps every
+    submission individually addressable, so re-posting a manifest yields a
+    fresh job whose stages replay from cache rather than a collision.
+    """
+    digest = stable_digest({"version": KEY_VERSION, "manifest": payload})
+    return f"job-{digest[:12]}-{sequence}"
+
+
 def derive_seed(root_seed: int, label: str) -> int:
     """Derive a stable 63-bit sub-seed from ``root_seed`` for ``label``.
 

@@ -1,0 +1,151 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The synthesis service deliberately avoids web frameworks *and*
+``http.server`` (whose threading model fights asyncio): requests are parsed
+directly off an :class:`asyncio.StreamReader` and responses serialized to
+plain bytes.  Only the slice of HTTP the service speaks is implemented —
+``GET``/``POST``, ``Content-Length`` bodies, one request per connection
+(every response carries ``Connection: close``) — which keeps the parser
+small enough to test exhaustively.
+
+Malformed input raises :class:`HttpError` with the status code the caller
+should answer with; transport-level termination (peer closed mid-request)
+returns ``None`` from :func:`read_request` instead, so the handler can drop
+the connection silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Upper bound on a request body; a sweep manifest is a few KB, so anything
+#: approaching this is a client bug, not a workload.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINE = 16 * 1024
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the server must reject with ``status`` and a message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (method, path without query, headers, body)."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON; :class:`HttpError` 400 when invalid."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF(-ish) terminated header line, bounded against header floods."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed") from exc
+        line = exc.partial
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "header line too long") from exc
+    if len(line) > _MAX_HEADER_LINE:
+        raise HttpError(400, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int = MAX_BODY_BYTES
+) -> Optional[Request]:
+    """Parse one request off ``reader``.
+
+    Returns ``None`` when the peer closed the connection before sending a
+    request line; raises :class:`HttpError` on anything malformed.
+    """
+    try:
+        request_line = await _read_line(reader)
+    except EOFError:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {request_line[:80]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        try:
+            line = await _read_line(reader)
+        except EOFError as exc:
+            raise HttpError(400, "connection closed inside headers") from exc
+        if not line:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many header lines")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body exceeds {max_body_bytes} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "connection closed inside body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    # The query string (if any) is dropped: no endpoint takes parameters.
+    path = target.split("?", 1)[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def response_bytes(status: int, payload: Any = None) -> bytes:
+    """Serialize one JSON response (``Connection: close``) to raw bytes."""
+    body = b""
+    if payload is not None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

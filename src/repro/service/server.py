@@ -1,0 +1,446 @@
+"""The long-running synthesis service: asyncio HTTP front, batch-engine back.
+
+One process, three moving parts:
+
+* an :func:`asyncio.start_server` listener speaking the minimal HTTP of
+  :mod:`repro.service.http` — ``POST /jobs`` accepts a batch manifest or
+  sweep spec body, ``GET /jobs/{id}`` reports status plus the per-stage
+  ran/replayed/shared breakdown, ``GET /jobs/{id}/result`` returns the full
+  report payload, ``GET /healthz`` answers liveness probes;
+* a bounded pool of worker coroutines, each driving one queued job at a
+  time through the *existing* stage-granular
+  :class:`~repro.batch.engine.BatchSynthesisEngine` on a daemon job
+  thread, so the event loop keeps serving requests while solvers run;
+* one long-lived :class:`~repro.batch.cache.ResultCache` wrapped in a
+  :class:`~repro.service.singleflight.SingleFlightCache`, shared by every
+  job — concurrent submissions that agree on a stage key perform that
+  stage's solve exactly once, the same way the points of a single sweep
+  share stages today.
+
+Graceful shutdown (``POST /shutdown``, SIGTERM via ``repro serve``, or
+:meth:`SynthesisService.request_shutdown`) stops accepting work, gives
+running jobs a short drain window, then flushes every durable in-memory
+artifact to the disk cache — a restarted server pointed at the same
+``cache_dir`` resumes interrupted jobs from their last completed stage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from repro.batch.cache import ResultCache
+from repro.batch.engine import BatchSynthesisEngine
+from repro.batch.jobs import expand_sweep, manifest_jobs
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    read_request,
+    response_bytes,
+)
+from repro.service.singleflight import SingleFlightCache
+from repro.service.state import DONE, FAILED, JobRecord, JobRegistry
+
+
+def _reject_protocol_entries(payload: Any) -> None:
+    """Refuse ``protocol`` file references in HTTP-submitted manifests.
+
+    In a manifest *file*, a ``protocol`` path resolves relative to that
+    file's directory; an HTTP body has no directory, so the path would
+    resolve against the server's filesystem — handing every client a
+    read/probe primitive on whatever the server process can open (the
+    "does not exist" error alone is a file-existence oracle).  Custom
+    graphs belong in local ``repro batch`` runs; the service accepts only
+    the built-in named assays.
+    """
+    specs: List[Any] = []
+    if isinstance(payload, list):
+        specs = list(payload)
+    elif isinstance(payload, dict):
+        # Sweep specs carry "protocol" at top level; manifests per job.
+        specs = [payload]
+        if isinstance(payload.get("jobs"), list):
+            specs.extend(payload["jobs"])
+    for spec in specs:
+        if isinstance(spec, dict) and "protocol" in spec:
+            raise HttpError(
+                400,
+                "'protocol' file jobs are not accepted over HTTP "
+                "(paths would resolve on the server); submit a named assay "
+                "or run 'repro batch' locally",
+            )
+
+
+def _estimated_job_count(payload: Any, kind: str) -> int:
+    """Structural job count of a submission, without building anything.
+
+    For sweeps, the product of the axis lengths; for manifests, the length
+    of the job list.  Computed from the raw payload shapes only — graph
+    construction and config validation have not run yet — so the size gate
+    costs O(axes), not O(points).  Malformed shapes count as 0 and fall
+    through to the real loader's precise error message.
+    """
+    if kind == "sweep":
+        sweep = payload.get("sweep")
+        if not isinstance(sweep, dict):
+            return 0
+        count = 1
+        for values in sweep.values():
+            if not isinstance(values, list) or not values:
+                return 0
+            count *= len(values)
+        return count
+    if isinstance(payload, list):
+        return len(payload)
+    if isinstance(payload, dict) and isinstance(payload.get("jobs"), list):
+        return len(payload["jobs"])
+    return 0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything tunable about one :class:`SynthesisService` instance."""
+
+    #: Interface to bind; loopback by default — the service is an internal
+    #: component, not an internet-facing one.
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (read it back from
+    #: :attr:`SynthesisService.bound_port`).
+    port: int = 8642
+    #: Concurrent jobs: the size of the worker pool.  Parallelism *within*
+    #: a job's tiers is :attr:`engine_workers`.
+    workers: int = 2
+    #: Process count each engine run fans a tier's unique stages over
+    #: (``1`` = inline, which keeps the in-process solver counters exact).
+    engine_workers: int = 1
+    #: Directory for the cache's persistent tier; ``None`` keeps the cache
+    #: memory-only (shutdown then has nothing to flush).
+    cache_dir: Optional[Union[str, Path]] = None
+    #: Bound on the cache's in-memory LRU tier.
+    cache_entries: Optional[int] = 1024
+    #: How long a job waits on another job's in-flight stage solve before
+    #: assuming the claimant died and solving itself.
+    claim_timeout_s: float = 300.0
+    #: How long shutdown waits for running jobs before flushing and exiting.
+    drain_timeout_s: float = 5.0
+    #: Reject request bodies larger than this.
+    max_body_bytes: int = MAX_BODY_BYTES
+    #: Reject submissions that expand to more jobs than this.  A sweep body
+    #: of a few KB can describe a cartesian product of millions of points;
+    #: the count is checked structurally *before* any expansion so a
+    #: hostile grid cannot stall the event loop or balloon memory.
+    max_jobs_per_submission: int = 1024
+
+
+class SynthesisService:
+    """The service object: build once, ``await serve_forever()``.
+
+    All HTTP handling and registry mutation happen on the event-loop
+    thread; only the batch-engine calls run on job threads, against the
+    thread-safe single-flight cache.  The instance is single-use: after
+    shutdown completes, build a fresh service (pointing at the same
+    ``cache_dir`` to resume from cached stages).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.config.engine_workers < 1:
+            raise ValueError("engine_workers must be at least 1")
+        self.cache = SingleFlightCache(
+            ResultCache(
+                max_entries=self.config.cache_entries,
+                cache_dir=self.config.cache_dir,
+            ),
+            claim_timeout_s=self.config.claim_timeout_s,
+        )
+        self.engine = BatchSynthesisEngine(
+            max_workers=self.config.engine_workers,
+            cache=self.cache,
+            fail_fast=False,
+        )
+        self.registry = JobRegistry()
+        #: Actual bound port once started (differs from config.port for 0).
+        self.bound_port: Optional[int] = None
+        #: Entries written by the shutdown flush (for logs and tests).
+        self.flushed_on_shutdown: Optional[int] = None
+        #: Set once the listener is accepting — lets a thread hosting the
+        #: service hand the bound port to blocking-client code safely.
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._stopping = False
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the listener and launch the worker pool (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        self._worker_tasks = [
+            self._loop.create_task(self._worker(), name=f"repro-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        self.ready.set()
+
+    async def serve_forever(self) -> None:
+        """Run until shutdown is requested, then drain, flush, and return.
+
+        Calls :meth:`start` first unless the caller already did (callers
+        start explicitly when they need the bound port before blocking).
+        """
+        if self._server is None:
+            await self.start()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            await self._finalize()
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (callable from handlers or signal hooks)."""
+        self._stopping = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def request_shutdown_threadsafe(self) -> None:
+        """Like :meth:`request_shutdown`, safe from any thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self.request_shutdown)
+
+    async def _finalize(self) -> None:
+        """Stop accepting, drain briefly, flush artifacts, release threads."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle workers block on the queue; a sentinel per worker wakes them.
+        for _ in self._worker_tasks:
+            self._queue.put_nowait(None)
+        if self._worker_tasks:
+            _done, pending = await asyncio.wait(
+                self._worker_tasks, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                # The awaiting coroutine is cancelled; the daemon job
+                # thread it launched keeps writing completed stage
+                # artifacts straight to the disk tier until process exit.
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        # The flush is the resume guarantee: every durable artifact a tier
+        # completed before shutdown is now on disk (including any whose
+        # original write soft-failed), so the next server picks up where
+        # this one stopped.
+        self.flushed_on_shutdown = self.cache.flush_to_disk()
+
+    # --------------------------------------------------------------- workers
+    async def _worker(self) -> None:
+        """One worker coroutine: pop queued jobs, run each on a job thread."""
+        while True:
+            job_id = await self._queue.get()
+            if job_id is None:  # shutdown sentinel
+                return
+            record = self.registry.get(job_id)
+            if self._stopping:
+                # The drain window is for *in-flight* work only; jobs still
+                # queued behind it are refused, not started — otherwise
+                # shutdown time would grow with the backlog.
+                record.mark_failed("server shut down before the job started")
+                continue
+            record.mark_running()
+            try:
+                report = await self._run_engine(record.jobs)
+            except asyncio.CancelledError:
+                record.mark_failed("server shut down while the job was running")
+                raise
+            except Exception as exc:  # noqa: BLE001 - reported on the record
+                record.mark_failed(f"{type(exc).__name__}: {exc}")
+            else:
+                record.mark_done(report)
+
+    async def _run_engine(self, jobs: List[Any]) -> Any:
+        """Run ``engine.run(jobs)`` on a *daemon* thread and await the result.
+
+        A ``ThreadPoolExecutor`` would be the obvious tool, but its threads
+        are non-daemon and ``concurrent.futures`` joins them at interpreter
+        exit — a job stuck in a long solve would then keep the "stopped"
+        process alive indefinitely, breaking the drain-timeout contract.
+        Daemon threads let the process actually exit once shutdown decides
+        to stop waiting; completed stage artifacts are already in the cache
+        (and on disk), and the cache's disk writes are atomic, so a thread
+        dying at interpreter teardown cannot corrupt anything.  Concurrency
+        stays bounded because each of the ``workers`` coroutines runs one
+        job thread at a time.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def deliver(result: Any, error: Optional[BaseException]) -> None:
+            if future.cancelled():
+                return
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+
+        def runner() -> None:
+            try:
+                result, error = self.engine.run(jobs), None
+            except BaseException as exc:  # noqa: BLE001 - delivered to the loop
+                result, error = None, exc
+            try:
+                loop.call_soon_threadsafe(deliver, result, error)
+            except RuntimeError:
+                pass  # loop already closed during shutdown; result discarded
+
+        threading.Thread(target=runner, name="repro-job", daemon=True).start()
+        return await future
+
+    # -------------------------------------------------------------- requests
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one request on one connection, then close it."""
+        after_send: Optional[Callable[[], None]] = None
+        try:
+            try:
+                request = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes
+                )
+                if request is None:
+                    return
+                status, payload, after_send = self._route(request)
+            except HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except Exception as exc:  # noqa: BLE001 - never kill the listener
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            writer.write(response_bytes(status, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:  # noqa: BLE001 - a broken transport is not fatal
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if after_send is not None:
+                after_send()
+
+    def _route(
+        self, request: Request
+    ) -> Tuple[int, Any, Optional[Callable[[], None]]]:
+        """Dispatch one request to its handler; raises :class:`HttpError`."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz_payload(), None
+        if path == "/jobs":
+            if method == "POST":
+                return (*self._submit(request), None)
+            if method == "GET":
+                return (
+                    200,
+                    {"jobs": [r.status_payload() for r in self.registry.records()]},
+                    None,
+                )
+            raise HttpError(405, f"{method} not supported on {path}")
+        if path == "/shutdown" and method == "POST":
+            # The response is written before the shutdown event fires, so
+            # the requesting client always hears the acknowledgement.
+            return 202, {"status": "shutting down"}, self.request_shutdown
+        if path.startswith("/jobs/"):
+            return (*self._job_endpoint(method, path), None)
+        raise HttpError(404, f"no such endpoint: {method} {request.path}")
+
+    def _submit(self, request: Request) -> Tuple[int, Any]:
+        """``POST /jobs``: parse a manifest/sweep body and enqueue it."""
+        if self._stopping:
+            raise HttpError(503, "server is shutting down")
+        payload = request.json()
+        kind = "sweep" if isinstance(payload, dict) and "sweep" in payload else "batch"
+        _reject_protocol_entries(payload)
+        estimated = _estimated_job_count(payload, kind)
+        if estimated > self.config.max_jobs_per_submission:
+            raise HttpError(
+                400,
+                f"submission expands to {estimated} jobs, over this server's "
+                f"limit of {self.config.max_jobs_per_submission}; split it "
+                "into smaller submissions",
+            )
+        try:
+            if kind == "sweep":
+                jobs = expand_sweep(payload)
+            else:
+                jobs = manifest_jobs(payload, source="manifest body")
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        if not jobs:
+            raise HttpError(400, "manifest body contains no jobs")
+        record = self.registry.create(kind, payload, jobs)
+        self._queue.put_nowait(record.job_id)
+        return 202, record.status_payload()
+
+    def _job_endpoint(self, method: str, path: str) -> Tuple[int, Any]:
+        """``GET /jobs/{id}`` and ``GET /jobs/{id}/result``."""
+        if method != "GET":
+            raise HttpError(405, f"{method} not supported on {path}")
+        parts = path.split("/")[2:]  # ["<id>"] or ["<id>", "result"]
+        record = self.registry.get(parts[0])
+        if record is None:
+            raise HttpError(404, f"no such job: {parts[0]}")
+        if len(parts) == 1:
+            return 200, record.status_payload()
+        if len(parts) == 2 and parts[1] == "result":
+            return self._result(record)
+        raise HttpError(404, f"no such endpoint: GET {path}")
+
+    def _result(self, record: JobRecord) -> Tuple[int, Any]:
+        """``GET /jobs/{id}/result``: the full report, once there is one."""
+        if record.status == DONE:
+            payload = record.report.to_json_payload()
+            payload["job_id"] = record.job_id
+            return 200, payload
+        if record.status == FAILED:
+            return 500, {"job_id": record.job_id, "status": FAILED, "error": record.error}
+        raise HttpError(
+            409, f"job {record.job_id} is still {record.status}; poll GET /jobs/{{id}}"
+        )
+
+    def _healthz_payload(self) -> Any:
+        """``GET /healthz``: liveness plus queue and cache gauges."""
+        stats = self.cache.stats
+        return {
+            "status": "shutting-down" if self._stopping else "ok",
+            "uptime_s": round(time.time() - self._started_at, 3)
+            if self._started_at is not None
+            else 0.0,
+            "workers": self.config.workers,
+            "engine_workers": self.config.engine_workers,
+            "jobs": self.registry.counts(),
+            "cache": {
+                "entries": len(self.cache),
+                "memory_hits": stats.memory_hits,
+                "disk_hits": stats.disk_hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "evictions": stats.evictions,
+                "dir": str(self.config.cache_dir) if self.config.cache_dir else None,
+            },
+        }

@@ -1,0 +1,171 @@
+"""Single-flight wrapper around the shared :class:`ResultCache`.
+
+The synthesis service runs several jobs concurrently, each through its own
+:meth:`BatchSynthesisEngine.run` call against one long-lived cache.  The
+cache alone is not enough to deduplicate work *across* concurrent jobs:
+two sweeps submitted at the same instant both miss the cache for their
+shared schedule key and would both solve it.  :class:`SingleFlightCache`
+closes that window with claim semantics layered over any cache-shaped
+object:
+
+* a ``get`` miss **claims** the key — the caller is expected to compute the
+  artifact and ``put`` it (or ``abandon`` the claim on failure);
+* a ``get`` for a key someone else holds a claim on **blocks** until the
+  claim is released, then returns the freshly-stored artifact — so the
+  second sweep replays the first sweep's schedule instead of re-solving it,
+  exactly like the points of a single sweep share stages today;
+* claims expire after ``claim_timeout_s``: if the claimant vanishes without
+  releasing (a killed thread, a bug), a waiter takes the claim over and
+  computes the artifact itself — slower, never deadlocked.
+
+The batch engine releases claims on every path (``put`` on success,
+``abandon`` via :meth:`BatchSynthesisEngine._abandon_claim` on failure), so
+under normal operation the timeout never fires.  All inner-cache access is
+serialized under one lock, which also makes the wrapped ``ResultCache``
+(plain dicts, not thread-safe by itself) safe to share between the
+service's worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+
+class SingleFlightCache:
+    """Thread-safe, claim-tracking view over a :class:`ResultCache`.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped cache; anything with the :class:`ResultCache` surface
+        (``get``/``put``/``put_failure``/``get_failure``/``contains``/
+        ``flush_to_disk``/``stats``).
+    claim_timeout_s:
+        How long a waiter blocks on another caller's claim before assuming
+        the claimant died and taking the claim over.  Generous by default —
+        a legitimate claimant is mid-solve — and short in tests.
+    """
+
+    def __init__(self, inner: Any, claim_timeout_s: float = 300.0) -> None:
+        if claim_timeout_s <= 0:
+            raise ValueError("claim_timeout_s must be positive")
+        self._inner = inner
+        self._claim_timeout_s = claim_timeout_s
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+
+    @property
+    def inner(self) -> Any:
+        """The wrapped cache (for stats inspection and direct maintenance)."""
+        return self._inner
+
+    @property
+    def stats(self) -> Any:
+        """The wrapped cache's hit/miss counters."""
+        return self._inner.stats
+
+    # ------------------------------------------------------------------- api
+    def get(self, key: str) -> Optional[Any]:
+        """Look up ``key``; a miss claims it, a foreign claim blocks.
+
+        Returns the cached value, or ``None`` when the *caller* now holds
+        the claim and is expected to compute and ``put`` (or ``abandon``).
+        """
+        waited = 0.0
+        last_event: Optional[threading.Event] = None
+        while True:
+            with self._lock:
+                value = self._inner.get(key)
+                if value is not None:
+                    return value
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    return None
+                if event is not last_event:
+                    # A different claimant than the one we were timing: give
+                    # the new one a full patience window.  Without this
+                    # reset, every waiter's accumulated wait would instantly
+                    # "expire" the replacement claim after one takeover and
+                    # the whole herd would solve the key concurrently.
+                    last_event = event
+                    waited = 0.0
+            remaining = self._claim_timeout_s - waited
+            if remaining <= 0:
+                with self._lock:
+                    value = self._inner.get(key)
+                    if value is not None:
+                        return value
+                    if self._inflight.get(key) is event:
+                        # The claimant is presumed dead: take the claim over
+                        # and wake the other waiters so they re-queue behind
+                        # the replacement instead of the orphaned event.
+                        self._inflight[key] = threading.Event()
+                        event.set()
+                        return None
+                continue  # the claim changed hands; re-time the new claimant
+            start = time.monotonic()
+            event.wait(timeout=remaining)
+            waited += time.monotonic() - start
+
+    def get_nowait(self, key: str) -> Optional[Any]:
+        """Plain thread-safe lookup: no claiming, no waiting.
+
+        Used by the batch engine for run-level keys, which stay held for a
+        job's whole run — blocking on (or claiming) those from concurrent
+        engines could chain into hold-and-wait cycles, and nothing waits on
+        them anyway.  Misses are simply misses; deduplication happens at
+        the stage keys.
+        """
+        with self._lock:
+            return self._inner.get(key)
+
+    def put(self, key: str, value: Any, disk: bool = True) -> None:
+        """Store ``value`` and release the claim on ``key`` (waking waiters)."""
+        with self._lock:
+            self._inner.put(key, value, disk=disk)
+            self._release(key)
+
+    def abandon(self, key: str) -> None:
+        """Release the claim on ``key`` without storing anything.
+
+        Called by the batch engine when a claimed stage (or run) ends in
+        failure; waiters wake, find the key still missing, and claim it
+        themselves.  Abandoning an unclaimed or already-released key is a
+        no-op, so callers need not track claim ownership precisely.
+        """
+        with self._lock:
+            self._release(key)
+
+    def put_failure(self, key: str, error: BaseException) -> None:
+        """Memoize a failure in the inner cache (claims are unaffected)."""
+        with self._lock:
+            self._inner.put_failure(key, error)
+
+    def get_failure(self, key: str) -> Optional[BaseException]:
+        """The inner cache's memoized exception for ``key``, or ``None``."""
+        with self._lock:
+            return self._inner.get_failure(key)
+
+    def contains(self, key: str) -> bool:
+        """Stats-free membership test against the inner cache."""
+        with self._lock:
+            return self._inner.contains(key)
+
+    def flush_to_disk(self) -> int:
+        """Flush the inner cache's durable memory entries to its disk tier."""
+        with self._lock:
+            return self._inner.flush_to_disk()
+
+    def __len__(self) -> int:
+        """Number of entries in the inner cache's memory tier."""
+        with self._lock:
+            return len(self._inner)
+
+    # -------------------------------------------------------------- internals
+    def _release(self, key: str) -> None:
+        event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()

@@ -1,0 +1,132 @@
+"""Job records and the in-memory registry of the synthesis service.
+
+Every accepted ``POST /jobs`` becomes one :class:`JobRecord` that moves
+through ``queued → running → done`` (or ``failed`` when the batch engine
+itself raises — individual synthesis failures stay *inside* a ``done``
+job's report, mirroring the CLI's exit-code-1-with-report behavior).
+
+The registry is only ever touched from the service's event-loop thread:
+request handlers and the worker coroutines both run on the loop, and the
+blocking engine call happens in an executor *between* two loop-side status
+transitions.  That single-threaded discipline is what lets the registry be
+a plain dict with no locking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.batch.jobs import BatchJob
+from repro.batch.report import BatchReport
+from repro.keys import derive_job_id
+
+#: Lifecycle states of a service job.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+STATUSES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class JobRecord:
+    """One submitted batch/sweep and everything the service knows about it."""
+
+    job_id: str
+    kind: str  # "batch" | "sweep"
+    jobs: List[BatchJob]
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    report: Optional[BatchReport] = None
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the record reached a terminal state (done or failed)."""
+        return self.status in (DONE, FAILED)
+
+    def mark_running(self) -> None:
+        """Transition queued → running (stamps ``started_at``)."""
+        self.status = RUNNING
+        self.started_at = time.time()
+
+    def mark_done(self, report: BatchReport) -> None:
+        """Transition running → done with the engine's report attached."""
+        self.status = DONE
+        self.report = report
+        self.finished_at = time.time()
+
+    def mark_failed(self, message: str) -> None:
+        """Transition running → failed (the engine itself raised)."""
+        self.status = FAILED
+        self.error = message
+        self.finished_at = time.time()
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``GET /jobs/{id}`` response body.
+
+        Always carries id/kind/status/counts; once the job is done the
+        engine's batch summary — including the per-stage ran/replayed/shared
+        breakdown — rides along under ``"summary"``.
+        """
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "jobs": len(self.jobs),
+            "submitted_at": self.submitted_at,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.report is not None:
+            payload["summary"] = self.report.summary()
+        return payload
+
+
+class JobRegistry:
+    """Insertion-ordered registry of every job this server has accepted."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, JobRecord] = {}
+        self._sequence = 0
+
+    def create(self, kind: str, payload: Any, jobs: List[BatchJob]) -> JobRecord:
+        """Register a new queued job for ``payload`` and return its record.
+
+        The id comes from :func:`repro.keys.derive_job_id`: a digest of the
+        manifest body plus this server's submission sequence number, so
+        identical manifests are recognizable by prefix yet every submission
+        stays individually addressable.
+        """
+        self._sequence += 1
+        record = JobRecord(
+            job_id=derive_job_id(payload, self._sequence), kind=kind, jobs=jobs
+        )
+        self._records[record.job_id] = record
+        return record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """The record for ``job_id``, or ``None`` when unknown."""
+        return self._records.get(job_id)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per lifecycle state (all states always present)."""
+        counts = {status: 0 for status in STATUSES}
+        for record in self._records.values():
+            counts[record.status] += 1
+        return counts
+
+    def records(self) -> List[JobRecord]:
+        """All records in submission order."""
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)

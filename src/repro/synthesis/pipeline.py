@@ -365,7 +365,18 @@ class SynthesisPipeline:
             if artifact is not None:
                 action = "replayed"
             else:
-                artifact = stage.run(context, upstream)
+                try:
+                    artifact = stage.run(context, upstream)
+                except BaseException:
+                    # Under a single-flight cache the miss above *claimed*
+                    # the key; a failed stage must release exactly that
+                    # claim (and no other) so concurrent waiters can take
+                    # over instead of sitting out the claim timeout.
+                    if use_cache:
+                        abandon = getattr(cache, "abandon", None)
+                        if abandon is not None:
+                            abandon(planned_stage.key)
+                    raise
                 if use_cache:
                     cache.put(planned_stage.key, artifact)
                 action = "ran"

@@ -1,0 +1,131 @@
+"""Error-path tests of the ``repro`` CLI subcommands.
+
+Every failure mode is asserted through the *process contract* — the return
+code and the stderr text captured via ``capsys`` — not by reaching into
+implementation exceptions, because exit codes are what CI scripts and the
+service smoke jobs consume.  The exit-code conventions (documented in
+``docs/cli.md``):
+
+* ``0`` — success;
+* ``1`` — the work itself failed (synthesis error, failed batch jobs);
+* ``2`` — the input was unusable (malformed manifest/sweep, no jobs), and
+  ``argparse`` errors such as a missing spec file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_json(path, payload) -> str:
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestBatchManifestErrors:
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "broken.json"
+        spec.write_text('{"jobs": [')
+        assert main(["batch", str(spec)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid manifest" in err
+
+    def test_missing_manifest_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["batch", str(tmp_path / "nope.json")])
+        assert exit_info.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unknown_top_level_key_exits_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "m.json", {"default": {}, "jobs": [{"assay": "PCR"}]})
+        assert main(["batch", spec]) == 2
+        assert "unknown top-level keys" in capsys.readouterr().err
+
+    def test_unknown_job_key_exits_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "m.json", {"jobs": [{"assay": "PCR", "mixer": 3}]})
+        assert main(["batch", spec]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+    def test_unknown_config_key_exits_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "m.json", {"jobs": [{"assay": "PCR", "config": {"mixers": 3}}]}
+        )
+        assert main(["batch", spec]) == 2
+        assert "unknown flow-config keys" in capsys.readouterr().err
+
+    def test_duplicate_explicit_job_ids_exit_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "m.json",
+            {"jobs": [{"assay": "PCR", "id": "x"}, {"assay": "IVD", "id": "x"}]},
+        )
+        assert main(["batch", spec]) == 2
+        assert "duplicate job id" in capsys.readouterr().err
+
+    def test_empty_manifest_exits_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "m.json", {"jobs": []})
+        assert main(["batch", spec]) == 2
+        assert "contains no jobs" in capsys.readouterr().err
+
+    def test_failed_job_exits_1_with_report(self, tmp_path, capsys):
+        # IVD without detectors cannot bind its detection operations: the
+        # batch completes (exit 1) and the report row carries the failure.
+        spec = write_json(
+            tmp_path / "m.json",
+            {"jobs": [{"assay": "IVD",
+                       "config": {"ilp_operation_limit": 0, "num_detectors": 0}}]},
+        )
+        assert main(["batch", spec]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+
+
+class TestSweepSpecErrors:
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text("[1, 2,")
+        assert main(["sweep", str(spec)]) == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_non_object_spec_exits_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "s.json", [1, 2])
+        assert main(["sweep", spec]) == 2
+        assert "must be a JSON object" in capsys.readouterr().err
+
+    def test_unknown_axis_exits_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "s.json", {"assay": "PCR", "sweep": {"pitchh": [1.0]}}
+        )
+        assert main(["sweep", spec]) == 2
+        assert "unknown flow-config axes" in capsys.readouterr().err
+
+    def test_duplicate_sweep_point_ids_exit_2(self, tmp_path, capsys):
+        # 5 and 5.0 render identically in the generated point ids, so the
+        # two grid points would be indistinguishable in reports.
+        spec = write_json(
+            tmp_path / "s.json", {"assay": "PCR", "sweep": {"pitch": [5, 5.0]}}
+        )
+        assert main(["sweep", spec]) == 2
+        err = capsys.readouterr().err
+        assert "duplicates job id" in err
+
+    def test_empty_grid_exits_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "s.json", {"assay": "PCR", "sweep": {}})
+        assert main(["sweep", spec]) == 2
+        assert "non-empty object" in capsys.readouterr().err
+
+
+class TestServeArgumentErrors:
+    def test_zero_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--workers", "0"])
+        assert exit_info.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_zero_engine_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--engine-workers", "0"])
+        assert exit_info.value.code == 2

@@ -1,22 +1,12 @@
-"""Setuptools entry point.
+"""Setuptools shim.
 
-The pyproject.toml carries the project metadata; this file exists so that
-``pip install -e .`` also works on environments whose setuptools/pip lack
-PEP 660 editable-wheel support (no ``wheel`` package installed).
+All project metadata lives in ``pyproject.toml`` (PEP 621, including the
+package layout and the ``highs`` extra carrying scipy); this file only
+exists so that ``pip install -e .`` also works on environments whose
+setuptools/pip lack PEP 660 editable-wheel support (no ``wheel`` package
+installed).
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Synthesis of flow-based microfluidic biochips with distributed "
-        "channel storage (DAC 2017 reproduction)"
-    ),
-    python_requires=">=3.10",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    install_requires=["numpy", "scipy", "networkx"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
-)
+setup()

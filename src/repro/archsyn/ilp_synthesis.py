@@ -52,14 +52,31 @@ class SynthesisLimitError(SynthesisError, SolverLimitError):
 
 @dataclass
 class IlpSynthesisConfig:
-    """Configuration of the exact synthesis engine."""
+    """Configuration of the exact synthesis engine.
+
+    ``solver``, when set, is used verbatim for the solve — the flow builds
+    it through :func:`repro.synthesis.config.solver_options_for`, the single
+    ``FlowConfig`` → ``SolverOptions`` construction point, so this engine
+    can no longer silently drop options (historically it built
+    ``SolverOptions`` from ``time_limit_s`` alone, losing any configured
+    ``mip_rel_gap``).  When ``None`` the legacy fields are assembled into
+    options on the default backend.
+    """
 
     grid_rows: int = 3
     grid_cols: int = 3
     time_limit_s: Optional[float] = 120.0
+    mip_rel_gap: Optional[float] = None
     #: Optional pre-computed placement (device id -> node id).  When given,
     #: the ``a_{i,k}`` variables are fixed, which shrinks the model a lot.
     fixed_placement: Optional[Dict[str, str]] = None
+    solver: Optional[SolverOptions] = None
+
+    def solver_options(self) -> SolverOptions:
+        """The options every solve of this synthesizer runs under."""
+        if self.solver is not None:
+            return self.solver
+        return SolverOptions(time_limit_s=self.time_limit_s, mip_rel_gap=self.mip_rel_gap)
 
 
 @dataclass
@@ -79,6 +96,10 @@ class IlpSynthesizer:
         self.config = config or IlpSynthesisConfig()
         self.last_objective: Optional[float] = None
         self.last_wall_time_s: float = 0.0
+        #: Which backend produced the last architecture, and whether the
+        #: portfolio had to abandon its primary to get it.
+        self.last_backend: Optional[str] = None
+        self.last_fallback_used: bool = False
 
     # ------------------------------------------------------------------ API
     def synthesize(self, schedule: Schedule) -> ChipArchitecture:
@@ -114,9 +135,11 @@ class IlpSynthesizer:
         self._add_conflicts(model, grid, legs, edge_use, node_use, keep, sigma, storage_windows, place)
 
         model.minimize(lin_sum(keep.values()))
-        result = model.solve(SolverOptions(time_limit_s=cfg.time_limit_s))
+        result = model.solve(cfg.solver_options())
         self.last_objective = result.objective
         self.last_wall_time_s = result.wall_time_s
+        self.last_backend = result.backend_name
+        self.last_fallback_used = result.fallback_used
         if not result.status.is_feasible():
             message = f"ILP synthesis of {schedule.graph.name!r} failed: {result.status.value}"
             if result.status is SolverStatus.TIME_LIMIT:

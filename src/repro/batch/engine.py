@@ -388,7 +388,11 @@ class BatchSynthesisEngine:
                     p.artifacts.append(artifact)
                     p.executions.append(
                         StageExecution(
-                            stage=stage.name, key=stage_key, action="replayed"
+                            stage=stage.name,
+                            key=stage_key,
+                            action="replayed",
+                            backend=getattr(artifact, "backend_name", None),
+                            fallback_used=getattr(artifact, "fallback_used", False),
                         )
                     )
             else:
@@ -436,6 +440,8 @@ class BatchSynthesisEngine:
                             key=stage_key,
                             action="ran" if position == 0 else "shared",
                             wall_time_s=elapsed if position == 0 else 0.0,
+                            backend=getattr(value, "backend_name", None),
+                            fallback_used=getattr(value, "fallback_used", False),
                         )
                     )
             else:

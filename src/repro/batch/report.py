@@ -104,6 +104,8 @@ class JobOutcome:
                     "stage": execution.stage,
                     "action": execution.action,
                     "wall_time_s": round(execution.wall_time_s, 3),
+                    "backend": execution.backend,
+                    "fallback_used": execution.fallback_used,
                 }
                 for execution in self.stages
             ],
@@ -172,17 +174,27 @@ class BatchReport:
         counts jobs that rode along on another job's execution within this
         batch.  ``wall_time_s`` sums the execution time of the ``ran``
         entries — the real cost of the stage across the batch.
+        ``backends`` counts, per solver backend, how many of the stage's
+        artifacts it produced (heuristic stages report no backend and are
+        absent from the map); ``fallbacks`` counts artifacts the portfolio
+        only obtained by abandoning its primary.
         """
         summary: Dict[str, Dict[str, Any]] = {}
         for outcome in self.outcomes:
             for execution in outcome.stages:
                 row = summary.setdefault(
                     execution.stage,
-                    {"ran": 0, "replayed": 0, "shared": 0, "wall_time_s": 0.0},
+                    {"ran": 0, "replayed": 0, "shared": 0, "wall_time_s": 0.0,
+                     "backends": {}, "fallbacks": 0},
                 )
                 row[execution.action] += 1
                 if execution.action == "ran":
                     row["wall_time_s"] += execution.wall_time_s
+                if execution.backend is not None:
+                    backends = row["backends"]
+                    backends[execution.backend] = backends.get(execution.backend, 0) + 1
+                if execution.fallback_used:
+                    row["fallbacks"] += 1
         for row in summary.values():
             row["wall_time_s"] = round(row["wall_time_s"], 3)
         return summary

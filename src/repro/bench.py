@@ -1,0 +1,165 @@
+"""Benchmark telemetry: the ``repro bench`` subcommand.
+
+Runs the small benchmark fixtures (RA30 / IVD / PCR by default, the same
+assays the golden regression pins cover) cold through the batch engine and
+writes a machine-readable ``BENCH_4.json`` so the performance trajectory of
+the repository finally has data points a CI job can collect and compare
+across commits:
+
+* per-experiment wall time and makespan,
+* per-stage solver invocations (the in-process counters of
+  :mod:`repro.synthesis.pipeline` — cache replays excluded by design),
+* which solver backend produced each exact stage and whether the portfolio
+  had to fall back.
+
+The file name carries the PR sequence number of the benchmark format
+(``BENCH_4``) rather than a timestamp, so CI artifact uploads of different
+commits are directly comparable.  The payload also embeds
+:data:`repro.keys.KEY_VERSION` — a bump there invalidates every cache, so
+wall-time regressions across a bump are expected and the comparison tooling
+can tell the two apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.batch.cache import ResultCache
+from repro.batch.engine import BatchSynthesisEngine
+from repro.batch.jobs import BatchJob
+from repro.graph.library import PAPER_ASSAYS, assay_by_name
+from repro.keys import KEY_VERSION
+from repro.synthesis.config import FlowConfig
+from repro.synthesis.pipeline import reset_stage_invocations, stage_invocations
+
+#: The small fixtures: cheap enough for every CI run, and exactly the
+#: assays whose results the golden regression tests pin.
+DEFAULT_ASSAYS = ("RA30", "IVD", "PCR")
+
+#: Format version of the BENCH_4.json payload (independent of the file
+#: name, which tracks the PR that introduced the telemetry).
+BENCH_FORMAT = 1
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Argument surface of the ``repro bench`` subcommand."""
+    from repro.cli import _add_solver_argument
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the small benchmark fixtures cold and write "
+        "machine-readable telemetry (wall time, solver invocations, backend "
+        "used per stage) to a JSON file for the perf trajectory.",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_4.json"),
+        help="output JSON path (default BENCH_4.json)",
+    )
+    parser.add_argument(
+        "--assays", nargs="+", default=list(DEFAULT_ASSAYS),
+        choices=sorted(PAPER_ASSAYS),
+        help=f"assays to benchmark (default {' '.join(DEFAULT_ASSAYS)})",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=20.0,
+        help="ILP time limit per solve in seconds (default 20, the golden-"
+        "regression setting)",
+    )
+    _add_solver_argument(parser)
+    return parser
+
+
+def _bench_config(assay: str, time_limit_s: float, solver: Optional[str]) -> FlowConfig:
+    """Paper-default config for ``assay`` under the bench time limit."""
+    from repro.synthesis.config import apply_solver_override
+
+    config = FlowConfig.paper_defaults_for(assay)
+    config.ilp_time_limit_s = time_limit_s
+    config.archsyn_time_limit_s = time_limit_s
+    return apply_solver_override(config, solver)
+
+
+def run_experiment(assay: str, time_limit_s: float, solver: Optional[str]) -> Dict[str, Any]:
+    """Run one assay cold and return its telemetry record.
+
+    Every experiment gets a fresh engine and a fresh memory-only cache so
+    the numbers measure real solves, never replays; the stage-invocation
+    counters are snapshotted around the run to prove it.
+    """
+    job = BatchJob(assay, assay_by_name(assay), _bench_config(assay, time_limit_s, solver))
+    engine = BatchSynthesisEngine(max_workers=1, cache=ResultCache())
+    reset_stage_invocations()
+    start = time.perf_counter()
+    report = engine.run([job])
+    wall_time_s = time.perf_counter() - start
+    invocations = stage_invocations()
+    outcome = report.outcomes[0]
+    record: Dict[str, Any] = {
+        "assay": assay,
+        "ok": outcome.ok,
+        "error": outcome.error,
+        "wall_time_s": round(wall_time_s, 4),
+        "solver_invocations": invocations,
+        "stages": [
+            {
+                "stage": execution.stage,
+                "action": execution.action,
+                "wall_time_s": round(execution.wall_time_s, 4),
+                "backend": execution.backend,
+                "fallback_used": execution.fallback_used,
+            }
+            for execution in outcome.stages
+        ],
+    }
+    if outcome.ok:
+        metrics = outcome.metrics()
+        record["makespan"] = metrics.execution_time
+        record["scheduler_engine"] = metrics.scheduler_engine
+        record["synthesis_engine"] = metrics.synthesis_engine
+    return record
+
+
+def run_bench(argv: List[str]) -> int:
+    """The ``repro bench`` subcommand; returns a process exit code."""
+    parser = build_bench_parser()
+    args = parser.parse_args(argv)
+
+    experiments = [
+        run_experiment(assay, args.time_limit, args.solver) for assay in args.assays
+    ]
+    totals: Dict[str, int] = {}
+    for record in experiments:
+        for stage, count in record["solver_invocations"].items():
+            totals[stage] = totals.get(stage, 0) + count
+    payload = {
+        "bench_format": BENCH_FORMAT,
+        "key_version": KEY_VERSION,
+        "solver": args.solver,  # None = each config's default (portfolio)
+        "time_limit_s": args.time_limit,
+        "experiments": experiments,
+        "totals": {
+            "wall_time_s": round(sum(r["wall_time_s"] for r in experiments), 4),
+            "solver_invocations": totals,
+            "failed": sum(1 for r in experiments if not r["ok"]),
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    for record in experiments:
+        status = f"tE={record.get('makespan')}" if record["ok"] else f"FAILED: {record['error']}"
+        backends = {
+            s["stage"]: s["backend"] for s in record["stages"] if s["backend"] is not None
+        }
+        backend_note = f" backends={backends}" if backends else ""
+        print(f"{record['assay']:<8} {status} {record['wall_time_s']:.2f}s{backend_note}")
+    print(f"bench telemetry written to {args.out}")
+    failed = payload["totals"]["failed"]
+    if failed:
+        print(f"{failed} experiment(s) failed", file=sys.stderr)
+        return 1
+    return 0

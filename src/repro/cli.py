@@ -37,6 +37,17 @@ Serve mode runs the long-lived HTTP synthesis service (see
 
     python -m repro serve --port 8642 --workers 2 --cache-dir .repro-cache
 
+Bench mode runs the small benchmark fixtures cold and writes
+machine-readable telemetry — per-experiment wall time, solver invocations,
+and the solver backend each exact stage ran on — to ``BENCH_4.json``::
+
+    python -m repro bench --out BENCH_4.json
+
+Every job-running mode accepts ``--solver`` to force both ILPs onto one
+registered solver backend (``highs``, ``branch-and-bound``, or the default
+``portfolio`` which falls back from HiGHS to the dependency-free branch
+and bound when no usable incumbent arrives within the time cap).
+
 Batch manifests and sweep specs are then submitted over HTTP
 (``POST /jobs``) and share one hot in-process stage cache across requests,
 including concurrent ones.
@@ -54,9 +65,34 @@ from typing import List, Optional
 
 from repro.graph.library import PAPER_ASSAYS, assay_by_name
 from repro.graph.serialization import load_graph
-from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
+from repro.ilp.backends import backend_names
+from repro.synthesis.config import (
+    FlowConfig,
+    SchedulerEngine,
+    SynthesisEngine,
+    apply_solver_override,
+)
 from repro.synthesis.flow import synthesize
 from repro.synthesis.report import result_report
+
+
+def _add_solver_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--solver`` override: one backend for both ILPs.
+
+    Applies to every job of a batch/sweep/service submission, overriding
+    both ``scheduler_backend`` and ``archsyn_backend`` of each job's flow
+    config (per-job manifest values included) — the operational "run this
+    whole workload on that solver" switch.  The semantics live in
+    :func:`repro.synthesis.config.apply_solver_override`.
+    """
+    parser.add_argument(
+        "--solver",
+        choices=sorted(backend_names()),
+        default=None,
+        help="solver backend for both ILPs (default: each config's own "
+        "backends, normally 'portfolio' = HiGHS with branch-and-bound "
+        "fallback)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="architectural-synthesis engine (default heuristic)")
     parser.add_argument("--time-limit", type=float, default=60.0,
                         help="ILP time limit in seconds (default 60)")
+    _add_solver_argument(parser)
     parser.add_argument("--no-storage-objective", action="store_true",
                         help="optimize execution time only (the Fig. 9 baseline)")
     parser.add_argument("--svg", type=Path, default=None,
@@ -104,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from_args(args: argparse.Namespace) -> FlowConfig:
-    return FlowConfig(
+    config = FlowConfig(
         num_mixers=args.mixers,
         num_detectors=args.detectors,
         num_heaters=args.heaters,
@@ -117,6 +154,7 @@ def _config_from_args(args: argparse.Namespace) -> FlowConfig:
         archsyn_time_limit_s=args.time_limit,
         storage_aware=not args.no_storage_objective,
     )
+    return apply_solver_override(config, args.solver)
 
 
 def _build_jobs_parser(prog: str, description: str, source_help: str) -> argparse.ArgumentParser:
@@ -131,6 +169,7 @@ def _build_jobs_parser(prog: str, description: str, source_help: str) -> argpars
                         help="also write per-job metrics and batch totals to this JSON file")
     parser.add_argument("--fail-fast", action="store_true",
                         help="abort the batch on the first job failure")
+    _add_solver_argument(parser)
     return parser
 
 
@@ -178,6 +217,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drain-timeout", type=float, default=5.0,
                         help="seconds shutdown waits for running jobs before "
                         "flushing the cache and exiting (default 5)")
+    _add_solver_argument(parser)
     return parser
 
 
@@ -202,6 +242,7 @@ def run_serve(argv: List[str]) -> int:
             engine_workers=args.engine_workers,
             cache_dir=args.cache_dir,
             drain_timeout_s=args.drain_timeout,
+            solver=args.solver,
         )
     )
 
@@ -255,6 +296,8 @@ def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     if not jobs:
         print(f"{kind} contains no jobs", file=sys.stderr)
         return 2
+    for job in jobs:
+        job.config = apply_solver_override(job.config, args.solver)
 
     cache = ResultCache(cache_dir=args.cache_dir)
     engine = BatchSynthesisEngine(
@@ -295,6 +338,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_sweep(list(argv[1:]))
     if argv and argv[0] == "serve":
         return run_serve(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        from repro.bench import run_bench
+
+        return run_bench(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -3,8 +3,10 @@
 The paper solves its scheduling and architectural-synthesis formulations with
 Gurobi.  This package provides an in-repo substitute: a small, PuLP-like
 modeling API (:class:`Variable`, :class:`LinExpr`, :class:`Constraint`,
-:class:`Model`) whose instances are lowered to ``scipy.optimize.milp``
-(the HiGHS branch-and-cut solver shipped with SciPy).
+:class:`Model`) whose instances are solved by a pluggable backend
+(:mod:`repro.ilp.backends`): scipy's HiGHS branch and cut when available,
+a dependency-free pure-Python branch and bound otherwise, with the default
+``portfolio`` backend falling from the first to the second automatically.
 
 The layer intentionally mirrors the modeling idioms used in the paper:
 
@@ -32,6 +34,17 @@ from repro.ilp.constraint import Constraint, ConstraintSense
 from repro.ilp.model import Model, Objective, ObjectiveSense
 from repro.ilp.solver import SolverOptions, SolveResult, solve_model
 from repro.ilp.status import SolverLimitError, SolverStatus
+from repro.ilp.backends import (
+    BackendUnavailableError,
+    BranchAndBoundBackend,
+    HighsBackend,
+    PortfolioBackend,
+    SolverBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.ilp.bigm import (
     BigMContext,
     add_implication,
@@ -57,6 +70,15 @@ __all__ = [
     "solve_model",
     "SolverStatus",
     "SolverLimitError",
+    "SolverBackend",
+    "BackendUnavailableError",
+    "HighsBackend",
+    "BranchAndBoundBackend",
+    "PortfolioBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     "BigMContext",
     "add_implication",
     "add_either_or",

@@ -1,0 +1,54 @@
+"""Pluggable solver backends for the MILP layer.
+
+Three backends ship registered out of the box:
+
+``"highs"``
+    The historical scipy/HiGHS branch-and-cut path
+    (:class:`~repro.ilp.backends.highs.HighsBackend`); unavailable — but
+    harmless — when scipy is not installed.
+``"branch-and-bound"``
+    A dependency-free pure-Python best-first branch and bound
+    (:class:`~repro.ilp.backends.branch_and_bound.BranchAndBoundBackend`),
+    exact on the small golden models and always available.
+``"portfolio"``
+    The default (:data:`~repro.ilp.backends.base.DEFAULT_BACKEND`): HiGHS
+    under the paper's time cap with automatic fallback to branch and bound
+    whenever the primary is unavailable or returns no usable incumbent
+    (:class:`~repro.ilp.backends.portfolio.PortfolioBackend`).
+
+Custom backends register with :func:`register_backend`; any string a
+:class:`~repro.synthesis.config.FlowConfig` or ``--solver`` flag names is
+resolved through :func:`get_backend` at solve time.
+"""
+
+from repro.ilp.backends.base import (
+    DEFAULT_BACKEND,
+    BackendUnavailableError,
+    SolverBackend,
+    backend_names,
+    empty_model_result,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.ilp.backends.branch_and_bound import BranchAndBoundBackend
+from repro.ilp.backends.highs import HighsBackend
+from repro.ilp.backends.portfolio import PortfolioBackend
+
+register_backend(HighsBackend())
+register_backend(BranchAndBoundBackend())
+register_backend(PortfolioBackend())
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendUnavailableError",
+    "SolverBackend",
+    "HighsBackend",
+    "BranchAndBoundBackend",
+    "PortfolioBackend",
+    "backend_names",
+    "empty_model_result",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,147 @@
+"""Solver-backend protocol and the string-keyed backend registry.
+
+The paper solves its two ILPs (scheduling, architecture synthesis) with a
+commercial solver behind a wall-clock cap; this repository treats the solve
+step as a *seam* instead of a hard-wired call.  A :class:`SolverBackend`
+turns a :class:`repro.ilp.Model` into a :class:`repro.ilp.SolveResult`; the
+registry maps stable string keys (``"highs"``, ``"branch-and-bound"``,
+``"portfolio"``) to backend instances so every layer above — engine
+configs, :class:`~repro.synthesis.config.FlowConfig`, batch manifests, the
+CLI's ``--solver`` flag — can name a backend without importing it.
+
+Backend names participate in the stage cache keys of
+:mod:`repro.synthesis.pipeline` (via the ``scheduler_backend`` /
+``archsyn_backend`` config fields), so two runs differing only in backend
+never alias each other's cached artifacts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.ilp.status import SolverStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.ilp.model import Model
+    from repro.ilp.solver import SolveResult, SolverOptions
+
+
+class BackendUnavailableError(RuntimeError):
+    """A backend was selected whose runtime dependency is not installed.
+
+    Raised by :meth:`SolverBackend.solve` when the backend cannot run at all
+    (e.g. :class:`~repro.ilp.backends.highs.HighsBackend` without scipy) —
+    as opposed to a solve that ran and failed.  The portfolio backend treats
+    it like a skip and moves on to the next backend in its chain.
+    """
+
+
+class SolverBackend(abc.ABC):
+    """One way of solving a :class:`repro.ilp.Model`.
+
+    Subclasses set :attr:`name` (the registry key and the value reported in
+    :attr:`repro.ilp.SolveResult.backend_name`) and implement :meth:`solve`.
+    Backends must be stateless across solves — one shared instance serves
+    every thread and every model — and must populate each variable's
+    ``.value`` on a feasible outcome, exactly like the historical
+    ``solve_model`` contract.
+    """
+
+    #: Registry key; also stamped on every result the backend returns.
+    name: str = ""
+
+    def is_available(self) -> bool:
+        """Whether the backend can run in this environment.
+
+        The default is ``True``; backends with optional dependencies
+        override this so the portfolio can skip them instead of crashing.
+        """
+        return True
+
+    @abc.abstractmethod
+    def solve(self, model: "Model", options: Optional["SolverOptions"] = None) -> "SolveResult":
+        """Solve ``model`` under ``options`` and return a stamped result.
+
+        Implementations must set ``backend_name`` on the result to
+        :attr:`name` and fill variable ``.value`` attributes when the
+        outcome is feasible (clearing them to ``None`` otherwise).
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def empty_model_result(model: "Model") -> Optional["SolveResult"]:
+    """The trivial result for a variable-less model, or ``None``.
+
+    Shared by every backend so the empty-model contract ("trivially optimal
+    unless a constant constraint is violated") cannot drift between them.
+    The caller stamps its own ``backend_name`` on the returned result.
+    """
+    from repro.ilp.solver import SolveResult
+
+    if model.variables:
+        return None
+    infeasible = any(con.is_trivially_infeasible() for con in model.constraints)
+    status = SolverStatus.INFEASIBLE if infeasible else SolverStatus.OPTIMAL
+    return SolveResult(status=status, objective=0.0, wall_time_s=0.0, message="empty model")
+
+
+# ------------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+#: Registry key of the backend used when options name none: the portfolio,
+#: whose primary is HiGHS with the paper's time cap and whose fallback keeps
+#: the flow running when the primary returns no usable incumbent.
+DEFAULT_BACKEND = "portfolio"
+
+
+def register_backend(backend: SolverBackend, *, replace: bool = False) -> SolverBackend:
+    """Register ``backend`` under its :attr:`~SolverBackend.name`.
+
+    Re-registering an existing name raises unless ``replace=True`` — a
+    silent overwrite would re-route every config naming that backend.
+    Returns the backend so registration can be used as an expression.
+    """
+    name = backend.name
+    if not name:
+        raise ValueError(f"backend {backend!r} has no name")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"solver backend {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op when absent).
+
+    Intended for tests and short-lived experimental backends; the built-in
+    names are re-registered only on interpreter restart.
+    """
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """The backend registered under ``name``.
+
+    Raises
+    ------
+    ValueError
+        When no backend has that name, listing the known keys so a manifest
+        typo is one read away from its fix.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {name!r}; registered backends: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,409 @@
+"""Dependency-free MILP backend: best-first branch and bound, LP-free.
+
+The backend solves a :class:`repro.ilp.Model` with nothing beyond the
+standard library and the matrices the model already knows how to produce
+(:meth:`Model.to_matrices`).  It exists so the whole synthesis flow runs on
+an interpreter without scipy — as the portfolio's fallback, and as an
+explicitly selectable ``"branch-and-bound"`` backend in tests and CI.
+
+Instead of an LP relaxation, nodes are bounded by *interval propagation*:
+
+* every constraint row ``row_lo <= a . x <= row_hi`` tightens each of its
+  variables' bounds from the residual activity of the others, iterated to a
+  fixpoint (integer bounds are rounded inward);
+* a node's objective bound is the box minimum ``sum_j min(c_j lo_j, c_j
+  hi_j)`` — valid for any point in the box, no LP needed;
+* incumbents come from a greedy *dive*: repeatedly fix the first unfixed
+  integer to its objective-preferred bound (falling back to the opposite
+  bound when propagation refutes it), then assign the remaining continuous
+  variables greedily; every candidate assignment is verified against all
+  rows before it is accepted, so the backend never returns an invalid
+  solution.
+
+Search is best-first over the node bound (a heap), branching by halving the
+first unfixed integer variable's range, which keeps the tree logarithmic in
+the bound widths.  The backend is exact on the small models it is meant for
+(the golden-assay ILPs, the parity fixtures); on large instances it honors
+``time_limit_s``/``node_limit`` and reports its best incumbent —
+``FEASIBLE`` with a solution, ``TIME_LIMIT`` without one — mirroring the
+HiGHS status contract.  Models that are *unbounded* (an improving direction
+on an infinite box) are not detected as such and may enumerate until a
+limit fires; the synthesis formulations never produce them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ilp.backends.base import SolverBackend, empty_model_result
+from repro.ilp.model import Model
+from repro.ilp.status import SolverStatus
+
+_INF = math.inf
+#: Absolute feasibility tolerance for row activities and bound crossings.
+_FEAS_TOL = 1e-6
+#: Tolerance for treating an integer bound as attained.
+_INT_TOL = 1e-6
+#: Objective epsilon under which two incumbents are considered equal.
+_OBJ_TOL = 1e-9
+#: Fixpoint cap: propagation passes per node before settling for the
+#: current (still valid, just less tight) box.
+_MAX_PASSES = 40
+
+#: One sparse constraint row: ``(terms, row_lo, row_hi)`` with
+#: ``terms = [(var_index, coefficient), ...]``.
+_Row = Tuple[List[Tuple[int, float]], float, float]
+
+
+def _build_rows(A, lower, upper) -> List[_Row]:
+    """Sparse rows from the dense matrix form of :meth:`Model.to_matrices`."""
+    rows: List[_Row] = []
+    for r in range(A.shape[0]):
+        terms = [(j, float(A[r, j])) for j in range(A.shape[1]) if A[r, j] != 0.0]
+        rows.append((terms, float(lower[r]), float(upper[r])))
+    return rows
+
+
+class BranchAndBoundBackend(SolverBackend):
+    """Pure-Python best-first branch and bound over the model's matrices."""
+
+    name = "branch-and-bound"
+
+    def __init__(self, max_nodes: int = 500_000) -> None:
+        #: Hard safety cap on explored nodes when the options carry no
+        #: ``node_limit`` of their own; prevents an un-capped call on a hard
+        #: model from spinning forever.
+        self.max_nodes = max_nodes
+
+    # ----------------------------------------------------------- propagation
+    def _propagate(self, rows: Sequence[_Row], lo: List[float], hi: List[float],
+                   is_int: Sequence[bool]) -> bool:
+        """Tighten ``lo``/``hi`` in place; ``False`` when proven infeasible."""
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for terms, row_lo, row_hi in rows:
+                min_fin = max_fin = 0.0
+                min_inf = max_inf = 0
+                for j, a in terms:
+                    cmin = a * lo[j] if a > 0 else a * hi[j]
+                    cmax = a * hi[j] if a > 0 else a * lo[j]
+                    if cmin == -_INF:
+                        min_inf += 1
+                    else:
+                        min_fin += cmin
+                    if cmax == _INF:
+                        max_inf += 1
+                    else:
+                        max_fin += cmax
+                if min_inf == 0 and min_fin > row_hi + _FEAS_TOL:
+                    return False
+                if max_inf == 0 and max_fin < row_lo - _FEAS_TOL:
+                    return False
+                for j, a in terms:
+                    cmin = a * lo[j] if a > 0 else a * hi[j]
+                    cmax = a * hi[j] if a > 0 else a * lo[j]
+                    if cmin == -_INF:
+                        rest_min = min_fin if min_inf == 1 else -_INF
+                    else:
+                        rest_min = (min_fin - cmin) if min_inf == 0 else -_INF
+                    if cmax == _INF:
+                        rest_max = max_fin if max_inf == 1 else _INF
+                    else:
+                        rest_max = (max_fin - cmax) if max_inf == 0 else _INF
+                    # a * x_j <= row_hi - rest_min
+                    if row_hi < _INF and rest_min > -_INF:
+                        limit = (row_hi - rest_min) / a
+                        if a > 0:
+                            if is_int[j]:
+                                limit = math.floor(limit + _INT_TOL)
+                            if limit < hi[j] - 1e-7:
+                                hi[j] = limit
+                                changed = True
+                        else:
+                            if is_int[j]:
+                                limit = math.ceil(limit - _INT_TOL)
+                            if limit > lo[j] + 1e-7:
+                                lo[j] = limit
+                                changed = True
+                    # a * x_j >= row_lo - rest_max
+                    if row_lo > -_INF and rest_max < _INF:
+                        limit = (row_lo - rest_max) / a
+                        if a > 0:
+                            if is_int[j]:
+                                limit = math.ceil(limit - _INT_TOL)
+                            if limit > lo[j] + 1e-7:
+                                lo[j] = limit
+                                changed = True
+                        else:
+                            if is_int[j]:
+                                limit = math.floor(limit + _INT_TOL)
+                            if limit < hi[j] - 1e-7:
+                                hi[j] = limit
+                                changed = True
+                    if lo[j] > hi[j] + _FEAS_TOL:
+                        return False
+            if not changed:
+                break
+        return True
+
+    @staticmethod
+    def _box_bound(c: Sequence[float], lo: Sequence[float], hi: Sequence[float]) -> float:
+        """Objective lower bound of a box: each term at its cheapest end."""
+        total = 0.0
+        for j, cj in enumerate(c):
+            if cj > 0:
+                term = cj * lo[j]
+            elif cj < 0:
+                term = cj * hi[j]
+            else:
+                continue
+            if term == -_INF:
+                return -_INF
+            total += term
+        return total
+
+    @staticmethod
+    def _first_unfixed_int(int_indices: Sequence[int], lo: Sequence[float],
+                           hi: Sequence[float]) -> Optional[int]:
+        for j in int_indices:
+            if hi[j] - lo[j] > _INT_TOL:
+                return j
+        return None
+
+    @staticmethod
+    def _verified(rows: Sequence[_Row], x: Sequence[float]) -> bool:
+        """Check a full assignment against every row (absolute tolerance)."""
+        for terms, row_lo, row_hi in rows:
+            activity = sum(a * x[j] for j, a in terms)
+            if activity > row_hi + _FEAS_TOL or activity < row_lo - _FEAS_TOL:
+                return False
+        return True
+
+    def _complete(self, rows, c, lo, hi, is_int,
+                  int_indices) -> Optional[Tuple[float, List[float], bool]]:
+        """Greedily assign the continuous variables of an int-fixed box.
+
+        Continuous variables are fixed to their objective-preferred bound in
+        decreasing ``|c_j|`` order (deciding the expensive variables first,
+        letting propagation push the cheap ones), re-propagating after each
+        fix so forced consequences cascade.  Returns the verified
+        ``(objective, x, exact)`` or ``None`` when the greedy choices dead
+        end; the search never accepts an unverified point.  ``exact`` marks
+        a completion that attains the box's objective bound — only then is
+        the box provably closed, since without an LP a cheaper point with a
+        different continuous trade-off cannot be ruled out.
+        """
+        lo, hi = list(lo), list(hi)
+        entry_bound = self._box_bound(c, lo, hi)
+        order = sorted(
+            (j for j in range(len(c)) if not is_int[j]),
+            key=lambda j: (-abs(c[j]), j),
+        )
+        for j in order:
+            if hi[j] - lo[j] <= 1e-9:
+                continue
+            value = lo[j] if c[j] >= 0 else hi[j]
+            if value == -_INF or value == _INF:
+                other = hi[j] if value == -_INF else lo[j]
+                value = other if other not in (-_INF, _INF) else 0.0
+                value = min(max(value, lo[j]), hi[j])
+            lo[j] = hi[j] = value
+            if not self._propagate(rows, lo, hi, is_int):
+                return None
+        x = [round(lo[j]) if is_int[j] else lo[j] for j in range(len(c))]
+        if not self._verified(rows, x):
+            return None
+        objective = sum(cj * x[j] for j, cj in enumerate(c) if cj)
+        exact = objective <= entry_bound + _FEAS_TOL * max(1.0, abs(objective))
+        return objective, x, exact
+
+    def _dive(self, rows, c, lo, hi, is_int,
+              int_indices) -> Optional[Tuple[float, List[float], bool]]:
+        """Greedy rounding: fix integers toward the objective, repair once.
+
+        The "schedule everything as early as possible" shape of the flow's
+        models makes this dive a strong incumbent source; a failed dive is
+        no loss of correctness (the search proper still explores the node).
+        """
+        lo, hi = list(lo), list(hi)
+        while True:
+            j = self._first_unfixed_int(int_indices, lo, hi)
+            if j is None:
+                return self._complete(rows, c, lo, hi, is_int, int_indices)
+            candidates = [lo[j], hi[j]] if c[j] >= 0 else [hi[j], lo[j]]
+            candidates = [v for v in candidates if v not in (-_INF, _INF)]
+            if not candidates:
+                candidates = [0.0]
+            for value in candidates:
+                trial_lo, trial_hi = list(lo), list(hi)
+                trial_lo[j] = trial_hi[j] = value
+                if self._propagate(rows, trial_lo, trial_hi, is_int):
+                    lo, hi = trial_lo, trial_hi
+                    break
+            else:
+                return None
+
+    # ------------------------------------------------------------------ solve
+    def solve(self, model: Model, options=None):
+        """Solve ``model`` exactly (small instances) or best-effort at limits."""
+        from repro.ilp.solver import SolveResult, SolverOptions
+
+        options = options or SolverOptions()
+        trivial = empty_model_result(model)
+        if trivial is not None:
+            trivial.backend_name = self.name
+            return trivial
+
+        start = time.perf_counter()
+        deadline = None
+        if options.time_limit_s is not None:
+            deadline = start + float(options.time_limit_s)
+        node_limit = options.node_limit if options.node_limit is not None else self.max_nodes
+
+        c_arr, A, lower, upper, lb, ub, integrality = model.to_matrices()
+        n = len(model.variables)
+        c = [float(v) for v in c_arr]
+        is_int = [bool(v) for v in integrality]
+        rows = _build_rows(A, lower, upper)
+        lo = [float(v) for v in lb]
+        hi = [float(v) for v in ub]
+        # Decide binaries (and other unit-range integers) before wide ranges:
+        # in the flow's models the binaries are the assignment/ordering
+        # decisions, and once they are fixed propagation collapses the start
+        # times — which makes both the greedy dive and the search behave
+        # like an as-soon-as-possible scheduler instead of bisecting time.
+        int_indices = sorted(
+            (j for j in range(n) if is_int[j]),
+            key=lambda j: (0 if hi[j] - lo[j] <= 1.0 else 1, j),
+        )
+
+        best: Optional[Tuple[float, List[float]]] = None
+        nodes = 0
+        status: Optional[SolverStatus] = None
+        # True while every leaf reached so far was provably closed (an exact
+        # completion, or refuted by propagation).  An open leaf downgrades
+        # the exhausted-search claim: OPTIMAL → FEASIBLE with an incumbent,
+        # INFEASIBLE → TIME_LIMIT (feasibility unknown) without one.
+        leaves_closed = True
+        # Lowest bound discarded by margin pruning while strictly below the
+        # incumbent.  With a mip_rel_gap the widened margin may prune the
+        # true optimum, so the final gap is reported against this bound
+        # instead of being asserted as zero.
+        discarded_below_best: Optional[float] = None
+
+        if not self._propagate(rows, lo, hi, is_int):
+            status = SolverStatus.INFEASIBLE
+        else:
+            dived = self._dive(rows, c, lo, hi, is_int, int_indices)
+            if dived is not None:
+                best = (dived[0], dived[1])
+            heap: List[Tuple[float, int, List[float], List[float]]] = [
+                (self._box_bound(c, lo, hi), 0, lo, hi)
+            ]
+            seq = 1
+            while heap:
+                if deadline is not None and time.perf_counter() > deadline:
+                    status = SolverStatus.FEASIBLE if best else SolverStatus.TIME_LIMIT
+                    break
+                if nodes >= node_limit:
+                    status = SolverStatus.FEASIBLE if best else SolverStatus.TIME_LIMIT
+                    break
+                bound, _, lo_n, hi_n = heapq.heappop(heap)
+                if best is not None and bound >= best[0] - self._margin(best[0], options):
+                    if bound < best[0] - _OBJ_TOL and (
+                        discarded_below_best is None or bound < discarded_below_best
+                    ):
+                        discarded_below_best = bound
+                    continue
+                nodes += 1
+                j = self._first_unfixed_int(int_indices, lo_n, hi_n)
+                if j is None:
+                    candidate = self._complete(rows, c, lo_n, hi_n, is_int, int_indices)
+                    if candidate is None:
+                        leaves_closed = False
+                        continue
+                    obj, x, exact = candidate
+                    if not exact:
+                        leaves_closed = False
+                    if best is None or obj < best[0] - _OBJ_TOL:
+                        best = (obj, x)
+                    continue
+                if lo_n[j] == -_INF and hi_n[j] == _INF:
+                    # Doubly unbounded: fix zero and keep the two open rays.
+                    splits = [(0.0, 0.0), (-_INF, -1.0), (1.0, _INF)]
+                elif hi_n[j] == _INF:
+                    # Unbounded range: peel the finite endpoint off so every
+                    # branch still shrinks the box.
+                    splits = [(lo_n[j], lo_n[j]), (lo_n[j] + 1, _INF)]
+                elif lo_n[j] == -_INF:
+                    splits = [(hi_n[j], hi_n[j]), (-_INF, hi_n[j] - 1)]
+                else:
+                    mid = int(math.floor((lo_n[j] + hi_n[j]) / 2 + 1e-9))
+                    splits = [(lo_n[j], float(mid)), (float(mid) + 1, hi_n[j])]
+                for child_lo_j, child_hi_j in splits:
+                    child_lo, child_hi = list(lo_n), list(hi_n)
+                    child_lo[j], child_hi[j] = child_lo_j, child_hi_j
+                    if not self._propagate(rows, child_lo, child_hi, is_int):
+                        continue
+                    child_bound = self._box_bound(c, child_lo, child_hi)
+                    if best is not None and child_bound >= best[0] - self._margin(best[0], options):
+                        if child_bound < best[0] - _OBJ_TOL and (
+                            discarded_below_best is None
+                            or child_bound < discarded_below_best
+                        ):
+                            discarded_below_best = child_bound
+                        continue
+                    heapq.heappush(heap, (child_bound, seq, child_lo, child_hi))
+                    seq += 1
+            else:
+                if best is not None:
+                    status = SolverStatus.OPTIMAL if leaves_closed else SolverStatus.FEASIBLE
+                else:
+                    status = SolverStatus.INFEASIBLE if leaves_closed else SolverStatus.TIME_LIMIT
+
+        elapsed = time.perf_counter() - start
+        values: Dict[str, float] = {}
+        objective_value: Optional[float] = None
+        if best is not None and status in (SolverStatus.OPTIMAL, SolverStatus.FEASIBLE):
+            _, x = best
+            for var in model.variables:
+                raw = float(x[var.index])
+                if var.kind in ("integer", "binary"):
+                    raw = float(round(raw))
+                var.value = raw
+                values[var.name] = raw
+            objective_value = float(model.objective_value()) if model.objective else 0.0
+        else:
+            for var in model.variables:
+                var.value = None
+
+        mip_gap: Optional[float] = None
+        if status is SolverStatus.OPTIMAL:
+            if best is not None and discarded_below_best is not None:
+                # Gap-widened pruning may have discarded the true optimum;
+                # report the (upper bound on the) remaining gap honestly.
+                mip_gap = max(
+                    0.0,
+                    (best[0] - discarded_below_best) / max(1.0, abs(best[0])),
+                )
+            else:
+                mip_gap = 0.0
+        return SolveResult(
+            status=status,
+            objective=objective_value,
+            values=values,
+            wall_time_s=elapsed,
+            message=f"branch-and-bound: {nodes} nodes explored",
+            mip_gap=mip_gap,
+            backend_name=self.name,
+        )
+
+    @staticmethod
+    def _margin(incumbent_obj: float, options) -> float:
+        """Pruning margin: exactness epsilon, widened by ``mip_rel_gap``."""
+        if options.mip_rel_gap:
+            return max(_OBJ_TOL, float(options.mip_rel_gap) * abs(incumbent_obj))
+        return _OBJ_TOL

@@ -1,0 +1,123 @@
+"""Portfolio backend: a primary solver with automatic fallback.
+
+The paper runs its ILPs under a 30-minute cap and accepts best-effort
+incumbents; what it never specifies is what to do when the cap fires with
+*no* usable incumbent.  Historically the reproduction aborted
+(``SolverLimitError``).  :class:`PortfolioBackend` closes that gap: it runs
+a chain of backends in order, returns the first *decisive* outcome, and
+records on the result which backend won (``backend_name``) and whether the
+primary had to be abandoned (``fallback_used``).
+
+Decisive means OPTIMAL / FEASIBLE (a usable solution) or INFEASIBLE /
+UNBOUNDED (a proof — retrying another backend cannot change mathematics).
+TIME_LIMIT-without-incumbent and ERROR outcomes fall through to the next
+backend; unavailable backends (e.g. HiGHS on a scipy-free interpreter) are
+skipped.  Every member runs under the caller's own ``SolverOptions`` — the
+paper's time cap applies per attempt, not to the chain as a whole.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ilp.backends.base import (
+    BackendUnavailableError,
+    SolverBackend,
+    empty_model_result,
+    get_backend,
+)
+from repro.ilp.model import Model
+from repro.ilp.status import SolverStatus
+
+#: Statuses that end the chain: a usable solution or a mathematical proof.
+_DECISIVE = (
+    SolverStatus.OPTIMAL,
+    SolverStatus.FEASIBLE,
+    SolverStatus.INFEASIBLE,
+    SolverStatus.UNBOUNDED,
+)
+
+
+class PortfolioBackend(SolverBackend):
+    """Run a chain of registered backends until one is decisive."""
+
+    name = "portfolio"
+
+    def __init__(self, chain: Tuple[str, ...] = ("highs", "branch-and-bound"),
+                 name: Optional[str] = None) -> None:
+        if len(chain) < 1:
+            raise ValueError("a portfolio needs at least one backend name")
+        #: Registry keys of the member backends, primary first.  Members are
+        #: resolved at solve time, so a portfolio can be registered before
+        #: (or independently of) its members.
+        self.chain = tuple(chain)
+        if name is not None:
+            self.name = name
+
+    def is_available(self) -> bool:
+        """Available when any member backend is."""
+        return any(get_backend(member).is_available() for member in self.chain)
+
+    def solve(self, model: Model, options=None):
+        """Try the chain in order; return the first decisive result.
+
+        The returned result keeps the winning member's ``backend_name`` (so
+        reports show *which solver actually produced the numbers*, never
+        ``"portfolio"``), with ``fallback_used`` set whenever the primary
+        was skipped or failed first.  When no member is decisive the last
+        attempt's result is returned as-is — the callers' existing
+        ``SolverLimitError`` handling then applies unchanged.
+
+        Raises
+        ------
+        BackendUnavailableError
+            When every member of the chain is unavailable.
+        """
+        from repro.ilp.solver import SolverOptions
+
+        options = options or SolverOptions()
+        trivial = empty_model_result(model)
+        if trivial is not None:
+            trivial.backend_name = self.chain[0]
+            return trivial
+
+        attempts = []
+        last = None
+        last_was_fallback = False
+        last_attempt_index = -1
+        for member_name in self.chain:
+            member = get_backend(member_name)
+            if not member.is_available():
+                attempts.append(f"{member_name}: unavailable")
+                continue
+            result = member.solve(model, options)
+            fallback = bool(attempts)
+            if result.status in _DECISIVE:
+                result.backend_name = result.backend_name or member.name
+                result.fallback_used = fallback or result.fallback_used
+                if fallback:
+                    result.message = self._annotate(result.message, attempts)
+                return result
+            attempts.append(f"{member_name}: {result.status.value} ({result.message})")
+            last = result
+            last_was_fallback = fallback
+            last_attempt_index = len(attempts) - 1
+        if last is None:
+            raise BackendUnavailableError(
+                f"no backend of portfolio chain {self.chain} is available"
+            )
+        # fallback_used reflects whether a *fallback attempt* produced the
+        # returned result — skips/failures recorded after it (e.g. a later
+        # unavailable member) do not retroactively relabel it, and the
+        # annotation lists every attempt except the returned one's own.
+        last.fallback_used = last_was_fallback
+        others = [a for i, a in enumerate(attempts) if i != last_attempt_index]
+        last.message = self._annotate(last.message, others)
+        return last
+
+    @staticmethod
+    def _annotate(message: str, attempts) -> str:
+        """Append the abandoned attempts to a result message, if any."""
+        if not attempts:
+            return message
+        return f"{message} [portfolio fallback after: {'; '.join(attempts)}]"

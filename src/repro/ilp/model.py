@@ -1,7 +1,9 @@
 """MILP model container.
 
 A :class:`Model` owns variables, constraints and an objective, and knows how
-to lower itself into the matrix form consumed by ``scipy.optimize.milp``.
+to lower itself into the matrix form the solver backends consume
+(``scipy.optimize.milp`` for the HiGHS backend, the same arrays for the
+pure-Python branch and bound).
 """
 
 from __future__ import annotations
@@ -196,9 +198,11 @@ class Model:
 
     # ----------------------------------------------------------------- solve
     def solve(self, options: Optional["SolverOptions"] = None) -> "SolveResult":
-        """Solve the model with the HiGHS backend.
+        """Solve the model with the backend named in ``options``.
 
-        On a feasible outcome every variable's ``.value`` is populated.
+        Defaults to the portfolio backend (HiGHS with branch-and-bound
+        fallback).  On a feasible outcome every variable's ``.value`` is
+        populated.
         """
         from repro.ilp.solver import solve_model
 

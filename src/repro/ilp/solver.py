@@ -1,15 +1,19 @@
-"""HiGHS backend: solve a :class:`repro.ilp.Model` via ``scipy.optimize.milp``."""
+"""Solve entry point: options, result type, and backend dispatch.
+
+Since the backend refactor the actual solving lives in
+:mod:`repro.ilp.backends` (``"highs"``, ``"branch-and-bound"``,
+``"portfolio"``); this module keeps the stable surface every caller uses —
+:class:`SolverOptions`, :class:`SolveResult`, :func:`solve_model` — and
+routes each solve to the backend named by ``options.backend`` (defaulting
+to the portfolio: HiGHS with automatic branch-and-bound fallback).
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
-from scipy.optimize import Bounds, LinearConstraint, milp
-
-from repro.ilp.model import Model, ObjectiveSense
+from repro.ilp.model import Model
 from repro.ilp.status import SolverStatus
 
 
@@ -18,8 +22,11 @@ class SolverOptions:
     """Backend options.
 
     ``time_limit_s`` mirrors the paper's 30-minute cap on the scheduling and
-    synthesis ILPs; when the limit is reached HiGHS returns its best incumbent
-    which we report as :attr:`SolverStatus.FEASIBLE`.
+    synthesis ILPs; when the limit is reached the backend returns its best
+    incumbent which is reported as :attr:`SolverStatus.FEASIBLE`.
+    ``backend`` names a registered solver backend
+    (:func:`repro.ilp.backends.get_backend`); ``None`` selects the default
+    portfolio.
     """
 
     time_limit_s: Optional[float] = None
@@ -27,11 +34,19 @@ class SolverOptions:
     presolve: bool = True
     verbose: bool = False
     node_limit: Optional[int] = None
+    backend: Optional[str] = None
 
 
 @dataclass
 class SolveResult:
-    """Outcome of a solve."""
+    """Outcome of a solve.
+
+    ``backend_name`` records which backend actually produced the outcome
+    (for a portfolio solve: the member that won, never ``"portfolio"``);
+    ``fallback_used`` is set when that member was not the portfolio's
+    primary.  Both travel into the stage artifacts and from there into
+    batch/service reports.
+    """
 
     status: SolverStatus
     objective: Optional[float] = None
@@ -39,6 +54,8 @@ class SolveResult:
     wall_time_s: float = 0.0
     message: str = ""
     mip_gap: Optional[float] = None
+    backend_name: Optional[str] = None
+    fallback_used: bool = False
 
     def __bool__(self) -> bool:
         return self.status.is_feasible()
@@ -47,118 +64,19 @@ class SolveResult:
         return self.values[name]
 
 
-_STATUS_BY_CODE = {
-    0: SolverStatus.OPTIMAL,
-    1: SolverStatus.TIME_LIMIT,   # iteration or time limit
-    2: SolverStatus.INFEASIBLE,
-    3: SolverStatus.UNBOUNDED,
-    4: SolverStatus.ERROR,
-}
-
-#: Tolerance for deciding that a returned value is integral.
-_INTEGRALITY_TOL = 1e-4
-
-
-def _usable_incumbent(x, model: Model) -> bool:
-    """True when ``x`` is a finite solution vector respecting integrality.
-
-    scipy's ``milp`` reports status code 1 for *any* iteration or time limit.
-    Depending on where HiGHS was interrupted, ``result.x`` may then be absent,
-    or hold a fractional/non-finite relaxation instead of a true MILP
-    incumbent.  Reporting such a vector as ``FEASIBLE`` would push garbage
-    start times and bindings into the scheduler, so anything non-finite or
-    non-integral is treated as "no incumbent".
-    """
-    if x is None:
-        return False
-    arr = np.asarray(x, dtype=float)
-    if arr.size != len(model.variables) or not np.all(np.isfinite(arr)):
-        return False
-    for var in model.variables:
-        if var.kind in ("integer", "binary"):
-            value = arr[var.index]
-            if abs(value - round(value)) > _INTEGRALITY_TOL:
-                return False
-    return True
-
-
 def solve_model(model: Model, options: Optional[SolverOptions] = None) -> SolveResult:
-    """Lower ``model`` to matrix form and solve it with HiGHS.
+    """Solve ``model`` with the backend named in ``options``.
 
-    The function fills each variable's ``.value`` attribute when a feasible
-    solution is available, so downstream code can read ``var.solution``
-    directly.
+    The function dispatches to the registered backend (``options.backend``,
+    or the default portfolio when unset); on a feasible outcome the chosen
+    backend fills each variable's ``.value`` attribute, so downstream code
+    can read ``var.solution`` directly.
     """
+    # Imported here: the backends package imports this module for the
+    # options/result types, so the dependency must stay one-directional at
+    # import time.
+    from repro.ilp.backends import DEFAULT_BACKEND, get_backend
+
     options = options or SolverOptions()
-    start = time.perf_counter()
-
-    if not model.variables:
-        # A model without variables is either trivially feasible or infeasible.
-        infeasible = any(con.is_trivially_infeasible() for con in model.constraints)
-        status = SolverStatus.INFEASIBLE if infeasible else SolverStatus.OPTIMAL
-        return SolveResult(status=status, objective=0.0, wall_time_s=0.0,
-                           message="empty model")
-
-    c, A, lower, upper, lb, ub, integrality = model.to_matrices()
-
-    constraints = []
-    if A.shape[0] > 0:
-        constraints.append(LinearConstraint(A, lower, upper))
-
-    milp_options = {"disp": options.verbose, "presolve": options.presolve}
-    if options.time_limit_s is not None:
-        milp_options["time_limit"] = float(options.time_limit_s)
-    if options.mip_rel_gap is not None:
-        milp_options["mip_rel_gap"] = float(options.mip_rel_gap)
-    if options.node_limit is not None:
-        milp_options["node_limit"] = int(options.node_limit)
-
-    result = milp(
-        c=c,
-        constraints=constraints,
-        integrality=integrality,
-        bounds=Bounds(lb, ub),
-        options=milp_options,
-    )
-    elapsed = time.perf_counter() - start
-
-    status = _STATUS_BY_CODE.get(result.status, SolverStatus.ERROR)
-    has_solution = _usable_incumbent(result.x, model)
-    if status is SolverStatus.TIME_LIMIT:
-        # Code 1 covers both "limit hit, incumbent available" (a feasible
-        # best-effort result, the paper's 30-minute practice) and "limit hit
-        # with no usable incumbent" — the latter must stay non-feasible so
-        # callers raise a clear error instead of consuming garbage values
-        # (the ILP scheduler/synthesizer abort; there is no automatic
-        # fallback to the heuristics).
-        status = SolverStatus.FEASIBLE if has_solution else SolverStatus.TIME_LIMIT
-    if status is SolverStatus.OPTIMAL and not has_solution:
-        status = SolverStatus.ERROR
-
-    values: Dict[str, float] = {}
-    objective_value: Optional[float] = None
-    if has_solution and status.is_feasible():
-        x = np.asarray(result.x, dtype=float)
-        for var in model.variables:
-            raw = float(x[var.index])
-            if var.kind in ("integer", "binary"):
-                raw = float(round(raw))
-            var.value = raw
-            values[var.name] = raw
-        objective_value = float(model.objective_value()) if model.objective else 0.0
-        if model.objective and model.objective.sense is ObjectiveSense.MAXIMIZE:
-            # objective_value already computed from expression; nothing to flip
-            pass
-    else:
-        for var in model.variables:
-            var.value = None
-
-    gap = getattr(result, "mip_gap", None)
-    return SolveResult(
-        status=status,
-        objective=objective_value,
-        values=values,
-        wall_time_s=elapsed,
-        message=str(getattr(result, "message", "")),
-        mip_gap=float(gap) if gap is not None else None,
-    )
+    backend = get_backend(options.backend or DEFAULT_BACKEND)
+    return backend.solve(model, options)

@@ -22,7 +22,9 @@ from typing import Any
 #: Version of all content-addressed cache keys and disk-entry envelopes.
 #: v1: run-level keys over (graph, config) pairs (PR 1).
 #: v2: staged pipeline — per-stage keys, artifact payloads, FlowConfig.seed.
-KEY_VERSION = 2
+#: v3: solver backends — scheduler_backend/archsyn_backend/mip_rel_gap join
+#:     the stage config slices, and stage artifacts carry backend identity.
+KEY_VERSION = 3
 
 
 def stable_digest(payload: Any) -> str:

@@ -52,6 +52,13 @@ class IlpSchedulerConfig:
     storage (gap) time; the paper gives completion time priority
     (``alpha >> beta``).  ``beta = 0`` reproduces the execution-time-only
     baseline of Fig. 9.
+
+    ``solver``, when set, is used verbatim for the solve (it is how the flow
+    threads :func:`repro.synthesis.config.solver_options_for` — the single
+    ``FlowConfig`` → ``SolverOptions`` construction point — down to this
+    engine, backend choice included).  When ``None`` the legacy fields
+    ``time_limit_s``/``mip_rel_gap`` are assembled into options on the
+    default backend, preserving the historical direct-construction API.
     """
 
     transport_time: int = 10
@@ -60,6 +67,13 @@ class IlpSchedulerConfig:
     time_limit_s: Optional[float] = 60.0
     mip_rel_gap: Optional[float] = None
     horizon: Optional[int] = None
+    solver: Optional[SolverOptions] = None
+
+    def solver_options(self) -> SolverOptions:
+        """The options every solve of this scheduler runs under."""
+        if self.solver is not None:
+            return self.solver
+        return SolverOptions(time_limit_s=self.time_limit_s, mip_rel_gap=self.mip_rel_gap)
 
 
 class IlpScheduler:
@@ -74,6 +88,10 @@ class IlpScheduler:
         self.last_status: Optional[SolverStatus] = None
         self.last_wall_time_s: float = 0.0
         self.last_objective: Optional[float] = None
+        #: Which backend produced the last schedule, and whether the
+        #: portfolio had to abandon its primary to get it.
+        self.last_backend: Optional[str] = None
+        self.last_fallback_used: bool = False
 
     # ------------------------------------------------------------------ API
     def schedule(self, graph: SequencingGraph) -> Schedule:
@@ -179,11 +197,12 @@ class IlpScheduler:
             objective = objective + cfg.beta * lin_sum(gap_terms)
         model.minimize(objective)
 
-        options = SolverOptions(time_limit_s=cfg.time_limit_s, mip_rel_gap=cfg.mip_rel_gap)
-        result = model.solve(options)
+        result = model.solve(cfg.solver_options())
         self.last_status = result.status
         self.last_wall_time_s = result.wall_time_s
         self.last_objective = result.objective
+        self.last_backend = result.backend_name
+        self.last_fallback_used = result.fallback_used
 
         if not result.status.is_feasible():
             message = (

@@ -135,6 +135,12 @@ class ServiceConfig:
     #: the count is checked structurally *before* any expansion so a
     #: hostile grid cannot stall the event loop or balloon memory.
     max_jobs_per_submission: int = 1024
+    #: Force every submitted job's two ILPs onto this registered solver
+    #: backend (``repro serve --solver``).  ``None`` keeps each job's own
+    #: config (normally the portfolio).  Applied server-side *after* config
+    #: validation, so it participates in the jobs' stage cache keys exactly
+    #: like a manifest-level backend choice would.
+    solver: Optional[str] = None
 
 
 class SynthesisService:
@@ -389,6 +395,11 @@ class SynthesisService:
                 jobs = expand_sweep(payload)
             else:
                 jobs = manifest_jobs(payload, source="manifest body")
+            if self.config.solver is not None:
+                from repro.synthesis.config import apply_solver_override
+
+                for job in jobs:
+                    job.config = apply_solver_override(job.config, self.config.solver)
         except ValueError as exc:
             raise HttpError(400, str(exc)) from exc
         if not jobs:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional, Tuple, Union, get_args, get_origin, get_type_hints
 
 
@@ -92,6 +92,16 @@ class FlowConfig:
     storage_aware: bool = True
     ilp_time_limit_s: float = 60.0
     ilp_operation_limit: int = 14
+    #: Registered solver backend the scheduling ILP runs on (see
+    #: :mod:`repro.ilp.backends`).  The default portfolio solves with
+    #: HiGHS under the time cap and falls back to the dependency-free
+    #: branch and bound when HiGHS is unavailable or returns no usable
+    #: incumbent, so the limit case degrades to best-effort instead of
+    #: aborting.  Participates in the schedule stage's cache key.
+    scheduler_backend: str = "portfolio"
+    #: Relative MIP gap passed to *both* ILPs (scheduling and architecture
+    #: synthesis); ``None`` solves to optimality within the time caps.
+    mip_rel_gap: Optional[float] = None
 
     # Architectural synthesis.
     synthesis: SynthesisEngine = SynthesisEngine.HEURISTIC
@@ -100,6 +110,10 @@ class FlowConfig:
     auto_expand_grid: bool = True
     max_grid_dim: int = 9
     archsyn_time_limit_s: float = 120.0
+    #: Registered solver backend the architecture-synthesis ILP runs on;
+    #: same semantics as :attr:`scheduler_backend`, keyed into the archsyn
+    #: stage's cache key.
+    archsyn_backend: str = "portfolio"
     #: Root seed threaded through the heuristic router's tie-breaking (and
     #: available to synthetic-graph generation via the same derivation
     #: helper, :func:`repro.keys.derive_seed`).  ``0`` keeps the canonical
@@ -121,6 +135,19 @@ class FlowConfig:
             raise ValueError("transport_time must be non-negative")
         if self.grid_rows < 2 or self.grid_cols < 2:
             raise ValueError("the connection grid must be at least 2x2")
+        # Imported lazily so custom backends registered at runtime are
+        # visible; a config naming an unknown backend must fail at
+        # construction (manifest load, CLI parse), not mid-solve.
+        from repro.ilp.backends import backend_names
+
+        known = backend_names()
+        for field_name in ("scheduler_backend", "archsyn_backend"):
+            backend = getattr(self, field_name)
+            if backend not in known:
+                raise ValueError(
+                    f"{field_name} names unknown solver backend {backend!r}; "
+                    f"registered backends: {list(known)}"
+                )
 
     def grid_shape(self) -> Tuple[int, int]:
         return (self.grid_rows, self.grid_cols)
@@ -195,3 +222,49 @@ class FlowConfig:
             config.num_mixers = 2
             config.num_detectors = 2
         return config
+
+
+def apply_solver_override(config: FlowConfig, solver: Optional[str]) -> FlowConfig:
+    """A copy of ``config`` with both ILP backend fields forced to ``solver``.
+
+    The one definition of the ``--solver`` override semantics, shared by the
+    CLI (single/batch/sweep modes), ``repro bench``, and the synthesis
+    service's server-side rewrite.  ``None`` returns the config unchanged;
+    an unknown backend name fails ``FlowConfig`` validation immediately.
+    """
+    if solver is None:
+        return config
+    return replace(config, scheduler_backend=solver, archsyn_backend=solver)
+
+
+def solver_options_for(config: FlowConfig, stage: str):
+    """The single ``FlowConfig`` → ``SolverOptions`` construction point.
+
+    Both exact engines receive their solver options from here (threaded via
+    the ``solver`` field of their engine configs), so no engine can drift
+    from the flow configuration again — historically the architecture
+    synthesizer built its options from ``time_limit_s`` alone and silently
+    dropped any configured MIP gap.
+
+    Parameters
+    ----------
+    stage:
+        ``"scheduler"`` (uses ``ilp_time_limit_s``/``scheduler_backend``) or
+        ``"archsyn"`` (uses ``archsyn_time_limit_s``/``archsyn_backend``);
+        both share :attr:`FlowConfig.mip_rel_gap`.
+    """
+    from repro.ilp.solver import SolverOptions
+
+    if stage == "scheduler":
+        return SolverOptions(
+            time_limit_s=config.ilp_time_limit_s,
+            mip_rel_gap=config.mip_rel_gap,
+            backend=config.scheduler_backend,
+        )
+    if stage == "archsyn":
+        return SolverOptions(
+            time_limit_s=config.archsyn_time_limit_s,
+            mip_rel_gap=config.mip_rel_gap,
+            backend=config.archsyn_backend,
+        )
+    raise ValueError(f"unknown solver stage {stage!r}; expected 'scheduler' or 'archsyn'")

@@ -23,7 +23,12 @@ from repro.physical.pipeline import PhysicalDesignResult
 from repro.scheduling.ilp_scheduler import IlpScheduler, IlpSchedulerConfig
 from repro.scheduling.list_scheduler import ListScheduler, ListSchedulerConfig
 from repro.scheduling.schedule import Schedule
-from repro.synthesis.config import FlowConfig, SchedulerEngine, SynthesisEngine
+from repro.synthesis.config import (
+    FlowConfig,
+    SchedulerEngine,
+    SynthesisEngine,
+    solver_options_for,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.synthesis.pipeline import (
@@ -56,6 +61,13 @@ class SynthesisResult:
     physical_time_s: float
     scheduler_engine: str
     synthesis_engine: str
+    #: Solver backend that produced each exact stage (``None`` for the
+    #: heuristic engines, which never invoke a MILP backend), plus whether
+    #: the portfolio had to abandon its primary to get there.
+    scheduler_backend: Optional[str] = None
+    synthesis_backend: Optional[str] = None
+    scheduler_fallback_used: bool = False
+    synthesis_fallback_used: bool = False
 
     @property
     def execution_time(self) -> int:
@@ -89,6 +101,10 @@ class SynthesisResult:
             physical_time_s=physical_artifact.physical.wall_time_s,
             scheduler_engine=schedule_artifact.scheduler_engine,
             synthesis_engine=architecture_artifact.synthesis_engine,
+            scheduler_backend=getattr(schedule_artifact, "backend_name", None),
+            synthesis_backend=getattr(architecture_artifact, "backend_name", None),
+            scheduler_fallback_used=getattr(schedule_artifact, "fallback_used", False),
+            synthesis_fallback_used=getattr(architecture_artifact, "fallback_used", False),
         )
 
 
@@ -115,7 +131,10 @@ def _build_scheduler(config: FlowConfig, library: DeviceLibrary, graph: Sequenci
                 transport_time=config.transport_time,
                 alpha=config.alpha,
                 beta=config.beta if config.storage_aware else 0.0,
-                time_limit_s=config.ilp_time_limit_s,
+                # Time limit, MIP gap, and backend all travel inside the
+                # shared options object; the config's legacy fields are the
+                # fallback for direct construction only.
+                solver=solver_options_for(config, "scheduler"),
             ),
         )
         return scheduler, "ilp"
@@ -136,7 +155,7 @@ def _build_synthesizer(config: FlowConfig):
                 IlpSynthesisConfig(
                     grid_rows=config.grid_rows,
                     grid_cols=config.grid_cols,
-                    time_limit_s=config.archsyn_time_limit_s,
+                    solver=solver_options_for(config, "archsyn"),
                 )
             ),
             "ilp",

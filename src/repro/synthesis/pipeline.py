@@ -90,6 +90,10 @@ class ScheduleArtifact:
     schedule: Any  # repro.scheduling.schedule.Schedule
     scheduler_engine: str
     scheduling_time_s: float
+    #: Solver backend that produced the schedule (``None`` for the list
+    #: scheduler) and whether the portfolio abandoned its primary.
+    backend_name: Optional[str] = None
+    fallback_used: bool = False
 
 
 @dataclass
@@ -99,6 +103,10 @@ class ArchitectureArtifact:
     architecture: Any  # repro.archsyn.architecture.ChipArchitecture
     synthesis_engine: str
     synthesis_time_s: float
+    #: Solver backend that produced the architecture (``None`` for the
+    #: heuristic router) and whether the portfolio abandoned its primary.
+    backend_name: Optional[str] = None
+    fallback_used: bool = False
 
 
 @dataclass
@@ -123,13 +131,18 @@ class StageExecution:
 
     ``action`` is ``"ran"`` (this job paid for the execution), ``"replayed"``
     (served from the stage cache) or ``"shared"`` (computed once for another
-    job of the same batch and shared).
+    job of the same batch and shared).  ``backend`` is the solver backend
+    that produced the stage's artifact (regardless of which job paid for
+    it; ``None`` for heuristic stages and the physical stage), and
+    ``fallback_used`` records a portfolio solve that abandoned its primary.
     """
 
     stage: str
     key: str
     action: str
     wall_time_s: float = 0.0
+    backend: Optional[str] = None
+    fallback_used: bool = False
 
 
 # ----------------------------------------------------------------------- stages
@@ -180,6 +193,8 @@ class ScheduleStage(Stage):
         "storage_aware",
         "ilp_time_limit_s",
         "ilp_operation_limit",
+        "scheduler_backend",
+        "mip_rel_gap",
     )
 
     def run(self, context: StageContext, upstream: None) -> ScheduleArtifact:
@@ -194,6 +209,8 @@ class ScheduleStage(Stage):
             schedule=schedule,
             scheduler_engine=scheduler_name,
             scheduling_time_s=elapsed,
+            backend_name=getattr(scheduler, "last_backend", None),
+            fallback_used=getattr(scheduler, "last_fallback_used", False),
         )
 
 
@@ -208,6 +225,8 @@ class ArchSynthStage(Stage):
         "auto_expand_grid",
         "max_grid_dim",
         "archsyn_time_limit_s",
+        "archsyn_backend",
+        "mip_rel_gap",
         "seed",
     )
 
@@ -221,6 +240,8 @@ class ArchSynthStage(Stage):
             architecture=architecture,
             synthesis_engine=synthesis_name,
             synthesis_time_s=elapsed,
+            backend_name=getattr(synthesizer, "last_backend", None),
+            fallback_used=getattr(synthesizer, "last_fallback_used", False),
         )
 
 
@@ -387,6 +408,8 @@ class SynthesisPipeline:
                         key=planned_stage.key,
                         action=action,
                         wall_time_s=time.perf_counter() - start,
+                        backend=getattr(artifact, "backend_name", None),
+                        fallback_used=getattr(artifact, "fallback_used", False),
                     )
                 )
             artifacts.append(artifact)

@@ -64,6 +64,15 @@ def result_report(result: SynthesisResult) -> str:
         f"operations: {metrics.num_operations}, devices: {len(result.library)}, "
         f"scheduler: {metrics.scheduler_engine}, synthesizer: {metrics.synthesis_engine}"
     )
+    if result.scheduler_backend or result.synthesis_backend:
+        parts = []
+        if result.scheduler_backend:
+            suffix = " (fallback)" if result.scheduler_fallback_used else ""
+            parts.append(f"schedule={result.scheduler_backend}{suffix}")
+        if result.synthesis_backend:
+            suffix = " (fallback)" if result.synthesis_fallback_used else ""
+            parts.append(f"archsyn={result.synthesis_backend}{suffix}")
+        lines.append("solver backends: " + ", ".join(parts))
     lines.append(
         f"execution time tE = {metrics.execution_time} s "
         f"(scheduling took {metrics.scheduling_time_s:.2f} s)"

@@ -1,0 +1,101 @@
+"""Tests of the ``repro bench`` telemetry subcommand and the ``--solver``
+CLI override."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBenchCommand:
+    def test_bench_writes_machine_readable_telemetry(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_4.json"
+        exit_code = main(["bench", "--out", str(out), "--assays", "PCR", "IVD",
+                          "--time-limit", "20"])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench_format"] == 1
+        assert payload["key_version"] >= 3
+        assert payload["solver"] is None  # default: each config's portfolio
+        assays = [record["assay"] for record in payload["experiments"]]
+        assert assays == ["PCR", "IVD"]
+        for record in payload["experiments"]:
+            assert record["ok"], record
+            assert record["makespan"] > 0
+            assert record["wall_time_s"] > 0
+            # Cold runs: every stage solved exactly once per experiment.
+            assert record["solver_invocations"] == {
+                "schedule": 1, "archsyn": 1, "physical": 1,
+            }
+            by_stage = {row["stage"]: row for row in record["stages"]}
+            assert set(by_stage) == {"schedule", "archsyn", "physical"}
+            # PCR/IVD are small enough for the exact scheduler, so the
+            # schedule stage reports the backend that solved its ILP.
+            assert record["scheduler_engine"] == "ilp"
+            assert by_stage["schedule"]["backend"] in ("highs", "branch-and-bound")
+        totals = payload["totals"]
+        assert totals["failed"] == 0
+        assert totals["solver_invocations"]["schedule"] == 2
+        captured = capsys.readouterr()
+        assert "bench telemetry written" in captured.out
+
+    def test_bench_solver_override_is_recorded(self, tmp_path):
+        out = tmp_path / "bench.json"
+        # The list scheduler keeps this solver-free; the override must still
+        # be recorded in the payload for trajectory comparisons.
+        exit_code = main([
+            "bench", "--out", str(out), "--assays", "RA30",
+            "--solver", "branch-and-bound",
+        ])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["solver"] == "branch-and-bound"
+        assert payload["experiments"][0]["scheduler_engine"] == "list"
+
+    def test_bench_rejects_unknown_assay(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--out", str(tmp_path / "x.json"), "--assays", "NOPE"])
+        assert excinfo.value.code == 2
+
+
+class TestSolverOverride:
+    def test_single_synthesis_accepts_solver_flag(self, capsys):
+        exit_code = main([
+            "--assay", "PCR", "--scheduler", "list", "--solver", "branch-and-bound",
+        ])
+        assert exit_code == 0
+        # Solver-free run (list + heuristic): no backend line in the report.
+        assert "solver backends:" not in capsys.readouterr().out
+
+    def test_single_synthesis_reports_winning_backend(self, capsys):
+        exit_code = main(["--assay", "PCR", "--time-limit", "20"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        # Default config: auto scheduler picks the exact ILP for PCR, the
+        # portfolio solves it, and the report names the winner.
+        assert "solver backends: schedule=" in out
+
+    def test_batch_solver_override_changes_job_configs(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "jobs": [{"assay": "PCR", "config": {"ilp_operation_limit": 0}}],
+        }))
+        json_out = tmp_path / "report.json"
+        exit_code = main(["batch", str(manifest), "--solver", "branch-and-bound",
+                          "--json", str(json_out)])
+        assert exit_code == 0
+        payload = json.loads(json_out.read_text())
+        stages = payload["jobs"][0]["stages"]
+        assert {row["stage"] for row in stages} == {"schedule", "archsyn", "physical"}
+        # Solver-free jobs still carry the per-stage backend fields (null).
+        assert all("backend" in row and "fallback_used" in row for row in stages)
+
+    def test_unknown_solver_is_an_argparse_error(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({"jobs": [{"assay": "PCR"}]}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", str(manifest), "--solver", "gurobi"])
+        assert excinfo.value.code == 2

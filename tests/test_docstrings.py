@@ -19,7 +19,7 @@ import importlib
 import inspect
 import pkgutil
 
-GATED_PACKAGES = ("repro.service", "repro.batch")
+GATED_PACKAGES = ("repro.service", "repro.batch", "repro.ilp.backends")
 
 
 def iter_gated_modules():

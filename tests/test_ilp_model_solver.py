@@ -168,11 +168,14 @@ class TestLimitStatusMapping:
     """
 
     def solve_with_fake(self, monkeypatch, fake):
-        import repro.ilp.solver as solver_module
+        # The mapping under test is the HiGHS backend's, so the solve pins
+        # backend="highs" — the default portfolio would (correctly) fall
+        # back to branch and bound on a no-incumbent limit and hide it.
+        import repro.ilp.backends.highs as highs_module
 
         model, x = limit_model()
-        monkeypatch.setattr(solver_module, "milp", lambda **kwargs: fake)
-        return model.solve(), x
+        monkeypatch.setattr(highs_module, "milp", lambda **kwargs: fake)
+        return model.solve(SolverOptions(backend="highs")), x
 
     def test_limit_without_incumbent_is_not_feasible(self, monkeypatch):
         result, x = self.solve_with_fake(monkeypatch, FakeMilpResult(1, None))

@@ -284,8 +284,23 @@ class TestServiceEndToEnd:
             assert stages["schedule"] == {
                 "ran": 1, "replayed": 0, "shared": 2,
                 "wall_time_s": stages["schedule"]["wall_time_s"],
+                # Solver-free sweep: the list scheduler reports no backend
+                # and the portfolio never runs, let alone falls back.
+                "backends": {}, "fallbacks": 0,
             }
             assert stages["physical"]["ran"] == 3
+
+    def test_server_side_solver_override_rewrites_job_configs(self):
+        """``repro serve --solver``: every submitted job's backends are
+        forced server-side, after validation, before execution."""
+        with ServiceUnderTest(workers=1, solver="branch-and-bound") as running:
+            job_id = running.client.submit(FAST_PCR)
+            status = running.client.wait(job_id, timeout=60)
+            assert status["status"] == "done"
+            record = running.service.registry.get(job_id)
+            config = record.jobs[0].config
+            assert config.scheduler_backend == "branch-and-bound"
+            assert config.archsyn_backend == "branch-and-bound"
 
     def test_concurrent_sweeps_share_inflight_stages(self):
         """The acceptance criterion: two concurrent sweeps differing only in

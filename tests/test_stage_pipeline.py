@@ -91,6 +91,30 @@ class TestStageKeys:
         data["name"] = "renamed"
         assert graph_fingerprint(base) == graph_fingerprint(graph_from_dict(data))
 
+    def test_scheduler_backend_participates_in_the_schedule_key(self):
+        """Acceptance: switching scheduler_backend on an otherwise-identical
+        job is a cache miss (schedule key changes, downstream cascades)."""
+        base = plan_keys(fast_config())
+        rebackended = plan_keys(fast_config(scheduler_backend="branch-and-bound"))
+        assert rebackended[0] != base[0]
+        assert rebackended[1] != base[1]
+        assert rebackended[2] != base[2]
+        # Re-planning the same backend is key-identical (a cache hit).
+        assert plan_keys(fast_config(scheduler_backend="branch-and-bound")) == rebackended
+
+    def test_archsyn_backend_only_touches_downstream_keys(self):
+        base = plan_keys(fast_config())
+        rebackended = plan_keys(fast_config(archsyn_backend="branch-and-bound"))
+        assert rebackended[0] == base[0]  # schedule untouched
+        assert rebackended[1] != base[1]
+        assert rebackended[2] != base[2]
+
+    def test_mip_rel_gap_invalidates_both_solver_stages(self):
+        base = plan_keys(fast_config())
+        gapped = plan_keys(fast_config(mip_rel_gap=0.1))
+        assert gapped[0] != base[0]
+        assert gapped[1] != base[1]
+
 
 class TestStageReuse:
     def test_physical_sweep_solves_schedule_and_architecture_once(self):
@@ -124,6 +148,22 @@ class TestStageReuse:
         assert stage_invocations() == {"schedule": 1, "archsyn": 1, "physical": 1}
         engine.run([BatchJob("b", build_pcr(), fast_config(transport_time=11))])
         assert stage_invocations() == {"schedule": 2, "archsyn": 2, "physical": 2}
+
+    def test_backend_switch_is_a_miss_and_rerun_is_a_hit(self):
+        """Acceptance, engine-level: a scheduler_backend switch re-executes
+        the pipeline; re-running the switched backend replays everything."""
+        cache = ResultCache()
+        engine = BatchSynthesisEngine(max_workers=1, cache=cache)
+        engine.run([BatchJob("a", build_pcr(), fast_config())])
+        assert stage_invocations() == {"schedule": 1, "archsyn": 1, "physical": 1}
+        switched = fast_config(scheduler_backend="branch-and-bound")
+        report = engine.run([BatchJob("b", build_pcr(), switched)])
+        assert stage_invocations() == {"schedule": 2, "archsyn": 2, "physical": 2}
+        assert [e.action for e in report.outcomes[0].stages] == ["ran", "ran", "ran"]
+        # Identical job again: full cache hit, zero new solves.
+        rerun = engine.run([BatchJob("c", build_pcr(), switched)])
+        assert stage_invocations() == {"schedule": 2, "archsyn": 2, "physical": 2}
+        assert rerun.outcomes[0].cache_hit
 
     def test_run_one_shares_stages_across_calls(self):
         engine = BatchSynthesisEngine(max_workers=1, cache=ResultCache())

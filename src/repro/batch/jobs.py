@@ -7,13 +7,16 @@ A manifest describes a batch of synthesis jobs::
       "jobs": [
         {"assay": "PCR"},
         {"assay": "IVD", "config": {"num_detectors": 2}},
-        {"protocol": "my_assay.json", "id": "custom", "config": {"num_mixers": 3}}
+        {"protocol": "my_assay.json", "id": "custom", "config": {"num_mixers": 3}},
+        {"generator": "random_assay", "num_operations": 70, "seed": 3}
       ]
     }
 
-Each job names either a built-in paper assay (``"assay"``) or a
-sequencing-graph JSON file (``"protocol"``, resolved relative to the
-manifest).  ``defaults`` and the per-job ``config`` are
+Each job names a built-in paper assay (``"assay"``), a sequencing-graph
+JSON file (``"protocol"``, resolved relative to the manifest), or an inline
+synthetic-generator spec (``"generator"`` naming a registered generator from
+:mod:`repro.graph.generators`; every key besides ``id``/``config`` is a
+generator parameter).  ``defaults`` and the per-job ``config`` are
 :meth:`~repro.synthesis.config.FlowConfig.from_dict` payloads; per-job keys
 override the defaults.  Jobs naming a paper assay start from
 :meth:`FlowConfig.paper_defaults_for` so a bare ``{"assay": "RA100"}`` gets
@@ -29,9 +32,11 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.graph.generators import generated_graph, generator_spec_id
 from repro.graph.library import PAPER_ASSAYS, assay_by_name
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.graph.serialization import load_graph
+from repro.keys import stable_digest
 from repro.synthesis.config import FlowConfig
 
 
@@ -53,26 +58,59 @@ def job_from_spec(
     defaults: Optional[Dict[str, Any]] = None,
     base_dir: Optional[Path] = None,
     index: int = 0,
+    graph_cache: Optional[Dict[str, SequencingGraph]] = None,
 ) -> BatchJob:
     """Build one :class:`BatchJob` from a manifest entry.
+
+    ``graph_cache`` (digest → graph) memoizes *generator* graphs across
+    calls: generation is seeded and deterministic but superlinear in size,
+    so callers building many jobs over the same synthetic workload — the
+    exploration engine crosses one workload with a whole axes grid — pass a
+    dict here and pay for each distinct generator spec once.  Graphs are
+    treated as immutable everywhere downstream, so sharing one object
+    across jobs is safe.
 
     Raises
     ------
     ValueError
-        If the entry names neither/both of ``assay`` and ``protocol``, names
-        an unknown assay, or carries invalid config keys.
+        If the entry does not name exactly one of ``assay`` / ``protocol`` /
+        ``generator``, names an unknown assay or generator, or carries
+        invalid config keys.
     """
-    unknown = set(spec) - {"assay", "protocol", "id", "config"}
-    if unknown:
-        raise ValueError(f"job {index}: unknown keys {sorted(unknown)}")
     assay = spec.get("assay")
     protocol = spec.get("protocol")
-    if bool(assay) == bool(protocol):
+    generator = spec.get("generator")
+    sources = [bool(assay), bool(protocol), bool(generator)]
+    if sum(sources) != 1:
         raise ValueError(
-            f"job {index}: exactly one of 'assay' or 'protocol' is required, got {spec!r}"
+            f"job {index}: exactly one of 'assay', 'protocol' or 'generator' "
+            f"is required, got {spec!r}"
         )
-
-    if assay:
+    if generator:
+        # Every non-reserved key of a generator job is a generator
+        # parameter; the generator itself rejects unknown parameters.
+        generator_spec = {
+            key: value for key, value in spec.items() if key not in ("id", "config")
+        }
+        cache_key = (
+            stable_digest({"generator_spec": generator_spec})
+            if graph_cache is not None
+            else None
+        )
+        graph = graph_cache.get(cache_key) if cache_key is not None else None
+        if graph is None:
+            try:
+                graph = generated_graph(generator_spec)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"job {index}: {exc}") from exc
+            if cache_key is not None:
+                graph_cache[cache_key] = graph
+        base_config = FlowConfig().to_dict()
+        default_id = generator_spec_id(generator_spec)
+    elif assay:
+        unknown = set(spec) - {"assay", "id", "config"}
+        if unknown:
+            raise ValueError(f"job {index}: unknown keys {sorted(unknown)}")
         if assay not in PAPER_ASSAYS:
             raise ValueError(
                 f"job {index}: unknown assay {assay!r} (choose from {sorted(PAPER_ASSAYS)})"
@@ -81,6 +119,9 @@ def job_from_spec(
         base_config = FlowConfig.paper_defaults_for(assay).to_dict()
         default_id = assay
     else:
+        unknown = set(spec) - {"protocol", "id", "config"}
+        if unknown:
+            raise ValueError(f"job {index}: unknown keys {sorted(unknown)}")
         path = Path(protocol)
         if base_dir is not None and not path.is_absolute():
             path = base_dir / path
@@ -130,10 +171,19 @@ def manifest_jobs(
 
     jobs: List[BatchJob] = []
     used_ids: set = set()
+    # One generator-graph memo for the whole manifest: k jobs over the same
+    # synthetic workload (different ids/configs) generate its graph once.
+    graph_cache: Dict[str, SequencingGraph] = {}
     for index, spec in enumerate(payload["jobs"]):
         if not isinstance(spec, dict):
             raise ValueError(f"{source}: job {index} must be an object")
-        job = job_from_spec(spec, defaults=defaults, base_dir=base_dir, index=index)
+        job = job_from_spec(
+            spec,
+            defaults=defaults,
+            base_dir=base_dir,
+            index=index,
+            graph_cache=graph_cache,
+        )
         if job.job_id in used_ids:
             if "id" in spec:
                 raise ValueError(f"{source}: duplicate job id {job.job_id!r}")

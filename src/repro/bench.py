@@ -1,29 +1,36 @@
 """Benchmark telemetry: the ``repro bench`` subcommand.
 
 Runs the small benchmark fixtures (RA30 / IVD / PCR by default, the same
-assays the golden regression pins cover) cold through the batch engine and
-writes a machine-readable ``BENCH_4.json`` so the performance trajectory of
-the repository finally has data points a CI job can collect and compare
-across commits:
+assays the golden regression pins cover) cold through the batch engine,
+times a tiny design-space exploration (the ``repro explore`` hot path), and
+writes a machine-readable ``BENCH_5.json`` so the performance trajectory of
+the repository has data points a CI job can collect and compare across
+commits:
 
 * per-experiment wall time and makespan,
 * per-stage solver invocations (the in-process counters of
   :mod:`repro.synthesis.pipeline` — cache replays excluded by design),
 * which solver backend produced each exact stage and whether the portfolio
-  had to fall back.
+  had to fall back,
+* the exploration smoke's wall time, candidate counts, and frontier size,
+* a ``delta`` section against the most recent previous ``BENCH_*.json``
+  found next to the output file, so a regression is visible in the payload
+  itself, not only after downloading two artifacts.
 
 The file name carries the PR sequence number of the benchmark format
-(``BENCH_4``) rather than a timestamp, so CI artifact uploads of different
-commits are directly comparable.  The payload also embeds
-:data:`repro.keys.KEY_VERSION` — a bump there invalidates every cache, so
-wall-time regressions across a bump are expected and the comparison tooling
-can tell the two apart.
+(``BENCH_5``) rather than a timestamp, so CI artifact uploads of different
+commits are directly comparable — and the repository commits each sequence
+point, making the checked-in ``BENCH_5.json`` the trajectory's first
+recorded entry.  The payload also embeds :data:`repro.keys.KEY_VERSION` — a
+bump there invalidates every cache, so wall-time regressions across a bump
+are expected and the comparison tooling can tell the two apart.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import time
 from pathlib import Path
@@ -41,9 +48,25 @@ from repro.synthesis.pipeline import reset_stage_invocations, stage_invocations
 #: assays whose results the golden regression tests pin.
 DEFAULT_ASSAYS = ("RA30", "IVD", "PCR")
 
-#: Format version of the BENCH_4.json payload (independent of the file
-#: name, which tracks the PR that introduced the telemetry).
-BENCH_FORMAT = 1
+#: Format version of the BENCH_*.json payload (independent of the file
+#: name, which tracks the PR that introduced or last evolved the
+#: telemetry).  v2 added the exploration smoke and the delta section.
+BENCH_FORMAT = 2
+
+#: The tiny exploration the bench times: two workload families × four
+#: configs, solver-free (list scheduler + heuristic synthesis) so the smoke
+#: measures the exploration machinery, not an ILP.
+EXPLORE_SMOKE_SPEC: Dict[str, Any] = {
+    "name": "bench-explore-smoke",
+    "workloads": [
+        {"assay": "PCR"},
+        {"generator": "random_assay", "num_operations": 12, "seed": 5, "id": "ra12"},
+    ],
+    "axes": {"num_mixers": [2, 3], "pitch": [5.0, 6.0]},
+    "base": {"ilp_operation_limit": 0},
+    "objectives": ["makespan", "storage_cells", "device_count"],
+    "strategy": "successive-halving",
+}
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -57,13 +80,17 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "used per stage) to a JSON file for the perf trajectory.",
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_4.json"),
-        help="output JSON path (default BENCH_4.json)",
+        "--out", type=Path, default=Path("BENCH_5.json"),
+        help="output JSON path (default BENCH_5.json)",
     )
     parser.add_argument(
         "--assays", nargs="+", default=list(DEFAULT_ASSAYS),
         choices=sorted(PAPER_ASSAYS),
         help=f"assays to benchmark (default {' '.join(DEFAULT_ASSAYS)})",
+    )
+    parser.add_argument(
+        "--no-explore", action="store_true",
+        help="skip the design-space-exploration smoke timing",
     )
     parser.add_argument(
         "--time-limit", type=float, default=20.0,
@@ -124,6 +151,147 @@ def run_experiment(assay: str, time_limit_s: float, solver: Optional[str]) -> Di
     return record
 
 
+def run_explore_smoke() -> Dict[str, Any]:
+    """Time the tiny cold exploration and return its telemetry record.
+
+    A fresh memory-only cache, so the smoke pays its real solves — the
+    point is tracking the exploration machinery's overhead (candidate
+    enumeration, cheap triage, frontier updates) along the trajectory.
+    """
+    from repro.explore import ExplorationEngine, ExplorationSpec
+
+    spec = ExplorationSpec.from_payload(dict(EXPLORE_SMOKE_SPEC))
+    engine = ExplorationEngine(spec, cache=ResultCache())
+    start = time.perf_counter()
+    try:
+        report = engine.run()
+    except Exception as exc:  # noqa: BLE001 - telemetry must not crash bench
+        return {
+            "name": spec.name,
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "wall_time_s": round(time.perf_counter() - start, 4),
+        }
+    # The smoke is a fixed, solver-free fixture: *any* failed candidate
+    # means breakage, so ok demands a clean sweep, not merely "not all
+    # candidates failed".
+    return {
+        "name": spec.name,
+        "ok": report.evaluated > 0 and report.failed == 0,
+        "error": None,
+        "wall_time_s": round(time.perf_counter() - start, 4),
+        "candidates": report.candidate_count,
+        "evaluated": report.evaluated,
+        "failed": report.failed,
+        "frontier_size": len(report.frontier),
+        "scheduling_solves": report.scheduling_solves,
+        "strategy": spec.strategy,
+    }
+
+
+def previous_bench_file(out: Path) -> Optional[Path]:
+    """The most recent earlier ``BENCH_*.json`` next to ``out``, if any.
+
+    "Earlier" means a lower sequence number than the output file's own, so
+    running the current bench never diffs against a *future* format.  An
+    output name that does not match ``BENCH_<n>.json`` has no position in
+    the sequence, so it gets no baseline at all (rather than guessing one
+    and possibly diffing against a newer format); files next to ``out``
+    that do not match the pattern are likewise ignored.
+    """
+    pattern = re.compile(r"BENCH_(\d+)\.json$")
+    own = pattern.fullmatch(out.name)
+    if own is None:
+        return None
+    found: List[Any] = []
+    for path in out.parent.glob("BENCH_*.json"):
+        if path.name == out.name:
+            continue
+        match = pattern.fullmatch(path.name)
+        if not match:
+            continue
+        sequence = int(match.group(1))
+        if sequence >= int(own.group(1)):
+            continue
+        found.append((sequence, path))
+    return max(found)[1] if found else None
+
+
+def _experiment_walls(payload: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    """Assay → wall time of a payload, or ``None`` when malformed."""
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, list) or not experiments:
+        return None
+    walls: Dict[str, float] = {}
+    for record in experiments:
+        if not isinstance(record, dict):
+            return None
+        assay, wall = record.get("assay"), record.get("wall_time_s")
+        if not isinstance(assay, str) or not isinstance(wall, (int, float)):
+            return None
+        walls[assay] = float(wall)
+    return walls
+
+
+def bench_delta(payload: Dict[str, Any], previous_path: Path) -> Optional[Dict[str, Any]]:
+    """Compare this run's payload against a previous ``BENCH_*.json``.
+
+    Returns ``{"against", "wall_time_s", "experiments": {assay: {...}}}``
+    with signed differences (new − old).  The headline ``wall_time_s`` sums
+    only the assays *present on both sides* — never ``totals.wall_time_s``
+    (its composition changed across formats: format 2 folds the explore
+    smoke in, format 1 had no smoke) and never a lopsided assay set (a
+    ``--assays RA30`` rerun next to a three-assay baseline must not book
+    the two missing assays as a 25-second improvement).  When both
+    payloads carry an explore record its wall time is diffed separately as
+    ``explore_wall_time_s``.  ``None`` when the previous file is
+    unreadable (a broken old artifact must not fail the current bench).
+    """
+    try:
+        previous = json.loads(previous_path.read_text())
+        old_experiments = {
+            record["assay"]: record for record in previous.get("experiments", [])
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    delta: Dict[str, Any] = {"against": previous_path.name, "experiments": {}}
+    new_walls = _experiment_walls(payload)
+    old_walls = _experiment_walls(previous)
+    if new_walls is not None and old_walls is not None:
+        common = sorted(set(new_walls) & set(old_walls))
+        if common:
+            delta["wall_time_s"] = round(
+                sum(new_walls[a] for a in common)
+                - sum(old_walls[a] for a in common),
+                4,
+            )
+    new_explore = payload.get("explore")
+    old_explore = previous.get("explore")
+    if (
+        isinstance(new_explore, dict)
+        and isinstance(old_explore, dict)
+        and isinstance(new_explore.get("wall_time_s"), (int, float))
+        and isinstance(old_explore.get("wall_time_s"), (int, float))
+    ):
+        delta["explore_wall_time_s"] = round(
+            new_explore["wall_time_s"] - old_explore["wall_time_s"], 4
+        )
+    for record in payload["experiments"]:
+        old = old_experiments.get(record["assay"])
+        if not isinstance(old, dict):
+            continue
+        row: Dict[str, Any] = {}
+        if isinstance(old.get("wall_time_s"), (int, float)):
+            row["wall_time_s"] = round(record["wall_time_s"] - old["wall_time_s"], 4)
+        if record.get("makespan") is not None and isinstance(
+            old.get("makespan"), (int, float)
+        ):
+            row["makespan"] = record["makespan"] - old["makespan"]
+        if row:
+            delta["experiments"][record["assay"]] = row
+    return delta
+
+
 def run_bench(argv: List[str]) -> int:
     """The ``repro bench`` subcommand; returns a process exit code."""
     parser = build_bench_parser()
@@ -136,18 +304,30 @@ def run_bench(argv: List[str]) -> int:
     for record in experiments:
         for stage, count in record["solver_invocations"].items():
             totals[stage] = totals.get(stage, 0) + count
+    explore_record = None if args.no_explore else run_explore_smoke()
+    failed = sum(1 for r in experiments if not r["ok"])
+    if explore_record is not None and not explore_record["ok"]:
+        failed += 1
     payload = {
         "bench_format": BENCH_FORMAT,
         "key_version": KEY_VERSION,
         "solver": args.solver,  # None = each config's default (portfolio)
         "time_limit_s": args.time_limit,
         "experiments": experiments,
+        "explore": explore_record,
         "totals": {
-            "wall_time_s": round(sum(r["wall_time_s"] for r in experiments), 4),
+            "wall_time_s": round(
+                sum(r["wall_time_s"] for r in experiments)
+                + (explore_record["wall_time_s"] if explore_record else 0.0),
+                4,
+            ),
             "solver_invocations": totals,
-            "failed": sum(1 for r in experiments if not r["ok"]),
+            "failed": failed,
         },
     }
+    previous = previous_bench_file(args.out)
+    if previous is not None:
+        payload["delta"] = bench_delta(payload, previous)
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
     for record in experiments:
@@ -157,8 +337,25 @@ def run_bench(argv: List[str]) -> int:
         }
         backend_note = f" backends={backends}" if backends else ""
         print(f"{record['assay']:<8} {status} {record['wall_time_s']:.2f}s{backend_note}")
+    if explore_record is not None:
+        if explore_record["ok"]:
+            print(
+                f"explore  frontier={explore_record['frontier_size']} "
+                f"evaluated={explore_record['evaluated']}/{explore_record['candidates']} "
+                f"solves={explore_record['scheduling_solves']} "
+                f"{explore_record['wall_time_s']:.2f}s"
+            )
+        else:
+            print(f"explore  FAILED: {explore_record['error']}")
+    if payload.get("delta"):
+        total_delta = payload["delta"].get("wall_time_s")
+        note = (
+            f"{total_delta:+.2f}s experiments wall"
+            if total_delta is not None
+            else "n/a"
+        )
+        print(f"delta vs {payload['delta']['against']}: {note}")
     print(f"bench telemetry written to {args.out}")
-    failed = payload["totals"]["failed"]
     if failed:
         print(f"{failed} experiment(s) failed", file=sys.stderr)
         return 1

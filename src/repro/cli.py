@@ -32,16 +32,28 @@ parameters) share the upstream stage artifacts: the schedule is solved once
 for the whole grid, and the report's ``stage`` lines show exactly which
 stages ran versus were replayed or shared.
 
+Explore mode searches the flow-config × synthetic-workload space for the
+Pareto frontier over configurable objectives (see ``repro.explore`` and
+``docs/explore.md``)::
+
+    python -m repro explore spec.json --state-dir .repro-explore \
+        --cache-dir .repro-cache --json frontier.json
+
+With a ``--state-dir`` the frontier and the evaluated-candidate set persist
+after every evaluation chunk, so an interrupted exploration resumes where it
+stopped (and the stage cache replays whatever the interrupted run solved).
+
 Serve mode runs the long-lived HTTP synthesis service (see
 ``repro.service`` and ``docs/service.md``)::
 
     python -m repro serve --port 8642 --workers 2 --cache-dir .repro-cache
 
-Bench mode runs the small benchmark fixtures cold and writes
-machine-readable telemetry — per-experiment wall time, solver invocations,
-and the solver backend each exact stage ran on — to ``BENCH_4.json``::
+Bench mode runs the small benchmark fixtures cold, times an exploration
+smoke, and writes machine-readable telemetry — per-experiment wall time,
+solver invocations, the solver backend each exact stage ran on, and a delta
+against the previous recorded ``BENCH_*.json`` — to ``BENCH_5.json``::
 
-    python -m repro bench --out BENCH_4.json
+    python -m repro bench --out BENCH_5.json
 
 Every job-running mode accepts ``--solver`` to force both ILPs onto one
 registered solver backend (``highs``, ``branch-and-bound``, or the default
@@ -103,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
         "many jobs from a JSON manifest through the stage-granular batch engine "
         "(see 'repro batch --help').  Sweep mode: 'repro sweep SPEC.json' expands a "
         "parameter grid into stage-shared jobs (see 'repro sweep --help').  "
+        "Explore mode: 'repro explore SPEC.json' searches the config × "
+        "workload space for a Pareto frontier (see 'repro explore --help' "
+        "and docs/explore.md).  "
         "Serve mode: 'repro serve' runs the long-lived HTTP synthesis service "
         "(see 'repro serve --help' and docs/service.md).",
     )
@@ -192,6 +207,98 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         source_help="path to the JSON sweep spec "
         '(e.g. {"assay": "PCR", "sweep": {"pitch": [5, 6]}})',
     )
+
+
+def build_explore_parser() -> argparse.ArgumentParser:
+    """Argument surface of the ``repro explore`` subcommand."""
+    from repro.explore import strategy_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description="Search the flow-config × workload space for the Pareto "
+        "frontier over the spec's objectives, executing candidates through "
+        "the stage-granular batch engine so configs sharing upstream stages "
+        "share their solves (see docs/explore.md for the spec format).",
+    )
+    parser.add_argument("spec", type=Path, help="path to the JSON exploration spec")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process count for stage execution (default 1 = serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the persistent stage-cache tier (default: memory only)")
+    parser.add_argument("--state-dir", type=Path, default=None,
+                        help="directory for resumable exploration state "
+                        "(frontier + evaluated candidates; default: no persistence)")
+    parser.add_argument("--json", dest="json_out", type=Path, default=None,
+                        help="also write the frontier and exploration totals to this JSON file")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="override the spec's budget (max full evaluations)")
+    parser.add_argument("--strategy", choices=sorted(strategy_names()), default=None,
+                        help="override the spec's search strategy")
+    _add_solver_argument(parser)
+    return parser
+
+
+def run_explore(argv: List[str]) -> int:
+    """The ``repro explore`` subcommand; returns a process exit code.
+
+    Exit codes follow the repository convention: ``2`` for an unusable spec
+    (malformed JSON, unknown axes/objectives/strategy, state belonging to a
+    different spec), ``1`` when every evaluated candidate failed (there is
+    no frontier to report), ``0`` otherwise.
+    """
+    from repro.batch import ResultCache
+    from repro.explore import (
+        ExplorationEngine,
+        format_exploration_report,
+        load_spec,
+    )
+
+    parser = build_explore_parser()
+    args = parser.parse_args(argv)
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be at least 1")
+    if not args.spec.exists():
+        parser.error(f"exploration spec {args.spec} does not exist")
+    try:
+        spec = load_spec(args.spec)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"invalid exploration spec: {exc}", file=sys.stderr)
+        return 2
+    if args.budget is not None:
+        spec.budget = args.budget
+    if args.strategy is not None:
+        spec.strategy = args.strategy
+
+    state_path = (
+        args.state_dir / "explore_state.json" if args.state_dir is not None else None
+    )
+    engine = ExplorationEngine(
+        spec,
+        cache=ResultCache(cache_dir=args.cache_dir),
+        max_workers=max(1, args.workers),
+        state_path=state_path,
+        solver=args.solver,
+    )
+    try:
+        report = engine.run()
+    except ValueError as exc:
+        # Structural problems surfaced mid-setup (foreign state file,
+        # duplicate candidate ids) are input errors, not synthesis failures.
+        print(f"invalid exploration: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 - infrastructure failure
+        print(f"exploration failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(format_exploration_report(report))
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(report.to_json_payload(), indent=2))
+        print(f"\nexploration frontier written to {args.json_out}")
+
+    if report.evaluated > 0 and report.failed == report.evaluated:
+        print("every evaluated candidate failed", file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -336,6 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_batch(list(argv[1:]))
     if argv and argv[0] == "sweep":
         return run_sweep(list(argv[1:]))
+    if argv and argv[0] == "explore":
+        return run_explore(list(argv[1:]))
     if argv and argv[0] == "serve":
         return run_serve(list(argv[1:]))
     if argv and argv[0] == "bench":

@@ -1,0 +1,131 @@
+"""Objective extraction: what the exploration engine minimizes.
+
+Every objective is *minimized*.  An objective is either **cheap** — computable
+from the schedule stage's artifact and the flow config alone — or **full**,
+requiring the complete synthesis result (architecture + physical design).
+The distinction is what lets the successive-halving strategy prune dominated
+configurations after paying only for the scheduling solve: it ranks
+candidates on the cheap subset of the spec's objectives before the expensive
+stages run.
+
+The registry is a plain name → :class:`ObjectiveDef` map; the exploration
+spec validates objective names against it at load time so a typo fails with
+exit code 2, not mid-exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.scheduling.transport import peak_storage_demand, total_storage_time
+from repro.synthesis.config import FlowConfig
+
+
+@dataclass(frozen=True)
+class ObjectiveDef:
+    """One named quantity the Pareto search can minimize.
+
+    ``cheap`` marks objectives computable from ``(schedule, config)`` alone;
+    ``from_schedule`` is that extraction (``None`` for full-only objectives),
+    and ``from_result`` extracts the final value from a completed
+    :class:`~repro.synthesis.flow.SynthesisResult` plus the job's measured
+    wall time.
+    """
+
+    name: str
+    description: str
+    cheap: bool
+    from_result: Callable[[Any, FlowConfig, float], float]
+    from_schedule: Optional[Callable[[Any, FlowConfig], float]] = None
+
+
+def _device_count(config: FlowConfig) -> float:
+    return float(config.num_mixers + config.num_detectors + config.num_heaters)
+
+
+#: All objectives the exploration spec may name, keyed by spec name.
+OBJECTIVES: Dict[str, ObjectiveDef] = {
+    "makespan": ObjectiveDef(
+        name="makespan",
+        description="assay completion time t_E (seconds)",
+        cheap=True,
+        from_result=lambda result, config, wall: float(result.schedule.makespan),
+        from_schedule=lambda schedule, config: float(schedule.makespan),
+    ),
+    "storage_cells": ObjectiveDef(
+        name="storage_cells",
+        description="peak number of concurrently stored fluid samples",
+        cheap=True,
+        from_result=lambda result, config, wall: float(
+            peak_storage_demand(result.schedule)
+        ),
+        from_schedule=lambda schedule, config: float(peak_storage_demand(schedule)),
+    ),
+    "storage_time": ObjectiveDef(
+        name="storage_time",
+        description="total fluid-seconds spent in channel storage",
+        cheap=True,
+        from_result=lambda result, config, wall: float(
+            total_storage_time(result.schedule)
+        ),
+        from_schedule=lambda schedule, config: float(total_storage_time(schedule)),
+    ),
+    "device_count": ObjectiveDef(
+        name="device_count",
+        description="mixers + detectors + heaters the config provisions",
+        cheap=True,
+        from_result=lambda result, config, wall: _device_count(config),
+        from_schedule=lambda schedule, config: _device_count(config),
+    ),
+    "chip_area": ObjectiveDef(
+        name="chip_area",
+        description="compact-layout area d_p (layout units squared)",
+        cheap=False,
+        from_result=lambda result, config, wall: float(
+            result.physical.compact_dimensions[0]
+            * result.physical.compact_dimensions[1]
+        ),
+    ),
+    "wall_time": ObjectiveDef(
+        name="wall_time",
+        description="synthesis wall time the job itself paid (seconds; "
+        "machine-dependent and zero for cache hits)",
+        cheap=False,
+        from_result=lambda result, config, wall: float(wall),
+    ),
+}
+
+#: The default objective set of an exploration spec: the paper's central
+#: makespan-versus-storage-versus-resources trade-off.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("makespan", "storage_cells", "device_count")
+
+
+def objective_names() -> Tuple[str, ...]:
+    """All registered objective names, sorted (for errors and docs)."""
+    return tuple(sorted(OBJECTIVES))
+
+
+def cheap_objective_names(names: Sequence[str]) -> Tuple[str, ...]:
+    """The subset of ``names`` computable from the schedule stage alone."""
+    return tuple(name for name in names if OBJECTIVES[name].cheap)
+
+
+def objective_values(
+    names: Sequence[str], result: Any, config: FlowConfig, wall_time_s: float = 0.0
+) -> Dict[str, float]:
+    """Extract the named objective vector from a completed synthesis result."""
+    return {
+        name: OBJECTIVES[name].from_result(result, config, wall_time_s)
+        for name in names
+    }
+
+
+def schedule_objective_values(
+    names: Sequence[str], schedule: Any, config: FlowConfig
+) -> Dict[str, float]:
+    """Extract the *cheap* subset of ``names`` from a schedule artifact."""
+    values: Dict[str, float] = {}
+    for name in cheap_objective_names(names):
+        values[name] = OBJECTIVES[name].from_schedule(schedule, config)
+    return values

@@ -3,8 +3,10 @@
 One process, three moving parts:
 
 * an :func:`asyncio.start_server` listener speaking the minimal HTTP of
-  :mod:`repro.service.http` — ``POST /jobs`` accepts a batch manifest or
-  sweep spec body, ``GET /jobs/{id}`` reports status plus the per-stage
+  :mod:`repro.service.http` — ``POST /jobs`` accepts a batch manifest,
+  sweep spec, or exploration spec body (auto-detected: ``workloads`` →
+  exploration, ``sweep`` → sweep, else manifest), ``GET /jobs/{id}``
+  reports status plus the per-stage
   ran/replayed/shared breakdown, ``GET /jobs/{id}/result`` returns the full
   report payload, ``GET /healthz`` answers liveness probes;
 * a bounded pool of worker coroutines, each driving one queued job at a
@@ -47,6 +49,27 @@ from repro.service.singleflight import SingleFlightCache
 from repro.service.state import DONE, FAILED, JobRecord, JobRegistry
 
 
+def _submission_specs(payload: Any) -> List[Any]:
+    """Every job-shaped fragment of a raw submission body, any kind.
+
+    Sweep specs carry their source keys at top level; manifests per job
+    entry; exploration specs per workload entry.  The one enumeration both
+    structural guards below iterate — a new submission kind (or nested
+    shape) is added here once, so the protocol rejection and the generator
+    size gate can never drift apart.
+    """
+    if isinstance(payload, list):
+        return list(payload)
+    if not isinstance(payload, dict):
+        return []
+    specs: List[Any] = [payload]
+    if isinstance(payload.get("jobs"), list):
+        specs.extend(payload["jobs"])
+    if isinstance(payload.get("workloads"), list):
+        specs.extend(payload["workloads"])
+    return specs
+
+
 def _reject_protocol_entries(payload: Any) -> None:
     """Refuse ``protocol`` file references in HTTP-submitted manifests.
 
@@ -58,15 +81,7 @@ def _reject_protocol_entries(payload: Any) -> None:
     graphs belong in local ``repro batch`` runs; the service accepts only
     the built-in named assays.
     """
-    specs: List[Any] = []
-    if isinstance(payload, list):
-        specs = list(payload)
-    elif isinstance(payload, dict):
-        # Sweep specs carry "protocol" at top level; manifests per job.
-        specs = [payload]
-        if isinstance(payload.get("jobs"), list):
-            specs.extend(payload["jobs"])
-    for spec in specs:
+    for spec in _submission_specs(payload):
         if isinstance(spec, dict) and "protocol" in spec:
             raise HttpError(
                 400,
@@ -76,14 +91,60 @@ def _reject_protocol_entries(payload: Any) -> None:
             )
 
 
+def _reject_oversized_generators(payload: Any, limit: int) -> None:
+    """Bound the synthetic graphs an HTTP submission may ask the server for.
+
+    Generator jobs count as *one* job in the structural size gate, but
+    graph generation itself is superlinear in its size parameters and runs
+    synchronously while the submission is parsed — a single
+    ``{"generator": "random_assay", "num_operations": 200000}`` entry
+    (or a small graph with ``"num_inputs": 1000000``, which costs a
+    million-entry shuffle per operation) would stall the event loop for
+    hours.  Every integer size parameter is therefore held to ``limit``,
+    and the submission's *aggregate* generator size to ``8 × limit`` —
+    1024 at-the-limit entries would otherwise compose with the job-count
+    gate into minutes of generation per accepted submission.  (Building
+    happens off the event loop, so a gated submission costs a bounded
+    worker-thread stint, never listener liveness.)  The walk shares
+    :func:`_submission_specs` with the protocol rejection and reads only
+    raw payload shapes; non-integer values fall through to the real
+    loader's error.
+    """
+    aggregate = 0
+    for spec in _submission_specs(payload):
+        if not isinstance(spec, dict) or "generator" not in spec:
+            continue
+        for parameter in ("num_operations", "num_inputs"):
+            value = spec.get(parameter)
+            if not isinstance(value, int):
+                continue
+            if value > limit:
+                raise HttpError(
+                    400,
+                    f"generator job asks for {parameter}={value}, over "
+                    f"this server's limit of {limit}; generate larger "
+                    "graphs locally with 'repro batch'",
+                )
+            aggregate += max(value, 0)
+    if aggregate > 8 * limit:
+        raise HttpError(
+            400,
+            f"submission's generator jobs ask for {aggregate} operations "
+            f"in aggregate, over this server's limit of {8 * limit}; "
+            "split it into smaller submissions",
+        )
+
+
 def _estimated_job_count(payload: Any, kind: str) -> int:
     """Structural job count of a submission, without building anything.
 
     For sweeps, the product of the axis lengths; for manifests, the length
-    of the job list.  Computed from the raw payload shapes only — graph
-    construction and config validation have not run yet — so the size gate
-    costs O(axes), not O(points).  Malformed shapes count as 0 and fall
-    through to the real loader's precise error message.
+    of the job list; for explorations, workload count × the axes product
+    (the *candidate space* — enumeration is linear in it, so the gate must
+    bound it even when the budget is small).  Computed from the raw payload
+    shapes only — graph construction and config validation have not run yet
+    — so the size gate costs O(axes), not O(points).  Malformed shapes
+    count as 0 and fall through to the real loader's precise error message.
     """
     if kind == "sweep":
         sweep = payload.get("sweep")
@@ -94,6 +155,18 @@ def _estimated_job_count(payload: Any, kind: str) -> int:
             if not isinstance(values, list) or not values:
                 return 0
             count *= len(values)
+        return count
+    if kind == "explore":
+        workloads = payload.get("workloads")
+        if not isinstance(workloads, list):
+            return 0
+        count = len(workloads)
+        axes = payload.get("axes")
+        if isinstance(axes, dict):
+            for values in axes.values():
+                if not isinstance(values, list) or not values:
+                    return 0
+                count *= len(values)
         return count
     if isinstance(payload, list):
         return len(payload)
@@ -135,6 +208,11 @@ class ServiceConfig:
     #: the count is checked structurally *before* any expansion so a
     #: hostile grid cannot stall the event loop or balloon memory.
     max_jobs_per_submission: int = 1024
+    #: Reject generator jobs/workloads whose integer size parameters
+    #: (``num_operations``, ``num_inputs``) exceed this.  Graph generation
+    #: is superlinear and happens synchronously at submit time, so its
+    #: size must be bounded like the job count is.
+    max_generator_operations: int = 2000
     #: Force every submitted job's two ILPs onto this registered solver
     #: backend (``repro serve --solver``).  ``None`` keeps each job's own
     #: config (normally the portfolio).  Applied server-side *after* config
@@ -270,7 +348,10 @@ class SynthesisService:
                 continue
             record.mark_running()
             try:
-                report = await self._run_engine(record.jobs)
+                if record.kind == "explore":
+                    report = await self._run_exploration(record.spec)
+                else:
+                    report = await self._run_engine(record.jobs)
             except asyncio.CancelledError:
                 record.mark_failed("server shut down while the job was running")
                 raise
@@ -280,7 +361,26 @@ class SynthesisService:
                 record.mark_done(report)
 
     async def _run_engine(self, jobs: List[Any]) -> Any:
-        """Run ``engine.run(jobs)`` on a *daemon* thread and await the result.
+        """Run ``engine.run(jobs)`` on a daemon thread and await the result."""
+        return await self._run_blocking(lambda: self.engine.run(jobs))
+
+    async def _run_exploration(self, spec: Any) -> Any:
+        """Run one exploration spec on a daemon thread and await its report.
+
+        The exploration evaluates through this service's long-lived batch
+        engine, so its candidates share the single-flight stage cache with
+        every concurrent batch, sweep, and exploration — and the server's
+        ``--solver`` override applies exactly as it does to manifests.
+        """
+        from repro.explore import ExplorationEngine
+
+        explorer = ExplorationEngine(
+            spec, batch_engine=self.engine, solver=self.config.solver
+        )
+        return await self._run_blocking(explorer.run)
+
+    async def _run_blocking(self, func: Callable[[], Any]) -> Any:
+        """Run a blocking engine call on a *daemon* thread, await the result.
 
         A ``ThreadPoolExecutor`` would be the obvious tool, but its threads
         are non-daemon and ``concurrent.futures`` joins them at interpreter
@@ -306,7 +406,7 @@ class SynthesisService:
 
         def runner() -> None:
             try:
-                result, error = self.engine.run(jobs), None
+                result, error = func(), None
             except BaseException as exc:  # noqa: BLE001 - delivered to the loop
                 result, error = None, exc
             try:
@@ -330,7 +430,7 @@ class SynthesisService:
                 )
                 if request is None:
                     return
-                status, payload, after_send = self._route(request)
+                status, payload, after_send = await self._route(request)
             except HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
             except Exception as exc:  # noqa: BLE001 - never kill the listener
@@ -350,16 +450,20 @@ class SynthesisService:
             if after_send is not None:
                 after_send()
 
-    def _route(
+    async def _route(
         self, request: Request
     ) -> Tuple[int, Any, Optional[Callable[[], None]]]:
-        """Dispatch one request to its handler; raises :class:`HttpError`."""
+        """Dispatch one request to its handler; raises :class:`HttpError`.
+
+        A coroutine because submission building awaits a worker thread;
+        every other endpoint answers synchronously from loop-side state.
+        """
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             return 200, self._healthz_payload(), None
         if path == "/jobs":
             if method == "POST":
-                return (*self._submit(request), None)
+                return (*await self._submit(request), None)
             if method == "GET":
                 return (
                     200,
@@ -375,13 +479,19 @@ class SynthesisService:
             return (*self._job_endpoint(method, path), None)
         raise HttpError(404, f"no such endpoint: {method} {request.path}")
 
-    def _submit(self, request: Request) -> Tuple[int, Any]:
-        """``POST /jobs``: parse a manifest/sweep body and enqueue it."""
+    async def _submit(self, request: Request) -> Tuple[int, Any]:
+        """``POST /jobs``: parse a manifest/sweep/exploration body, enqueue it."""
         if self._stopping:
             raise HttpError(503, "server is shutting down")
         payload = request.json()
-        kind = "sweep" if isinstance(payload, dict) and "sweep" in payload else "batch"
+        if isinstance(payload, dict) and "workloads" in payload:
+            kind = "explore"
+        elif isinstance(payload, dict) and "sweep" in payload:
+            kind = "sweep"
+        else:
+            kind = "batch"
         _reject_protocol_entries(payload)
+        _reject_oversized_generators(payload, self.config.max_generator_operations)
         estimated = _estimated_job_count(payload, kind)
         if estimated > self.config.max_jobs_per_submission:
             raise HttpError(
@@ -391,22 +501,48 @@ class SynthesisService:
                 "into smaller submissions",
             )
         try:
-            if kind == "sweep":
-                jobs = expand_sweep(payload)
-            else:
-                jobs = manifest_jobs(payload, source="manifest body")
-            if self.config.solver is not None:
-                from repro.synthesis.config import apply_solver_override
-
-                for job in jobs:
-                    job.config = apply_solver_override(job.config, self.config.solver)
+            # Building a submission validates configs and constructs graphs
+            # (generator entries *generate* theirs) — real CPU work, so it
+            # runs on a worker thread: the size gates above bound how much,
+            # and the event loop keeps serving /healthz and every other
+            # client meanwhile.
+            spec, jobs = await asyncio.to_thread(
+                self._build_submission, kind, payload
+            )
         except ValueError as exc:
             raise HttpError(400, str(exc)) from exc
         if not jobs:
             raise HttpError(400, "manifest body contains no jobs")
         record = self.registry.create(kind, payload, jobs)
+        record.spec = spec
         self._queue.put_nowait(record.job_id)
         return 202, record.status_payload()
+
+    def _build_submission(self, kind: str, payload: Any) -> Tuple[Any, List[Any]]:
+        """Parse one gated submission body into ``(spec, jobs)``.
+
+        Pure function of the payload (plus this server's solver override),
+        safe to run off the event loop.  ``spec`` is the validated
+        exploration spec for ``kind == "explore"`` and ``None`` otherwise;
+        ``jobs`` are batch jobs (manifest/sweep) or exploration candidates.
+        """
+        if kind == "explore":
+            from repro.explore import ExplorationSpec, enumerate_candidates
+
+            spec = ExplorationSpec.from_payload(payload, source="exploration body")
+            return spec, enumerate_candidates(spec)
+        if kind == "sweep":
+            jobs = expand_sweep(payload)
+        else:
+            jobs = manifest_jobs(payload, source="manifest body")
+        if self.config.solver is not None:
+            # Exploration candidates are built lazily; the exploration
+            # engine applies this same override per candidate instead.
+            from repro.synthesis.config import apply_solver_override
+
+            for job in jobs:
+                job.config = apply_solver_override(job.config, self.config.solver)
+        return None, jobs
 
     def _job_endpoint(self, method: str, path: str) -> Tuple[int, Any]:
         """``GET /jobs/{id}`` and ``GET /jobs/{id}/result``."""

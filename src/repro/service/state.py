@@ -18,8 +18,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.batch.jobs import BatchJob
-from repro.batch.report import BatchReport
 from repro.keys import derive_job_id
 
 #: Lifecycle states of a service job.
@@ -32,17 +30,29 @@ STATUSES = (QUEUED, RUNNING, DONE, FAILED)
 
 @dataclass
 class JobRecord:
-    """One submitted batch/sweep and everything the service knows about it."""
+    """One submitted batch/sweep/exploration and everything the service knows.
+
+    ``jobs`` holds the submission's work items — :class:`BatchJob` lists for
+    batches and sweeps, exploration candidates for explorations — and is
+    only consumed for its length on status payloads and by the worker that
+    runs the matching engine.  ``report`` is whatever that engine returned:
+    a :class:`~repro.batch.report.BatchReport` or an
+    :class:`~repro.explore.engine.ExplorationReport`; both expose the
+    ``summary()``/``to_json_payload()`` pair the endpoints read.
+    """
 
     job_id: str
-    kind: str  # "batch" | "sweep"
-    jobs: List[BatchJob]
+    kind: str  # "batch" | "sweep" | "explore"
+    jobs: List[Any]
     status: str = QUEUED
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    report: Optional[BatchReport] = None
+    report: Optional[Any] = None
     error: Optional[str] = None
+    #: The validated :class:`~repro.explore.spec.ExplorationSpec` of an
+    #: exploration submission (``None`` for batches and sweeps).
+    spec: Optional[Any] = None
 
     @property
     def finished(self) -> bool:
@@ -54,7 +64,7 @@ class JobRecord:
         self.status = RUNNING
         self.started_at = time.time()
 
-    def mark_done(self, report: BatchReport) -> None:
+    def mark_done(self, report: Any) -> None:
         """Transition running → done with the engine's report attached."""
         self.status = DONE
         self.report = report
@@ -98,7 +108,7 @@ class JobRegistry:
         self._records: Dict[str, JobRecord] = {}
         self._sequence = 0
 
-    def create(self, kind: str, payload: Any, jobs: List[BatchJob]) -> JobRecord:
+    def create(self, kind: str, payload: Any, jobs: List[Any]) -> JobRecord:
         """Register a new queued job for ``payload`` and return its record.
 
         The id comes from :func:`repro.keys.derive_job_id`: a digest of the

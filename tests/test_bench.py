@@ -12,12 +12,12 @@ from repro.cli import main
 
 class TestBenchCommand:
     def test_bench_writes_machine_readable_telemetry(self, tmp_path, capsys):
-        out = tmp_path / "BENCH_4.json"
+        out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "PCR", "IVD",
                           "--time-limit", "20"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
-        assert payload["bench_format"] == 1
+        assert payload["bench_format"] == 2
         assert payload["key_version"] >= 3
         assert payload["solver"] is None  # default: each config's portfolio
         assays = [record["assay"] for record in payload["experiments"]]
@@ -39,8 +39,154 @@ class TestBenchCommand:
         totals = payload["totals"]
         assert totals["failed"] == 0
         assert totals["solver_invocations"]["schedule"] == 2
+        explore = payload["explore"]
+        assert explore["ok"]
+        assert explore["frontier_size"] >= 1
+        assert explore["scheduling_solves"] < explore["evaluated"]
+        assert payload.get("delta") is None  # no previous BENCH_*.json here
         captured = capsys.readouterr()
         assert "bench telemetry written" in captured.out
+        assert "explore " in captured.out
+
+    def test_explore_smoke_partial_failures_are_not_ok(self, monkeypatch):
+        """Any failed smoke candidate means breakage: ok must be strict."""
+        from types import SimpleNamespace
+
+        from repro import bench
+
+        fake_report = SimpleNamespace(
+            failed=1, evaluated=8, candidate_count=8, frontier=[],
+            scheduling_solves=2,
+        )
+
+        class FakeEngine:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run(self):
+                return fake_report
+
+        import repro.explore
+
+        monkeypatch.setattr(repro.explore, "ExplorationEngine", FakeEngine)
+        record = bench.run_explore_smoke()
+        assert record["ok"] is False
+        assert record["failed"] == 1
+
+    def test_no_explore_flag_skips_the_smoke(self, tmp_path):
+        out = tmp_path / "BENCH_5.json"
+        exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
+                          "--no-explore"])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["explore"] is None
+
+    def test_delta_against_previous_bench_file(self, tmp_path, capsys):
+        previous = {
+            "experiments": [
+                {"assay": "RA30", "wall_time_s": 100.0, "makespan": 700}
+            ],
+            "totals": {"wall_time_s": 100.0},
+        }
+        (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
+        out = tmp_path / "BENCH_5.json"
+        exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
+                          "--no-explore"])
+        assert exit_code == 0
+        delta = json.loads(out.read_text())["delta"]
+        assert delta["against"] == "BENCH_4.json"
+        assert delta["wall_time_s"] < 0  # RA30 is far faster than 100 s
+        assert delta["experiments"]["RA30"]["makespan"] == 650 - 700
+        assert "delta vs BENCH_4.json" in capsys.readouterr().out
+
+    def test_delta_against_format1_file_excludes_the_explore_smoke(self, tmp_path):
+        """The headline wall delta compares per-assay sums on both sides, so
+        a format-1 previous file (no explore smoke in its totals) is not
+        booked the smoke's duration as a regression."""
+        previous = {
+            "bench_format": 1,
+            "experiments": [
+                {"assay": "RA30", "wall_time_s": 100.0, "makespan": 650}
+            ],
+            "totals": {"wall_time_s": 100.0},
+        }
+        (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
+        out = tmp_path / "BENCH_5.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["explore"]["ok"]  # smoke ran and is in totals...
+        delta = payload["delta"]
+        ra30_wall = payload["experiments"][0]["wall_time_s"]
+        # ...but the delta is exactly experiments-vs-experiments.
+        assert delta["wall_time_s"] == round(ra30_wall - 100.0, 4)
+        assert "explore_wall_time_s" not in delta  # old side has no smoke
+
+    def test_delta_wall_sums_only_assays_on_both_sides(self, tmp_path):
+        """A --assays subset rerun must not book the missing assays as a
+        spurious improvement against a fuller baseline."""
+        previous = {
+            "experiments": [
+                {"assay": "RA30", "wall_time_s": 100.0, "makespan": 650},
+                {"assay": "IVD", "wall_time_s": 25.0, "makespan": 280},
+            ],
+            "totals": {"wall_time_s": 125.0},
+        }
+        (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
+        out = tmp_path / "BENCH_5.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-explore"]) == 0
+        payload = json.loads(out.read_text())
+        ra30_wall = payload["experiments"][0]["wall_time_s"]
+        # Only RA30 is common: the headline excludes IVD's 25 s entirely.
+        assert payload["delta"]["wall_time_s"] == round(ra30_wall - 100.0, 4)
+        assert "IVD" not in payload["delta"]["experiments"]
+
+    def test_delta_diffs_the_explore_smoke_when_both_sides_have_one(self, tmp_path):
+        previous = {
+            "bench_format": 2,
+            "experiments": [
+                {"assay": "RA30", "wall_time_s": 100.0, "makespan": 650}
+            ],
+            "explore": {"wall_time_s": 50.0},
+            "totals": {"wall_time_s": 150.0},
+        }
+        (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
+        out = tmp_path / "BENCH_5.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30"]) == 0
+        delta = json.loads(out.read_text())["delta"]
+        assert delta["explore_wall_time_s"] < 0  # the smoke is far under 50 s
+
+    def test_delta_ignores_future_and_malformed_files(self, tmp_path):
+        (tmp_path / "BENCH_9.json").write_text("{}")       # future: skipped
+        (tmp_path / "BENCH_abc.json").write_text("nope")   # non-matching name
+        out = tmp_path / "BENCH_5.json"
+        exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
+                          "--no-explore"])
+        assert exit_code == 0
+        assert json.loads(out.read_text()).get("delta") is None
+
+    def test_custom_out_name_gets_no_baseline(self, tmp_path):
+        # A non-sequence output name has no position in the trajectory, so
+        # no baseline is guessed — BENCH_9.json here could be a *newer*
+        # format and must not become the comparison point.
+        (tmp_path / "BENCH_9.json").write_text(json.dumps({
+            "experiments": [{"assay": "RA30", "wall_time_s": 1.0}],
+            "totals": {"wall_time_s": 1.0},
+        }))
+        out = tmp_path / "custom.json"
+        exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
+                          "--no-explore"])
+        assert exit_code == 0
+        assert "delta" not in json.loads(out.read_text())
+
+    def test_broken_previous_file_yields_null_delta(self, tmp_path):
+        (tmp_path / "BENCH_4.json").write_text("{not json")
+        out = tmp_path / "BENCH_5.json"
+        exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
+                          "--no-explore"])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert "delta" in payload and payload["delta"] is None
 
     def test_bench_solver_override_is_recorded(self, tmp_path):
         out = tmp_path / "bench.json"

@@ -118,6 +118,103 @@ class TestSweepSpecErrors:
         assert "non-empty object" in capsys.readouterr().err
 
 
+class TestExploreSpecErrors:
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "e.json"
+        spec.write_text('{"workloads": [')
+        assert main(["explore", str(spec)]) == 2
+        assert "invalid exploration spec" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["explore", str(tmp_path / "nope.json")])
+        assert exit_info.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unknown_key_exits_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "e.json",
+            {"workloads": [{"assay": "PCR"}], "axis": {"pitch": [5.0]}},
+        )
+        assert main(["explore", spec]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+    def test_unknown_axis_exits_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "e.json",
+            {"workloads": [{"assay": "PCR"}], "axes": {"pitchh": [5.0]}},
+        )
+        assert main(["explore", spec]) == 2
+        assert "unknown flow-config axes" in capsys.readouterr().err
+
+    def test_unknown_objective_exits_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "e.json",
+            {"workloads": [{"assay": "PCR"}], "objectives": ["speed"]},
+        )
+        assert main(["explore", spec]) == 2
+        assert "unknown objectives" in capsys.readouterr().err
+
+    def test_unknown_strategy_exits_2(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "e.json",
+            {"workloads": [{"assay": "PCR"}], "strategy": "magic"},
+        )
+        assert main(["explore", spec]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_empty_workloads_exit_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "e.json", {"workloads": []})
+        assert main(["explore", spec]) == 2
+        assert "non-empty list" in capsys.readouterr().err
+
+    def test_foreign_state_file_exits_2(self, tmp_path, capsys):
+        spec_a = write_json(
+            tmp_path / "a.json",
+            {"workloads": [{"assay": "PCR"}],
+             "base": {"ilp_operation_limit": 0}},
+        )
+        spec_b = write_json(
+            tmp_path / "b.json",
+            {"workloads": [{"assay": "PCR"}], "axes": {"num_mixers": [3]},
+             "base": {"ilp_operation_limit": 0}},
+        )
+        state_dir = str(tmp_path / "state")
+        assert main(["explore", spec_a, "--state-dir", state_dir]) == 0
+        capsys.readouterr()
+        assert main(["explore", spec_b, "--state-dir", state_dir]) == 2
+        assert "different" in capsys.readouterr().err
+
+    def test_all_jobs_failed_exits_1(self, tmp_path, capsys):
+        # IVD without detectors cannot bind its detection operations: every
+        # candidate fails, so there is no frontier to report.
+        spec = write_json(
+            tmp_path / "e.json",
+            {"workloads": [{"assay": "IVD"}],
+             "axes": {"num_detectors": [0]},
+             "base": {"ilp_operation_limit": 0}},
+        )
+        assert main(["explore", spec]) == 1
+        captured = capsys.readouterr()
+        assert "every evaluated candidate failed" in captured.err
+
+    def test_partial_failures_exit_0_with_frontier(self, tmp_path, capsys):
+        spec = write_json(
+            tmp_path / "e.json",
+            {"workloads": [{"assay": "IVD"}],
+             "axes": {"num_detectors": [0, 2]},
+             "base": {"ilp_operation_limit": 0}},
+        )
+        assert main(["explore", spec]) == 0
+        assert "frontier size 1" in capsys.readouterr().out
+
+    def test_bad_budget_flag_exits_2(self, tmp_path, capsys):
+        spec = write_json(tmp_path / "e.json", {"workloads": [{"assay": "PCR"}]})
+        with pytest.raises(SystemExit) as exit_info:
+            main(["explore", spec, "--budget", "0"])
+        assert exit_info.value.code == 2
+
+
 class TestServeArgumentErrors:
     def test_zero_workers_exits_2(self, capsys):
         with pytest.raises(SystemExit) as exit_info:

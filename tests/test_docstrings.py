@@ -19,7 +19,7 @@ import importlib
 import inspect
 import pkgutil
 
-GATED_PACKAGES = ("repro.service", "repro.batch", "repro.ilp.backends")
+GATED_PACKAGES = ("repro.service", "repro.batch", "repro.ilp.backends", "repro.explore")
 
 
 def iter_gated_modules():

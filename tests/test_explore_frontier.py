@@ -1,0 +1,134 @@
+"""Tests of the Pareto frontier's dominance semantics and persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.frontier import (
+    FrontierEntry,
+    ParetoFrontier,
+    dominates,
+    is_dominance_consistent,
+)
+
+NAMES = ("a", "b")
+
+
+def entry(cid, a, b, **metrics):
+    return FrontierEntry(cid, {"a": float(a), "b": float(b)}, metrics or None)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates({"a": 1, "b": 1}, {"a": 2, "b": 2}, NAMES)
+
+    def test_better_on_one_equal_on_other(self):
+        assert dominates({"a": 1, "b": 2}, {"a": 2, "b": 2}, NAMES)
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates({"a": 1, "b": 1}, {"a": 1, "b": 1}, NAMES)
+
+    def test_tradeoffs_do_not_dominate(self):
+        assert not dominates({"a": 1, "b": 3}, {"a": 3, "b": 1}, NAMES)
+        assert not dominates({"a": 3, "b": 1}, {"a": 1, "b": 3}, NAMES)
+
+
+class TestParetoFrontier:
+    def test_needs_objectives(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(())
+
+    def test_dominated_entry_refused(self):
+        frontier = ParetoFrontier(NAMES)
+        assert frontier.add(entry("x", 1, 1))
+        assert not frontier.add(entry("y", 2, 2))
+        assert [e.candidate_id for e in frontier] == ["x"]
+
+    def test_dominating_entry_evicts(self):
+        frontier = ParetoFrontier(NAMES)
+        frontier.add(entry("x", 2, 2))
+        frontier.add(entry("y", 3, 1))
+        assert frontier.add(entry("z", 1, 1))
+        assert [e.candidate_id for e in frontier] == ["z"]
+
+    def test_tradeoff_entries_coexist(self):
+        frontier = ParetoFrontier(NAMES)
+        frontier.add(entry("x", 1, 3))
+        frontier.add(entry("y", 3, 1))
+        assert len(frontier) == 2
+        assert is_dominance_consistent(frontier.entries(), NAMES)
+
+    def test_equal_vectors_coexist(self):
+        frontier = ParetoFrontier(NAMES)
+        frontier.add(entry("x", 1, 1))
+        assert frontier.add(entry("y", 1, 1))
+        assert len(frontier) == 2
+
+    def test_reoffering_an_id_replaces_it(self):
+        frontier = ParetoFrontier(NAMES)
+        frontier.add(entry("x", 5, 5))
+        assert frontier.add(entry("x", 1, 1))
+        assert len(frontier) == 1
+        assert frontier.entries()[0].objectives == {"a": 1.0, "b": 1.0}
+
+    def test_missing_objective_raises(self):
+        frontier = ParetoFrontier(NAMES)
+        with pytest.raises(ValueError, match="lacks objectives"):
+            frontier.add(FrontierEntry("x", {"a": 1.0}))
+
+    def test_is_dominated_probe(self):
+        frontier = ParetoFrontier(NAMES)
+        frontier.add(entry("x", 1, 1))
+        assert frontier.is_dominated({"a": 2.0, "b": 2.0})
+        assert not frontier.is_dominated({"a": 0.5, "b": 2.0})
+
+    def test_incremental_matches_batch_reconstruction(self):
+        """Adding in any order ends at the same non-dominated set."""
+        points = [("p1", 4, 4), ("p2", 1, 5), ("p3", 5, 1), ("p4", 2, 2),
+                  ("p5", 3, 3), ("p6", 1, 5)]
+        forward = ParetoFrontier(NAMES)
+        backward = ParetoFrontier(NAMES)
+        for cid, a, b in points:
+            forward.add(entry(cid, a, b))
+        for cid, a, b in reversed(points):
+            backward.add(entry(cid, a, b))
+        fwd = {(e.objectives["a"], e.objectives["b"]) for e in forward}
+        bwd = {(e.objectives["a"], e.objectives["b"]) for e in backward}
+        assert fwd == bwd == {(1.0, 5.0), (5.0, 1.0), (2.0, 2.0)}
+        assert is_dominance_consistent(forward.entries(), NAMES)
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        frontier = ParetoFrontier(NAMES)
+        frontier.add(entry("x", 1, 3, tE=10))
+        frontier.add(entry("y", 3, 1))
+        restored = ParetoFrontier.from_payload(frontier.to_payload())
+        assert restored.objective_names == frontier.objective_names
+        assert [e.candidate_id for e in restored] == ["x", "y"]
+        assert restored.entries()[0].metrics == {"tE": 10}
+
+    def test_load_repairs_dominated_rows(self):
+        payload = {
+            "objectives": list(NAMES),
+            "entries": [
+                {"candidate_id": "good", "objectives": {"a": 1, "b": 1}},
+                {"candidate_id": "bad", "objectives": {"a": 2, "b": 2}},
+            ],
+        }
+        restored = ParetoFrontier.from_payload(payload)
+        assert [e.candidate_id for e in restored] == ["good"]
+
+    def test_rejects_payload_without_objectives(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier.from_payload({"entries": []})
+
+
+class TestDominanceConsistency:
+    def test_detects_violation(self):
+        entries = [entry("x", 1, 1), entry("y", 2, 2)]
+        assert not is_dominance_consistent(entries, NAMES)
+
+    def test_accepts_clean_set(self):
+        entries = [entry("x", 1, 3), entry("y", 3, 1)]
+        assert is_dominance_consistent(entries, NAMES)

@@ -1,0 +1,287 @@
+"""Tests of the exploration spec layer and inline generator job specs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.jobs import job_from_spec, load_manifest
+from repro.explore.spec import (
+    ExplorationSpec,
+    candidate_job,
+    enumerate_candidates,
+    load_spec,
+    workload_id,
+)
+
+
+def minimal_payload(**overrides):
+    payload = {
+        "workloads": [{"assay": "PCR"}],
+        "axes": {"num_mixers": [2, 3]},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestGeneratorJobSpecs:
+    """The batch layer's third graph source: inline synthetic generators."""
+
+    def test_generator_job_builds_the_named_graph(self):
+        job = job_from_spec(
+            {"generator": "random_assay", "num_operations": 9, "seed": 4,
+             "config": {"num_mixers": 3}}
+        )
+        assert len(job.graph.device_operations()) == 9
+        assert job.graph.name == "RA9"
+        assert job.config.num_mixers == 3
+
+    def test_generator_default_ids_distinguish_seeds(self):
+        a = job_from_spec({"generator": "random_assay", "num_operations": 9, "seed": 1})
+        b = job_from_spec({"generator": "random_assay", "num_operations": 9, "seed": 2})
+        assert a.job_id != b.job_id
+        assert a.job_id.startswith("RA9~")
+
+    def test_generator_params_are_validated(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            job_from_spec({"generator": "random_assay", "num_ops": 9})
+        with pytest.raises(ValueError, match="requires 'num_operations'"):
+            job_from_spec({"generator": "random_assay"})
+        with pytest.raises(ValueError, match="unknown generator"):
+            job_from_spec({"generator": "nope", "num_operations": 9})
+
+    def test_exactly_one_source_still_enforced(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            job_from_spec({"assay": "PCR", "generator": "random_assay",
+                           "num_operations": 9})
+        with pytest.raises(ValueError, match="exactly one of"):
+            job_from_spec({})
+
+    def test_manifest_reuses_one_graph_per_generator_spec(self, monkeypatch):
+        import repro.batch.jobs as jobs_module
+        from repro.batch.jobs import manifest_jobs
+        from repro.graph.generators import generated_graph as real_generated_graph
+
+        calls = []
+
+        def counting(generator_spec):
+            calls.append(generator_spec)
+            return real_generated_graph(generator_spec)
+
+        monkeypatch.setattr(jobs_module, "generated_graph", counting)
+        jobs = manifest_jobs({"jobs": [
+            {"generator": "random_assay", "num_operations": 8, "seed": 1,
+             "id": "a", "config": {"num_mixers": 2}},
+            {"generator": "random_assay", "num_operations": 8, "seed": 1,
+             "id": "b", "config": {"num_mixers": 3}},
+            {"generator": "random_assay", "num_operations": 8, "seed": 2,
+             "id": "c"},
+        ]})
+        assert [j.job_id for j in jobs] == ["a", "b", "c"]
+        assert jobs[0].graph is jobs[1].graph  # same spec → one shared graph
+        assert len(calls) == 2  # two distinct generator specs
+
+    def test_manifest_with_generator_jobs_loads(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "jobs": [
+                {"assay": "PCR"},
+                {"generator": "random_assay", "num_operations": 6, "seed": 1,
+                 "id": "tiny"},
+            ]
+        }))
+        jobs = load_manifest(manifest)
+        assert [j.job_id for j in jobs] == ["PCR", "tiny"]
+        assert len(jobs[1].graph.device_operations()) == 6
+
+
+class TestSpecValidation:
+    def test_minimal_spec_defaults(self):
+        spec = ExplorationSpec.from_payload(minimal_payload())
+        assert spec.strategy == "exhaustive"
+        assert spec.objectives == ("makespan", "storage_cells", "device_count")
+        assert spec.budget is None
+        assert spec.candidate_count() == 2
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ExplorationSpec.from_payload([1, 2])
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            ExplorationSpec.from_payload(minimal_payload(axis={}))
+
+    def test_rejects_empty_workloads(self):
+        with pytest.raises(ValueError, match="workloads"):
+            ExplorationSpec.from_payload(minimal_payload(workloads=[]))
+
+    def test_rejects_workload_config(self):
+        with pytest.raises(ValueError, match="must not carry 'config'"):
+            ExplorationSpec.from_payload(
+                minimal_payload(workloads=[{"assay": "PCR", "config": {}}])
+            )
+
+    def test_rejects_unknown_assay_workload_at_load_time(self):
+        # Submit-time parity with batch manifests: the mistake must fail
+        # synchronously (CLI exit 2 / HTTP 400), not mid-exploration.
+        with pytest.raises(ValueError, match="workload 0: unknown assay"):
+            ExplorationSpec.from_payload(minimal_payload(workloads=[{"assay": "NOPE"}]))
+
+    def test_rejects_bad_generator_params_at_load_time(self):
+        with pytest.raises(ValueError, match="workload 1: .*unknown parameters"):
+            ExplorationSpec.from_payload(minimal_payload(workloads=[
+                {"assay": "PCR"},
+                {"generator": "random_assay", "num_ops": 9},
+            ]))
+
+    def test_rejects_invalid_base_at_load_time(self):
+        with pytest.raises(ValueError, match="unknown flow-config keys"):
+            ExplorationSpec.from_payload(
+                minimal_payload(axes={}, base={"mixers": 3})
+            )
+
+    def test_rejects_unknown_axes(self):
+        with pytest.raises(ValueError, match="unknown flow-config axes"):
+            ExplorationSpec.from_payload(minimal_payload(axes={"pitchh": [1.0]}))
+
+    def test_rejects_empty_axis_values(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            ExplorationSpec.from_payload(minimal_payload(axes={"pitch": []}))
+
+    def test_rejects_wrong_typed_axis_values_at_load_time(self):
+        with pytest.raises(ValueError, match="axis 'num_mixers'.*expects int"):
+            ExplorationSpec.from_payload(
+                minimal_payload(axes={"num_mixers": ["three"]})
+            )
+
+    def test_rejects_out_of_range_axis_values_at_load_time(self):
+        with pytest.raises(ValueError, match="axis 'num_mixers'"):
+            ExplorationSpec.from_payload(minimal_payload(axes={"num_mixers": [0]}))
+
+    def test_rejects_base_axes_overlap(self):
+        with pytest.raises(ValueError, match="both 'base' and 'axes'"):
+            ExplorationSpec.from_payload(
+                minimal_payload(base={"num_mixers": 2})
+            )
+
+    def test_rejects_unknown_objectives(self):
+        with pytest.raises(ValueError, match="unknown objectives"):
+            ExplorationSpec.from_payload(minimal_payload(objectives=["nope"]))
+
+    def test_rejects_duplicate_objectives(self):
+        with pytest.raises(ValueError, match="duplicate objectives"):
+            ExplorationSpec.from_payload(
+                minimal_payload(objectives=["makespan", "makespan"])
+            )
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ExplorationSpec.from_payload(minimal_payload(strategy="magic"))
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            ExplorationSpec.from_payload(minimal_payload(budget=0))
+        with pytest.raises(ValueError, match="budget"):
+            ExplorationSpec.from_payload(minimal_payload(budget="lots"))
+
+    def test_digest_ignores_base_dir(self, tmp_path):
+        a = ExplorationSpec.from_payload(minimal_payload())
+        b = ExplorationSpec.from_payload(minimal_payload(), base_dir=tmp_path)
+        assert a.digest() == b.digest()
+
+
+class TestCandidates:
+    def test_enumeration_order_and_ids(self):
+        spec = ExplorationSpec.from_payload({
+            "workloads": [{"assay": "PCR"}, {"assay": "IVD"}],
+            "axes": {"num_mixers": [2, 3], "pitch": [5.0]},
+        })
+        candidates = enumerate_candidates(spec)
+        assert [c.candidate_id for c in candidates] == [
+            "PCR/num_mixers=2,pitch=5",
+            "PCR/num_mixers=3,pitch=5",
+            "IVD/num_mixers=2,pitch=5",
+            "IVD/num_mixers=3,pitch=5",
+        ]
+
+    def test_axis_free_spec_uses_workload_ids(self):
+        spec = ExplorationSpec.from_payload({
+            "workloads": [{"assay": "PCR"},
+                          {"generator": "random_assay", "num_operations": 5,
+                           "seed": 1, "id": "ra5"}],
+        })
+        assert [c.candidate_id for c in enumerate_candidates(spec)] == ["PCR", "ra5"]
+
+    def test_reordered_axes_keys_enumerate_identical_ids(self):
+        """The resume digest is axes-key-order-insensitive, so the ids must
+        be too — otherwise a cosmetically reordered spec file would resume
+        against a state whose ids match nothing."""
+        a = ExplorationSpec.from_payload({
+            "workloads": [{"assay": "PCR"}],
+            "axes": {"num_mixers": [2, 3], "pitch": [5.0]},
+        })
+        b = ExplorationSpec.from_payload({
+            "workloads": [{"assay": "PCR"}],
+            "axes": {"pitch": [5.0], "num_mixers": [2, 3]},
+        })
+        assert a.digest() == b.digest()
+        ids_a = sorted(c.candidate_id for c in enumerate_candidates(a))
+        ids_b = sorted(c.candidate_id for c in enumerate_candidates(b))
+        assert ids_a == ids_b
+
+    def test_duplicate_candidate_ids_rejected(self):
+        spec = ExplorationSpec.from_payload(
+            {"workloads": [{"assay": "PCR"}, {"assay": "PCR"}]}
+        )
+        with pytest.raises(ValueError, match="duplicate candidate id"):
+            enumerate_candidates(spec)
+
+    def test_workload_id_precedence(self):
+        assert workload_id({"id": "x", "assay": "PCR"}, 0) == "x"
+        assert workload_id({"assay": "PCR"}, 0) == "PCR"
+        generated = workload_id(
+            {"generator": "random_assay", "num_operations": 7, "seed": 1}, 0
+        )
+        assert generated.startswith("RA7~")
+
+    def test_candidate_job_merges_base_and_point(self):
+        spec = ExplorationSpec.from_payload({
+            "workloads": [{"assay": "PCR"}],
+            "axes": {"num_mixers": [4]},
+            "base": {"transport_time": 20},
+        })
+        (candidate,) = enumerate_candidates(spec)
+        job = candidate_job(spec, candidate)
+        assert job.config.num_mixers == 4
+        assert job.config.transport_time == 20
+        assert job.job_id == candidate.candidate_id
+
+    def test_candidate_job_starts_from_paper_defaults(self):
+        spec = ExplorationSpec.from_payload({"workloads": [{"assay": "CPA"}]})
+        (candidate,) = enumerate_candidates(spec)
+        job = candidate_job(spec, candidate)
+        assert job.config.num_detectors == 2  # CPA's paper default
+
+
+class TestLoadSpec:
+    def test_load_spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(minimal_payload()))
+        spec = load_spec(path)
+        assert spec.candidate_count() == 2
+        assert spec.base_dir == tmp_path
+
+    def test_protocol_workloads_resolve_relative_to_spec(self, tmp_path):
+        from repro.graph.library import build_pcr
+        from repro.graph.serialization import save_graph
+
+        save_graph(build_pcr(), tmp_path / "custom.json")
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(
+            {"workloads": [{"protocol": "custom.json"}]}
+        ))
+        spec = load_spec(path)
+        (candidate,) = enumerate_candidates(spec)
+        job = candidate_job(spec, candidate)
+        assert len(job.graph.device_operations()) == 7

@@ -479,3 +479,151 @@ class TestServiceEndToEnd:
             running.thread.join(20)
             with pytest.raises((ServiceError, OSError)):
                 running.client.submit(FAST_PCR)
+
+
+# ------------------------------------------------------------- explorations
+
+
+FAST_EXPLORE = {
+    "name": "service-explore",
+    "workloads": [
+        {"assay": "PCR"},
+        {"generator": "random_assay", "num_operations": 8, "seed": 2, "id": "ra8"},
+    ],
+    "axes": {"num_mixers": [2, 3], "pitch": [5.0, 6.0]},
+    "base": {"ilp_operation_limit": 0},
+    "objectives": ["makespan", "storage_cells", "device_count"],
+    "strategy": "exhaustive",
+}
+
+
+class TestExploreSubmissions:
+    def test_exploration_end_to_end(self):
+        with ServiceUnderTest(workers=1) as running:
+            job_id = running.client.submit(FAST_EXPLORE)
+            status = running.client.wait(job_id, timeout=120)
+            assert status["status"] == "done"
+            assert status["kind"] == "explore"
+            assert status["jobs"] == 8  # the candidate space
+            summary = status["summary"]
+            assert summary["kind"] == "exploration"
+            assert summary["evaluated"] == 8
+            assert summary["frontier_size"] >= 2
+            # The pitch axis never touches the schedule slice: stage
+            # sharing must keep solves strictly below evaluated configs.
+            assert summary["scheduling_solves"] < summary["evaluated"]
+
+            result = running.client.result(job_id)
+            assert result["job_id"] == job_id
+            assert result["spec"]["name"] == "service-explore"
+            assert len(result["frontier"]) == summary["frontier_size"]
+            for entry in result["frontier"]:
+                assert set(entry["objectives"]) == {
+                    "makespan", "storage_cells", "device_count",
+                }
+
+    def test_repeat_exploration_replays_from_the_hot_cache(self):
+        with ServiceUnderTest(workers=1) as running:
+            first = running.client.submit(FAST_EXPLORE)
+            assert running.client.wait(first, timeout=120)["status"] == "done"
+            second = running.client.submit(FAST_EXPLORE)
+            status = running.client.wait(second, timeout=120)
+            assert status["status"] == "done"
+            # Same server, same spec: every stage artifact is already in
+            # the shared cache, so the rerun performs zero solves.
+            assert status["summary"]["scheduling_solves"] == 0
+
+    def test_exploration_shares_stages_with_manifest_jobs(self):
+        with ServiceUnderTest(workers=1) as running:
+            manifest_job = running.client.submit(FAST_PCR)
+            assert running.client.wait(manifest_job, timeout=120)["status"] == "done"
+            explore = dict(FAST_EXPLORE, axes={"num_mixers": [2]}, workloads=[
+                {"assay": "PCR"},
+            ])
+            job_id = running.client.submit(explore)
+            status = running.client.wait(job_id, timeout=120)
+            assert status["status"] == "done"
+            # PCR/num_mixers=2 under the same base config is exactly the
+            # manifest job: the exploration replays all three stages.
+            assert status["summary"]["scheduling_solves"] == 0
+
+    def test_malformed_exploration_body_is_rejected(self):
+        with ServiceUnderTest(workers=1) as running:
+            with pytest.raises(ServiceError) as err:
+                running.client.submit({"workloads": [{"assay": "PCR"}],
+                                       "axes": {"pitchh": [1.0]}})
+            assert err.value.status == 400
+            assert "unknown flow-config axes" in str(err.value)
+
+    def test_oversized_generator_jobs_are_rejected_structurally(self):
+        # Generator graphs build synchronously at submit time and count as
+        # one job, so their size must be gated like the job count — a huge
+        # num_operations must answer 400 instantly, not stall the loop.
+        with ServiceUnderTest(workers=1) as running:
+            for payload in (
+                {"jobs": [{"generator": "random_assay", "num_operations": 200000}]},
+                [{"generator": "random_assay", "num_operations": 200000}],
+                {"workloads": [{"generator": "random_assay",
+                                "num_operations": 200000}]},
+                # A small graph over a huge input pool costs a
+                # million-entry shuffle per operation: every size
+                # parameter is gated, not just num_operations.
+                {"jobs": [{"generator": "random_assay", "num_operations": 5,
+                           "num_inputs": 1000000}]},
+                # Many at-the-limit entries compose with the job-count gate
+                # into minutes of generation: the aggregate is gated too.
+                {"jobs": [{"generator": "random_assay", "num_operations": 2000,
+                           "seed": i, "id": f"g{i}"} for i in range(20)]},
+            ):
+                start = time.monotonic()
+                with pytest.raises(ServiceError) as err:
+                    running.client.submit(payload)
+                assert time.monotonic() - start < 5.0
+                assert err.value.status == 400
+                assert "over this server's limit" in str(err.value)
+
+    def test_bad_axis_value_is_rejected_at_submit_time(self):
+        with ServiceUnderTest(workers=1) as running:
+            with pytest.raises(ServiceError) as err:
+                running.client.submit({"workloads": [{"assay": "PCR"}],
+                                       "axes": {"num_mixers": ["three"]}})
+            assert err.value.status == 400
+            assert "expects int" in str(err.value)
+
+    def test_unknown_workload_is_rejected_at_submit_time(self):
+        # Parity with manifest bodies: a typo'd assay answers 400 now, not
+        # an asynchronous 'failed' status discovered by polling.
+        with ServiceUnderTest(workers=1) as running:
+            with pytest.raises(ServiceError) as err:
+                running.client.submit({"workloads": [{"assay": "NOPE"}]})
+            assert err.value.status == 400
+            assert "unknown assay" in str(err.value)
+
+    def test_protocol_workloads_are_rejected_over_http(self, tmp_path):
+        secret = tmp_path / "secret.json"
+        secret.write_text("{}")
+        with ServiceUnderTest(workers=1) as running:
+            with pytest.raises(ServiceError) as err:
+                running.client.submit(
+                    {"workloads": [{"protocol": str(secret)}]}
+                )
+            assert err.value.status == 400
+            assert "not accepted over HTTP" in str(err.value)
+
+    def test_oversized_candidate_space_is_rejected_structurally(self):
+        with ServiceUnderTest(workers=1) as running:
+            huge = {
+                "workloads": [{"assay": "PCR"}],
+                "axes": {
+                    "pitch": [float(i) for i in range(300)],
+                    "min_channel_spacing": [float(i) for i in range(300)],
+                    "transport_time": list(range(100)),
+                },
+                "budget": 4,  # a small budget must not bypass the gate
+            }
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as err:
+                running.client.submit(huge)
+            assert time.monotonic() - start < 5.0
+            assert err.value.status == 400
+            assert "over this server's limit" in str(err.value)

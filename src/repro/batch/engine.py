@@ -71,6 +71,11 @@ def _execute_stage_serialized(
     not distorted by pool queueing.  Failures come back as a detached
     exception (formatted traceback attached as a string) rather than
     raising, so they pickle cleanly and carry their timing along.
+
+    Warm-start hints (:attr:`BatchJob.warm_hint`) are *not* shipped to the
+    pool: they are runtime advice with no effect on cache keys, and an
+    unseeded pool solve is merely slower, never wrong.  Callers that rely on
+    warm starts (the exploration engine) run inline.
     """
     stage_name, graph_data, config_data, upstream = payload
     stage = stage_by_name(stage_name)
@@ -393,6 +398,7 @@ class BatchSynthesisEngine:
                             action="replayed",
                             backend=getattr(artifact, "backend_name", None),
                             fallback_used=getattr(artifact, "fallback_used", False),
+                            warm_start_used=getattr(artifact, "warm_start_used", False),
                         )
                     )
             else:
@@ -442,6 +448,7 @@ class BatchSynthesisEngine:
                             wall_time_s=elapsed if position == 0 else 0.0,
                             backend=getattr(value, "backend_name", None),
                             fallback_used=getattr(value, "fallback_used", False),
+                            warm_start_used=getattr(value, "warm_start_used", False),
                         )
                     )
             else:
@@ -473,7 +480,10 @@ class BatchSynthesisEngine:
             rep = group[0]
             upstream = rep.artifacts[tier - 1] if tier > 0 else None
             context = StageContext(
-                graph=rep.job.graph, config=rep.job.config, library=rep.library
+                graph=rep.job.graph,
+                config=rep.job.config,
+                library=rep.library,
+                warm_start=rep.job.warm_hint,
             )
             start = time.perf_counter()
             try:

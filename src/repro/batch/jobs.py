@@ -42,11 +42,22 @@ from repro.synthesis.config import FlowConfig
 
 @dataclass
 class BatchJob:
-    """One synthesis request: a sequencing graph plus its flow configuration."""
+    """One synthesis request: a sequencing graph plus its flow configuration.
+
+    ``warm_hint`` optionally carries a known-good schedule of the *same
+    graph* (typically from a neighboring configuration in an exploration
+    sweep) that the schedule stage translates into a solver warm start.  It
+    is runtime advice, not part of the problem: cache keys are computed from
+    the graph and config alone, so two jobs differing only in their hint
+    share one cached artifact.  Hints ride the inline execution tier only —
+    the process pool ships serialized payloads and skips them (a pool solve
+    is merely unseeded, never wrong).
+    """
 
     job_id: str
     graph: SequencingGraph
     config: FlowConfig
+    warm_hint: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -62,13 +73,14 @@ def job_from_spec(
 ) -> BatchJob:
     """Build one :class:`BatchJob` from a manifest entry.
 
-    ``graph_cache`` (digest → graph) memoizes *generator* graphs across
-    calls: generation is seeded and deterministic but superlinear in size,
-    so callers building many jobs over the same synthetic workload — the
+    ``graph_cache`` (digest → graph) memoizes generator *and* assay graphs
+    across calls: generation is seeded and deterministic but superlinear in
+    size, so callers building many jobs over the same workload — the
     exploration engine crosses one workload with a whole axes grid — pass a
-    dict here and pay for each distinct generator spec once.  Graphs are
-    treated as immutable everywhere downstream, so sharing one object
-    across jobs is safe.
+    dict here and pay for each distinct workload once.  Graphs are treated
+    as immutable everywhere downstream, so sharing one object across jobs
+    is safe — and sharing also lets per-graph scratch state (the list
+    scheduler's workspace) key off object identity.
 
     Raises
     ------
@@ -115,7 +127,14 @@ def job_from_spec(
             raise ValueError(
                 f"job {index}: unknown assay {assay!r} (choose from {sorted(PAPER_ASSAYS)})"
             )
-        graph = assay_by_name(assay)
+        cache_key = (
+            stable_digest({"assay": assay}) if graph_cache is not None else None
+        )
+        graph = graph_cache.get(cache_key) if cache_key is not None else None
+        if graph is None:
+            graph = assay_by_name(assay)
+            if cache_key is not None:
+                graph_cache[cache_key] = graph
         base_config = FlowConfig.paper_defaults_for(assay).to_dict()
         default_id = assay
     else:

@@ -106,6 +106,7 @@ class JobOutcome:
                     "wall_time_s": round(execution.wall_time_s, 3),
                     "backend": execution.backend,
                     "fallback_used": execution.fallback_used,
+                    "warm_start_used": execution.warm_start_used,
                 }
                 for execution in self.stages
             ],
@@ -177,7 +178,8 @@ class BatchReport:
         ``backends`` counts, per solver backend, how many of the stage's
         artifacts it produced (heuristic stages report no backend and are
         absent from the map); ``fallbacks`` counts artifacts the portfolio
-        only obtained by abandoning its primary.
+        only obtained by abandoning its primary; ``warm_starts`` counts
+        artifacts whose solve consumed a warm-start incumbent.
         """
         summary: Dict[str, Dict[str, Any]] = {}
         for outcome in self.outcomes:
@@ -185,7 +187,7 @@ class BatchReport:
                 row = summary.setdefault(
                     execution.stage,
                     {"ran": 0, "replayed": 0, "shared": 0, "wall_time_s": 0.0,
-                     "backends": {}, "fallbacks": 0},
+                     "backends": {}, "fallbacks": 0, "warm_starts": 0},
                 )
                 row[execution.action] += 1
                 if execution.action == "ran":
@@ -195,6 +197,8 @@ class BatchReport:
                     backends[execution.backend] = backends.get(execution.backend, 0) + 1
                 if execution.fallback_used:
                     row["fallbacks"] += 1
+                if execution.warm_start_used:
+                    row["warm_starts"] += 1
         for row in summary.values():
             row["wall_time_s"] = round(row["wall_time_s"], 3)
         return summary

@@ -3,24 +3,31 @@
 Runs the small benchmark fixtures (RA30 / IVD / PCR by default, the same
 assays the golden regression pins cover) cold through the batch engine,
 times a tiny design-space exploration (the ``repro explore`` hot path), and
-writes a machine-readable ``BENCH_5.json`` so the performance trajectory of
+writes a machine-readable ``BENCH_6.json`` so the performance trajectory of
 the repository has data points a CI job can collect and compare across
 commits:
 
 * per-experiment wall time and makespan,
 * per-stage solver invocations (the in-process counters of
   :mod:`repro.synthesis.pipeline` — cache replays excluded by design),
-* which solver backend produced each exact stage and whether the portfolio
-  had to fall back,
+* which solver backend produced each exact stage, whether the portfolio
+  had to fall back, and whether the solve consumed a warm start,
 * the exploration smoke's wall time, candidate counts, and frontier size,
+* an *anytime* branch-and-bound probe: IVD at ``--solver
+  branch-and-bound`` under a deliberately tiny time budget, recording the
+  makespan the warm-started backend delivers within it — the quantity the
+  warm-start work moves (the seed backend returned a makespan of 520 at
+  any budget; the warm-started one returns the optimal 280 immediately),
 * a ``delta`` section against the most recent previous ``BENCH_*.json``
   found next to the output file, so a regression is visible in the payload
-  itself, not only after downloading two artifacts.
+  itself, not only after downloading two artifacts — including per-assay
+  schedule-stage wall times and the B&B probe's speedup over the previous
+  file's IVD schedule stage.
 
 The file name carries the PR sequence number of the benchmark format
-(``BENCH_5``) rather than a timestamp, so CI artifact uploads of different
+(``BENCH_6``) rather than a timestamp, so CI artifact uploads of different
 commits are directly comparable — and the repository commits each sequence
-point, making the checked-in ``BENCH_5.json`` the trajectory's first
+point, making the checked-in ``BENCH_6.json`` the trajectory's next
 recorded entry.  The payload also embeds :data:`repro.keys.KEY_VERSION` — a
 bump there invalidates every cache, so wall-time regressions across a bump
 are expected and the comparison tooling can tell the two apart.
@@ -50,8 +57,18 @@ DEFAULT_ASSAYS = ("RA30", "IVD", "PCR")
 
 #: Format version of the BENCH_*.json payload (independent of the file
 #: name, which tracks the PR that introduced or last evolved the
-#: telemetry).  v2 added the exploration smoke and the delta section.
-BENCH_FORMAT = 2
+#: telemetry).  v2 added the exploration smoke and the delta section; v3
+#: added ``warm_start_used`` per stage, the anytime branch-and-bound probe
+#: (``bb_probe``), and schedule-stage wall times in the delta.
+BENCH_FORMAT = 3
+
+#: Time budget of the anytime branch-and-bound probe.  Deliberately tiny:
+#: the probe measures solution *quality under a budget*, not proof time —
+#: pure interval-propagation B&B cannot close IVD's optimality proof (the
+#: resource contention that forces the 280 makespan is invisible to
+#: interval bounds), but the warm-started search returns the optimum as its
+#: incumbent from the first node, so any budget suffices to collect it.
+BB_PROBE_TIME_LIMIT_S = 0.1
 
 #: The tiny exploration the bench times: two workload families × four
 #: configs, solver-free (list scheduler + heuristic synthesis) so the smoke
@@ -80,8 +97,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "used per stage) to a JSON file for the perf trajectory.",
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_5.json"),
-        help="output JSON path (default BENCH_5.json)",
+        "--out", type=Path, default=Path("BENCH_6.json"),
+        help="output JSON path (default BENCH_6.json)",
     )
     parser.add_argument(
         "--assays", nargs="+", default=list(DEFAULT_ASSAYS),
@@ -91,6 +108,15 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-explore", action="store_true",
         help="skip the design-space-exploration smoke timing",
+    )
+    parser.add_argument(
+        "--no-bb-probe", action="store_true",
+        help="skip the anytime branch-and-bound probe",
+    )
+    parser.add_argument(
+        "--bb-time-limit", type=float, default=BB_PROBE_TIME_LIMIT_S,
+        help="time budget of the anytime branch-and-bound probe in seconds "
+        f"(default {BB_PROBE_TIME_LIMIT_S})",
     )
     parser.add_argument(
         "--time-limit", type=float, default=20.0,
@@ -139,15 +165,54 @@ def run_experiment(assay: str, time_limit_s: float, solver: Optional[str]) -> Di
                 "wall_time_s": round(execution.wall_time_s, 4),
                 "backend": execution.backend,
                 "fallback_used": execution.fallback_used,
+                "warm_start_used": execution.warm_start_used,
             }
             for execution in outcome.stages
         ],
     }
+    schedule_wall = _schedule_stage_wall(record)
+    if schedule_wall is not None:
+        record["schedule_stage_s"] = schedule_wall
     if outcome.ok:
         metrics = outcome.metrics()
         record["makespan"] = metrics.execution_time
         record["scheduler_engine"] = metrics.scheduler_engine
         record["synthesis_engine"] = metrics.synthesis_engine
+    return record
+
+
+def _schedule_stage_wall(record: Any) -> Optional[float]:
+    """Wall time of a record's executed schedule stage, if present."""
+    if not isinstance(record, dict):
+        return None
+    for row in record.get("stages") or []:
+        if (
+            isinstance(row, dict)
+            and row.get("stage") == "schedule"
+            and row.get("action") == "ran"
+            and isinstance(row.get("wall_time_s"), (int, float))
+        ):
+            return float(row["wall_time_s"])
+    return None
+
+
+def run_bb_probe(time_limit_s: float) -> Dict[str, Any]:
+    """The anytime branch-and-bound probe: IVD under a tiny budget.
+
+    The dependency-free branch-and-bound backend cannot *prove* IVD's
+    optimality — its interval-propagation bound never sees the device
+    contention that forces the 280 makespan, so the proof tree is
+    exponential no matter how fast a node is.  What the vectorized,
+    warm-started backend *can* do — and the seed could not at any budget —
+    is deliver the optimal schedule immediately: the list-heuristic warm
+    start seeds the incumbent, so the solve returns makespan 280 within
+    whatever budget it is given.  The probe pins exactly that: solution
+    quality at a budget a whole sweep can afford, an order of magnitude
+    below one exact HiGHS solve.
+    """
+    record = run_experiment("IVD", time_limit_s, "branch-and-bound")
+    record["solver"] = "branch-and-bound"
+    record["time_limit_s"] = time_limit_s
     return record
 
 
@@ -244,8 +309,14 @@ def bench_delta(payload: Dict[str, Any], previous_path: Path) -> Optional[Dict[s
     ``--assays RA30`` rerun next to a three-assay baseline must not book
     the two missing assays as a 25-second improvement).  When both
     payloads carry an explore record its wall time is diffed separately as
-    ``explore_wall_time_s``.  ``None`` when the previous file is
-    unreadable (a broken old artifact must not fail the current bench).
+    ``explore_wall_time_s``.  Per-assay rows additionally diff the
+    schedule-stage wall time when both sides executed the stage.  When the
+    payload carries a ``bb_probe`` record, ``bb_probe`` compares its
+    schedule-stage wall against the baseline — the previous file's own
+    probe, or (for a pre-format-3 previous file) its exact IVD schedule
+    stage — and reports the speedup factor.  ``None`` when the previous
+    file is unreadable (a broken old artifact must not fail the current
+    bench).
     """
     try:
         previous = json.loads(previous_path.read_text())
@@ -287,8 +358,31 @@ def bench_delta(payload: Dict[str, Any], previous_path: Path) -> Optional[Dict[s
             old.get("makespan"), (int, float)
         ):
             row["makespan"] = record["makespan"] - old["makespan"]
+        new_schedule = _schedule_stage_wall(record)
+        old_schedule = _schedule_stage_wall(old)
+        if new_schedule is not None and old_schedule is not None:
+            row["schedule_stage_s"] = round(new_schedule - old_schedule, 4)
         if row:
             delta["experiments"][record["assay"]] = row
+
+    probe = payload.get("bb_probe")
+    probe_wall = _schedule_stage_wall(probe)
+    baseline_wall = _schedule_stage_wall(previous.get("bb_probe"))
+    baseline_source = "bb_probe"
+    if baseline_wall is None:
+        # A pre-format-3 baseline has no probe; its exact IVD schedule
+        # stage (HiGHS under the default portfolio) is the stage wall the
+        # probe is meant to undercut, so it serves as the comparison point.
+        baseline_wall = _schedule_stage_wall(old_experiments.get("IVD"))
+        baseline_source = "IVD"
+    if probe_wall is not None and baseline_wall is not None and probe_wall > 0:
+        delta["bb_probe"] = {
+            "schedule_stage_s": probe_wall,
+            "baseline_schedule_stage_s": baseline_wall,
+            "baseline_source": baseline_source,
+            "speedup": round(baseline_wall / probe_wall, 2),
+            "makespan": probe.get("makespan"),
+        }
     return delta
 
 
@@ -305,8 +399,11 @@ def run_bench(argv: List[str]) -> int:
         for stage, count in record["solver_invocations"].items():
             totals[stage] = totals.get(stage, 0) + count
     explore_record = None if args.no_explore else run_explore_smoke()
+    bb_record = None if args.no_bb_probe else run_bb_probe(args.bb_time_limit)
     failed = sum(1 for r in experiments if not r["ok"])
     if explore_record is not None and not explore_record["ok"]:
+        failed += 1
+    if bb_record is not None and not bb_record["ok"]:
         failed += 1
     payload = {
         "bench_format": BENCH_FORMAT,
@@ -315,6 +412,7 @@ def run_bench(argv: List[str]) -> int:
         "time_limit_s": args.time_limit,
         "experiments": experiments,
         "explore": explore_record,
+        "bb_probe": bb_record,
         "totals": {
             "wall_time_s": round(
                 sum(r["wall_time_s"] for r in experiments)
@@ -347,6 +445,15 @@ def run_bench(argv: List[str]) -> int:
             )
         else:
             print(f"explore  FAILED: {explore_record['error']}")
+    if bb_record is not None:
+        if bb_record["ok"]:
+            print(
+                f"bb-probe tE={bb_record.get('makespan')} "
+                f"budget={bb_record['time_limit_s']}s "
+                f"schedule={bb_record.get('schedule_stage_s', 0.0):.3f}s"
+            )
+        else:
+            print(f"bb-probe FAILED: {bb_record['error']}")
     if payload.get("delta"):
         total_delta = payload["delta"].get("wall_time_s")
         note = (
@@ -354,6 +461,9 @@ def run_bench(argv: List[str]) -> int:
             if total_delta is not None
             else "n/a"
         )
+        probe_delta = payload["delta"].get("bb_probe")
+        if probe_delta is not None:
+            note += f", bb-probe {probe_delta['speedup']}x vs {probe_delta['baseline_source']}"
         print(f"delta vs {payload['delta']['against']}: {note}")
     print(f"bench telemetry written to {args.out}")
     if failed:

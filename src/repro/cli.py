@@ -234,6 +234,10 @@ def build_explore_parser() -> argparse.ArgumentParser:
                         help="override the spec's budget (max full evaluations)")
     parser.add_argument("--strategy", choices=sorted(strategy_names()), default=None,
                         help="override the spec's search strategy")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="do not seed candidate solves with neighboring "
+                        "candidates' schedules (A/B switch; the frontier "
+                        "contents are identical either way)")
     _add_solver_argument(parser)
     return parser
 
@@ -278,6 +282,7 @@ def run_explore(argv: List[str]) -> int:
         max_workers=max(1, args.workers),
         state_path=state_path,
         solver=args.solver,
+        warm_start=not args.no_warm_start,
     )
     try:
         report = engine.run()

@@ -42,6 +42,7 @@ from repro.explore.spec import (
     enumerate_candidates,
 )
 from repro.explore.strategies import StrategyContext, get_strategy
+from repro.scheduling.list_scheduler import ListSchedulerWorkspace
 from repro.synthesis.config import apply_solver_override
 from repro.synthesis.flow import build_library
 from repro.synthesis.pipeline import StageContext
@@ -117,6 +118,9 @@ class ExplorationReport:
     errors: Dict[str, str]
     wall_time_s: float = 0.0
     resumed: bool = False
+    #: Candidates whose scheduling solve consumed a warm-start incumbent
+    #: (self-seeded heuristic or a neighboring candidate's schedule).
+    warm_started: int = 0
 
     @property
     def num_failed(self) -> int:
@@ -148,6 +152,7 @@ class ExplorationReport:
             "resumed": self.resumed,
             "stages": self.stage_totals,
             "scheduling_solves": self.scheduling_solves,
+            "warm_started": self.warm_started,
             "wall_time_s": round(self.wall_time_s, 3),
         }
 
@@ -192,6 +197,13 @@ class ExplorationEngine:
     checkpoint_every:
         Candidates per evaluation chunk — the state file is rewritten after
         each chunk, bounding how much work an interruption can lose.
+    warm_start:
+        When true (the default), each candidate's job carries the schedule
+        of the nearest already-solved candidate of the *same workload*
+        (nearest by axes Hamming distance) as a solver warm-start hint.
+        Hints are runtime advice: they never enter cache keys or the
+        persisted state, so disabling them is a pure A/B switch — the
+        frontier contents must not change.
     """
 
     def __init__(
@@ -203,6 +215,7 @@ class ExplorationEngine:
         state_path: Optional[Union[str, Path]] = None,
         solver: Optional[str] = None,
         checkpoint_every: int = 8,
+        warm_start: bool = True,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
@@ -215,6 +228,15 @@ class ExplorationEngine:
         self.state_path = Path(state_path) if state_path is not None else None
         self.solver = solver
         self.checkpoint_every = checkpoint_every
+        self.warm_start = warm_start
+        #: In-memory schedules of this run's solved candidates, keyed by
+        #: candidate id — the warm-start neighbor pool.  Deliberately not
+        #: persisted: a resumed run re-warms from what it solves itself.
+        self._schedules: Dict[str, Any] = {}
+        #: Per-graph list-scheduler workspaces for the cheap triage probes,
+        #: keyed by graph identity (workload graphs are shared objects via
+        #: the generator/assay memo, so identity is stable for a run).
+        self._list_workspaces: Dict[int, Any] = {}
         self._state: Optional[ExplorationState] = None
         self._frontier: Optional[ParetoFrontier] = None
         self._stage_totals: Dict[str, Dict[str, Any]] = {}
@@ -263,6 +285,11 @@ class ExplorationEngine:
             errors=errors,
             wall_time_s=time.perf_counter() - start,
             resumed=resumed,
+            warm_started=sum(
+                1
+                for record in self._state.evaluated.values()
+                if record.get("warm_start_used")
+            ),
         )
 
     # -------------------------------------------------------------- internals
@@ -318,6 +345,31 @@ class ExplorationEngine:
         job.config = apply_solver_override(job.config, self.solver)
         return job
 
+    def _neighbor_hint(self, candidate: Candidate) -> Optional[Any]:
+        """Schedule of the nearest already-solved same-workload candidate.
+
+        Nearest by Hamming distance over the axes point (neighboring sweep
+        configs differ in one axis, so their schedules are the most likely
+        to transfer), ties broken by candidate id for determinism.  Only
+        same-workload candidates qualify — a warm start must describe the
+        same sequencing graph to have any chance of fitting.
+        """
+        best_key = None
+        best_schedule = None
+        for cid, (other, schedule) in self._schedules.items():
+            if other.workload != candidate.workload:
+                continue
+            distance = sum(
+                1
+                for axis in set(candidate.point) | set(other.point)
+                if candidate.point.get(axis) != other.point.get(axis)
+            )
+            key = (distance, cid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_schedule = schedule
+        return best_schedule
+
     def _bump_stage(
         self, stage: str, action: str, wall_time_s: float = 0.0
     ) -> None:
@@ -362,6 +414,9 @@ class ExplorationEngine:
             chunk = todo[: min(self.checkpoint_every, self._remaining_budget())]
             todo = todo[len(chunk) :]
             jobs = [self._candidate_job(candidate) for candidate in chunk]
+            if self.warm_start:
+                for candidate, job in zip(chunk, jobs):
+                    job.warm_hint = self._neighbor_hint(candidate)
             report = self.batch_engine.run(jobs)
             self._merge_stage_summary(report.stage_summary())
             for candidate, outcome in zip(chunk, report):
@@ -379,9 +434,16 @@ class ExplorationEngine:
                             metrics=outcome.metrics().as_dict(),
                         )
                     )
-                    self._state.evaluated[candidate.candidate_id] = {
+                    record: Dict[str, Any] = {
                         "objectives": dict(sorted(values.items()))
                     }
+                    if getattr(outcome.result, "scheduler_warm_start_used", False):
+                        record["warm_start_used"] = True
+                    self._state.evaluated[candidate.candidate_id] = record
+                    self._schedules[candidate.candidate_id] = (
+                        candidate,
+                        outcome.result.schedule,
+                    )
                 else:
                     self._state.evaluated[candidate.candidate_id] = {
                         "error": outcome.error
@@ -417,10 +479,15 @@ class ExplorationEngine:
             if artifact is not None:
                 self._bump_stage(schedule_stage.name, "replayed")
             else:
+                workspace = self._list_workspaces.get(id(job.graph))
+                if workspace is None:
+                    workspace = ListSchedulerWorkspace()
+                    self._list_workspaces[id(job.graph)] = workspace
                 context = StageContext(
                     graph=job.graph,
                     config=job.config,
                     library=build_library(job.config),
+                    schedule_workspace=workspace,
                 )
                 start = time.perf_counter()
                 try:
@@ -471,9 +538,12 @@ def format_exploration_report(report: ExplorationReport) -> str:
             f"stage {stage}: {row['ran']} ran, {row['replayed']} replayed, "
             f"{row['shared']} shared, {row['wall_time_s']:.2f} s solve time"
         )
+    warm_note = (
+        f", {report.warm_started} warm-started" if report.warm_started else ""
+    )
     lines.append(
         f"exploration: {report.scheduling_solves} scheduling solve(s) for "
-        f"{report.evaluated} evaluated config(s), "
+        f"{report.evaluated} evaluated config(s){warm_note}, "
         f"{report.wall_time_s:.2f} s wall clock"
     )
     return "\n".join(lines)

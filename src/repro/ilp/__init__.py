@@ -32,7 +32,7 @@ True
 from repro.ilp.expression import LinExpr, Variable, lin_sum
 from repro.ilp.constraint import Constraint, ConstraintSense
 from repro.ilp.model import Model, Objective, ObjectiveSense
-from repro.ilp.solver import SolverOptions, SolveResult, solve_model
+from repro.ilp.solver import SolverOptions, SolveResult, WarmStart, solve_model
 from repro.ilp.status import SolverLimitError, SolverStatus
 from repro.ilp.backends import (
     BackendUnavailableError,
@@ -67,6 +67,7 @@ __all__ = [
     "ObjectiveSense",
     "SolverOptions",
     "SolveResult",
+    "WarmStart",
     "solve_model",
     "SolverStatus",
     "SolverLimitError",

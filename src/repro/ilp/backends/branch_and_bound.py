@@ -1,7 +1,7 @@
 """Dependency-free MILP backend: best-first branch and bound, LP-free.
 
-The backend solves a :class:`repro.ilp.Model` with nothing beyond the
-standard library and the matrices the model already knows how to produce
+The backend solves a :class:`repro.ilp.Model` with nothing beyond numpy and
+the matrices the model already knows how to produce
 (:meth:`Model.to_matrices`).  It exists so the whole synthesis flow runs on
 an interpreter without scipy — as the portfolio's fallback, and as an
 explicitly selectable ``"branch-and-bound"`` backend in tests and CI.
@@ -13,12 +13,33 @@ Instead of an LP relaxation, nodes are bounded by *interval propagation*:
   fixpoint (integer bounds are rounded inward);
 * a node's objective bound is the box minimum ``sum_j min(c_j lo_j, c_j
   hi_j)`` — valid for any point in the box, no LP needed;
+* once an incumbent exists, an *objective-cut row* ``c . x <= incumbent -
+  eps`` joins the propagated system, so bound tightening actively shrinks
+  every surviving box toward strictly-improving solutions instead of only
+  refuting whole boxes at pruning time;
 * incumbents come from a greedy *dive*: repeatedly fix the first unfixed
   integer to its objective-preferred bound (falling back to the opposite
   bound when propagation refutes it), then assign the remaining continuous
   variables greedily; every candidate assignment is verified against all
-  rows before it is accepted, so the backend never returns an invalid
-  solution.
+  original rows before it is accepted, so the backend never returns an
+  invalid solution.
+
+The propagation, bounding and verification kernels are vectorized over the
+dense matrices (row activities as masked matrix products, residual bounds
+as element-wise division over the full ``rows x vars`` plane).  Setting
+``REPRO_BB_SCALAR=1`` in the environment selects the original pure-Python
+per-term loops instead — kept solely as a differential-testing oracle; both
+paths share the same tolerances (:data:`_TIGHTEN_TOL` et al.) and reach the
+same propagation fixpoint.
+
+A :class:`~repro.ilp.solver.WarmStart` in ``SolverOptions.warm_start`` is
+verified against the model and, when valid, seeds the search: nodes whose
+bound cannot beat the warm objective are pruned from the start (the cut row
+opens at ``warm_objective + eps``, so equally-good solutions remain
+reachable and the search still returns its own incumbent on ties — a warm
+start changes node counts, never the reported status or objective).  The
+warm point itself is the returned incumbent only when the search finds
+nothing at least as good, e.g. at a time limit.
 
 Search is best-first over the node bound (a heap), branching by halving the
 first unfixed integer variable's range, which keeps the tree logarithmic in
@@ -35,8 +56,11 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.ilp.backends.base import SolverBackend, empty_model_result
 from repro.ilp.model import Model
@@ -49,9 +73,17 @@ _FEAS_TOL = 1e-6
 _INT_TOL = 1e-6
 #: Objective epsilon under which two incumbents are considered equal.
 _OBJ_TOL = 1e-9
+#: Minimum improvement for a propagation pass to book a bound as tightened.
+#: Shared by the vectorized and scalar kernels — a private literal in either
+#: would make them disagree on marginal tightenings and break the
+#: differential contract.
+_TIGHTEN_TOL = 1e-7
 #: Fixpoint cap: propagation passes per node before settling for the
 #: current (still valid, just less tight) box.
 _MAX_PASSES = 40
+
+#: Environment flag selecting the scalar (pure-Python loop) kernels.
+_SCALAR_ENV = "REPRO_BB_SCALAR"
 
 #: One sparse constraint row: ``(terms, row_lo, row_hi)`` with
 #: ``terms = [(var_index, coefficient), ...]``.
@@ -67,8 +99,54 @@ def _build_rows(A, lower, upper) -> List[_Row]:
     return rows
 
 
+class _RowSystem:
+    """Constraint rows in both kernel representations, plus the cut row.
+
+    Holds the dense matrices with the masks the vectorized kernels need
+    (sign masks, a division-safe coefficient matrix) and the sparse
+    per-term rows the scalar kernels iterate.  The *last* dense row is the
+    mutable objective cut ``c . x <= cut_hi``; an infinite ``cut_hi``
+    disables it.  Verification always runs against the original rows only,
+    so a solution that merely fails to *improve* the incumbent is never
+    misreported as infeasible.
+    """
+
+    def __init__(self, A, lower, upper, c) -> None:
+        A = np.asarray(A, dtype=float)
+        self.m = A.shape[0]
+        self.A = np.vstack([A, np.asarray(c, dtype=float)[None, :]])
+        self.lower = np.append(np.asarray(lower, dtype=float), -_INF)
+        self.upper = np.append(np.asarray(upper, dtype=float), _INF)
+        self.nz = self.A != 0.0
+        self.pos = self.A > 0.0
+        self.neg = self.A < 0.0
+        self.Apos = np.where(self.pos, self.A, 0.0)
+        self.Aneg = np.where(self.neg, self.A, 0.0)
+        #: Division-safe coefficients (zeros replaced; masked out anyway).
+        self.Asafe = np.where(self.nz, self.A, 1.0)
+        #: Sparse view for the scalar kernels (original rows only).
+        self.rows = _build_rows(A, lower, upper)
+        self.cut_terms: List[Tuple[int, float]] = [
+            (j, float(cj)) for j, cj in enumerate(np.asarray(c, dtype=float)) if cj
+        ]
+
+    # The cut bound lives in ``upper[-1]``; nothing precomputed depends on it.
+    def set_cut(self, cut_hi: float) -> None:
+        self.upper[-1] = cut_hi
+
+    @property
+    def cut_hi(self) -> float:
+        return float(self.upper[-1])
+
+    def scalar_rows(self) -> List[_Row]:
+        """Sparse rows including the cut row when it is active."""
+        if self.cut_hi < _INF and self.cut_terms:
+            return self.rows + [(self.cut_terms, -_INF, self.cut_hi)]
+        return self.rows
+
+
 class BranchAndBoundBackend(SolverBackend):
-    """Pure-Python best-first branch and bound over the model's matrices."""
+    """Vectorized best-first branch and bound over the model's matrices."""
 
     name = "branch-and-bound"
 
@@ -77,11 +155,97 @@ class BranchAndBoundBackend(SolverBackend):
         #: ``node_limit`` of their own; prevents an un-capped call on a hard
         #: model from spinning forever.
         self.max_nodes = max_nodes
+        self._scalar = os.environ.get(_SCALAR_ENV, "") == "1"
 
     # ----------------------------------------------------------- propagation
-    def _propagate(self, rows: Sequence[_Row], lo: List[float], hi: List[float],
-                   is_int: Sequence[bool]) -> bool:
+    def _propagate(self, rows: "_RowSystem", lo, hi, is_int) -> bool:
         """Tighten ``lo``/``hi`` in place; ``False`` when proven infeasible."""
+        if self._scalar:
+            return self._propagate_scalar(rows.scalar_rows(), lo, hi, is_int)
+        return self._propagate_vec(rows, lo, hi, is_int)
+
+    @staticmethod
+    def _propagate_vec(sys: "_RowSystem", lo, hi, is_int) -> bool:
+        """One Jacobi-style pass per iteration over the whole row plane.
+
+        Activities are recomputed from the *current* bounds at the top of
+        every pass, so — unlike the historical scalar loop, which reused
+        row activities computed before its own mid-pass mutations — no
+        tightening is ever derived from a stale activity sum.
+        """
+        A, Apos, Aneg = sys.A, sys.Apos, sys.Aneg
+        pos, neg, nz, Asafe = sys.pos, sys.neg, sys.nz, sys.Asafe
+        row_lo, row_hi = sys.lower, sys.upper
+        has_rhi = np.isfinite(row_hi)[:, None]
+        has_rlo = np.isfinite(row_lo)[:, None]
+        int_mask = is_int
+        for _ in range(_MAX_PASSES):
+            lo_inf = np.isinf(lo)
+            hi_inf = np.isinf(hi)
+            lo_f = np.where(lo_inf, 0.0, lo)
+            hi_f = np.where(hi_inf, 0.0, hi)
+            # Finite activity parts and infinite-contribution counts, per
+            # (row, var) term and summed per row.
+            cmin = Apos * lo_f + Aneg * hi_f
+            cmax = Apos * hi_f + Aneg * lo_f
+            cmin_inf = (pos & lo_inf) | (neg & hi_inf)
+            cmax_inf = (pos & hi_inf) | (neg & lo_inf)
+            min_fin = cmin.sum(axis=1)
+            max_fin = cmax.sum(axis=1)
+            min_ninf = cmin_inf.sum(axis=1)
+            max_ninf = cmax_inf.sum(axis=1)
+            if bool(np.any((min_ninf == 0) & (min_fin > row_hi + _FEAS_TOL))):
+                return False
+            if bool(np.any((max_ninf == 0) & (max_fin < row_lo - _FEAS_TOL))):
+                return False
+            # Residual activity of the *other* terms in each row: finite
+            # exactly when no other term contributes an infinity.
+            rest_min_ok = (min_ninf[:, None] - cmin_inf) == 0
+            rest_max_ok = (max_ninf[:, None] - cmax_inf) == 0
+            ok_hi = nz & has_rhi & rest_min_ok
+            ok_lo = nz & has_rlo & rest_max_ok
+            lim_hi = np.where(
+                ok_hi, (row_hi[:, None] - (min_fin[:, None] - cmin)) / Asafe, 0.0
+            )
+            lim_lo = np.where(
+                ok_lo, (row_lo[:, None] - (max_fin[:, None] - cmax)) / Asafe, 0.0
+            )
+            # a > 0: a x_j <= row_hi - rest_min caps hi, row_lo side lifts lo;
+            # a < 0 swaps the directions.
+            cand_hi = np.minimum(
+                np.where(ok_hi & pos, lim_hi, _INF).min(axis=0),
+                np.where(ok_lo & neg, lim_lo, _INF).min(axis=0),
+            )
+            cand_lo = np.maximum(
+                np.where(ok_hi & neg, lim_hi, -_INF).max(axis=0),
+                np.where(ok_lo & pos, lim_lo, -_INF).max(axis=0),
+            )
+            cand_hi = np.where(
+                int_mask & np.isfinite(cand_hi), np.floor(cand_hi + _INT_TOL), cand_hi
+            )
+            cand_lo = np.where(
+                int_mask & np.isfinite(cand_lo), np.ceil(cand_lo - _INT_TOL), cand_lo
+            )
+            upd_hi = cand_hi < hi - _TIGHTEN_TOL
+            upd_lo = cand_lo > lo + _TIGHTEN_TOL
+            if not (bool(upd_hi.any()) or bool(upd_lo.any())):
+                return True
+            hi[upd_hi] = cand_hi[upd_hi]
+            lo[upd_lo] = cand_lo[upd_lo]
+            if bool(np.any(lo > hi + _FEAS_TOL)):
+                return False
+        return True
+
+    @staticmethod
+    def _propagate_scalar(rows: Sequence[_Row], lo, hi, is_int) -> bool:
+        """Reference per-term loops (``REPRO_BB_SCALAR=1``), Gauss-Seidel.
+
+        Row activities are updated incrementally as bounds tighten mid-pass
+        (a ``hi`` move feeds the max-activity sums, a ``lo`` move the min
+        sums), so the residual bounds later terms see are never stale —
+        both kernels therefore iterate to the same propagation fixpoint,
+        the scalar one just visits it row by row.
+        """
         for _ in range(_MAX_PASSES):
             changed = False
             for terms, row_lo, row_hi in rows:
@@ -103,55 +267,92 @@ class BranchAndBoundBackend(SolverBackend):
                 if max_inf == 0 and max_fin < row_lo - _FEAS_TOL:
                     return False
                 for j, a in terms:
-                    cmin = a * lo[j] if a > 0 else a * hi[j]
-                    cmax = a * hi[j] if a > 0 else a * lo[j]
-                    if cmin == -_INF:
-                        rest_min = min_fin if min_inf == 1 else -_INF
-                    else:
-                        rest_min = (min_fin - cmin) if min_inf == 0 else -_INF
-                    if cmax == _INF:
-                        rest_max = max_fin if max_inf == 1 else _INF
-                    else:
-                        rest_max = (max_fin - cmax) if max_inf == 0 else _INF
-                    # a * x_j <= row_hi - rest_min
-                    if row_hi < _INF and rest_min > -_INF:
-                        limit = (row_hi - rest_min) / a
-                        if a > 0:
-                            if is_int[j]:
-                                limit = math.floor(limit + _INT_TOL)
-                            if limit < hi[j] - 1e-7:
-                                hi[j] = limit
-                                changed = True
+                    # a * x_j <= row_hi - rest_min (min side reads, max side
+                    # absorbs the move: for a > 0 the capped hi only changes
+                    # this term's cmax, and symmetrically for a < 0).
+                    if row_hi < _INF:
+                        cmin = a * lo[j] if a > 0 else a * hi[j]
+                        if cmin == -_INF:
+                            rest_min = min_fin if min_inf == 1 else -_INF
                         else:
-                            if is_int[j]:
-                                limit = math.ceil(limit - _INT_TOL)
-                            if limit > lo[j] + 1e-7:
-                                lo[j] = limit
-                                changed = True
-                    # a * x_j >= row_lo - rest_max
-                    if row_lo > -_INF and rest_max < _INF:
-                        limit = (row_lo - rest_max) / a
-                        if a > 0:
-                            if is_int[j]:
-                                limit = math.ceil(limit - _INT_TOL)
-                            if limit > lo[j] + 1e-7:
-                                lo[j] = limit
-                                changed = True
+                            rest_min = (min_fin - cmin) if min_inf == 0 else -_INF
+                        if rest_min > -_INF:
+                            limit = (row_hi - rest_min) / a
+                            if a > 0:
+                                if is_int[j]:
+                                    limit = math.floor(limit + _INT_TOL)
+                                if limit < hi[j] - _TIGHTEN_TOL:
+                                    old = hi[j]
+                                    hi[j] = limit
+                                    changed = True
+                                    if old == _INF:
+                                        max_inf -= 1
+                                        max_fin += a * limit
+                                    else:
+                                        max_fin += a * (limit - old)
+                            else:
+                                if is_int[j]:
+                                    limit = math.ceil(limit - _INT_TOL)
+                                if limit > lo[j] + _TIGHTEN_TOL:
+                                    old = lo[j]
+                                    lo[j] = limit
+                                    changed = True
+                                    if old == -_INF:
+                                        max_inf -= 1
+                                        max_fin += a * limit
+                                    else:
+                                        max_fin += a * (limit - old)
+                    # a * x_j >= row_lo - rest_max (max side reads — fresh,
+                    # including any move just made above — min side absorbs).
+                    if row_lo > -_INF:
+                        cmax = a * hi[j] if a > 0 else a * lo[j]
+                        if cmax == _INF:
+                            rest_max = max_fin if max_inf == 1 else _INF
                         else:
-                            if is_int[j]:
-                                limit = math.floor(limit + _INT_TOL)
-                            if limit < hi[j] - 1e-7:
-                                hi[j] = limit
-                                changed = True
+                            rest_max = (max_fin - cmax) if max_inf == 0 else _INF
+                        if rest_max < _INF:
+                            limit = (row_lo - rest_max) / a
+                            if a > 0:
+                                if is_int[j]:
+                                    limit = math.ceil(limit - _INT_TOL)
+                                if limit > lo[j] + _TIGHTEN_TOL:
+                                    old = lo[j]
+                                    lo[j] = limit
+                                    changed = True
+                                    if old == -_INF:
+                                        min_inf -= 1
+                                        min_fin += a * limit
+                                    else:
+                                        min_fin += a * (limit - old)
+                            else:
+                                if is_int[j]:
+                                    limit = math.floor(limit + _INT_TOL)
+                                if limit < hi[j] - _TIGHTEN_TOL:
+                                    old = hi[j]
+                                    hi[j] = limit
+                                    changed = True
+                                    if old == _INF:
+                                        min_inf -= 1
+                                        min_fin += a * limit
+                                    else:
+                                        min_fin += a * (limit - old)
                     if lo[j] > hi[j] + _FEAS_TOL:
                         return False
             if not changed:
                 break
         return True
 
-    @staticmethod
-    def _box_bound(c: Sequence[float], lo: Sequence[float], hi: Sequence[float]) -> float:
+    # -------------------------------------------------------------- bounding
+    def _box_bound(self, c, lo, hi) -> float:
         """Objective lower bound of a box: each term at its cheapest end."""
+        if self._scalar:
+            return self._box_bound_scalar(c, lo, hi)
+        lo_t = np.where(c > 0.0, lo, 0.0)
+        hi_t = np.where(c < 0.0, hi, 0.0)
+        return float((c * (lo_t + hi_t)).sum())
+
+    @staticmethod
+    def _box_bound_scalar(c, lo, hi) -> float:
         total = 0.0
         for j, cj in enumerate(c):
             if cj > 0:
@@ -166,24 +367,32 @@ class BranchAndBoundBackend(SolverBackend):
         return total
 
     @staticmethod
-    def _first_unfixed_int(int_indices: Sequence[int], lo: Sequence[float],
-                           hi: Sequence[float]) -> Optional[int]:
+    def _first_unfixed_int(int_indices: Sequence[int], lo, hi) -> Optional[int]:
         for j in int_indices:
             if hi[j] - lo[j] > _INT_TOL:
                 return j
         return None
 
+    def _verified(self, rows: "_RowSystem", x) -> bool:
+        """Check a full assignment against every *original* row."""
+        if self._scalar:
+            return self._verified_scalar(rows.rows, x)
+        activity = rows.A[: rows.m] @ np.asarray(x, dtype=float)
+        return bool(
+            np.all(activity <= rows.upper[: rows.m] + _FEAS_TOL)
+            and np.all(activity >= rows.lower[: rows.m] - _FEAS_TOL)
+        )
+
     @staticmethod
-    def _verified(rows: Sequence[_Row], x: Sequence[float]) -> bool:
-        """Check a full assignment against every row (absolute tolerance)."""
+    def _verified_scalar(rows: Sequence[_Row], x) -> bool:
         for terms, row_lo, row_hi in rows:
             activity = sum(a * x[j] for j, a in terms)
             if activity > row_hi + _FEAS_TOL or activity < row_lo - _FEAS_TOL:
                 return False
         return True
 
-    def _complete(self, rows, c, lo, hi, is_int,
-                  int_indices) -> Optional[Tuple[float, List[float], bool]]:
+    # ------------------------------------------------------------ incumbents
+    def _complete(self, rows, c, lo, hi, is_int) -> Optional[Tuple[float, np.ndarray, bool]]:
         """Greedily assign the continuous variables of an int-fixed box.
 
         Continuous variables are fixed to their objective-preferred bound in
@@ -196,7 +405,7 @@ class BranchAndBoundBackend(SolverBackend):
         the box provably closed, since without an LP a cheaper point with a
         different continuous trade-off cannot be ruled out.
         """
-        lo, hi = list(lo), list(hi)
+        lo, hi = np.array(lo, dtype=float), np.array(hi, dtype=float)
         entry_bound = self._box_bound(c, lo, hi)
         order = sorted(
             (j for j in range(len(c)) if not is_int[j]),
@@ -213,32 +422,32 @@ class BranchAndBoundBackend(SolverBackend):
             lo[j] = hi[j] = value
             if not self._propagate(rows, lo, hi, is_int):
                 return None
-        x = [round(lo[j]) if is_int[j] else lo[j] for j in range(len(c))]
+        x = np.where(np.asarray(is_int), np.round(lo), lo)
         if not self._verified(rows, x):
             return None
-        objective = sum(cj * x[j] for j, cj in enumerate(c) if cj)
+        objective = float(np.dot(c, x))
         exact = objective <= entry_bound + _FEAS_TOL * max(1.0, abs(objective))
         return objective, x, exact
 
     def _dive(self, rows, c, lo, hi, is_int,
-              int_indices) -> Optional[Tuple[float, List[float], bool]]:
+              int_indices) -> Optional[Tuple[float, np.ndarray, bool]]:
         """Greedy rounding: fix integers toward the objective, repair once.
 
         The "schedule everything as early as possible" shape of the flow's
         models makes this dive a strong incumbent source; a failed dive is
         no loss of correctness (the search proper still explores the node).
         """
-        lo, hi = list(lo), list(hi)
+        lo, hi = np.array(lo, dtype=float), np.array(hi, dtype=float)
         while True:
             j = self._first_unfixed_int(int_indices, lo, hi)
             if j is None:
-                return self._complete(rows, c, lo, hi, is_int, int_indices)
+                return self._complete(rows, c, lo, hi, is_int)
             candidates = [lo[j], hi[j]] if c[j] >= 0 else [hi[j], lo[j]]
             candidates = [v for v in candidates if v not in (-_INF, _INF)]
             if not candidates:
                 candidates = [0.0]
             for value in candidates:
-                trial_lo, trial_hi = list(lo), list(hi)
+                trial_lo, trial_hi = lo.copy(), hi.copy()
                 trial_lo[j] = trial_hi[j] = value
                 if self._propagate(rows, trial_lo, trial_hi, is_int):
                     lo, hi = trial_lo, trial_hi
@@ -246,12 +455,43 @@ class BranchAndBoundBackend(SolverBackend):
             else:
                 return None
 
+    # ------------------------------------------------------------ warm start
+    def _usable_warm_start(self, model: Model, warm, c, lo, hi, is_int,
+                           rows: "_RowSystem") -> Optional[Tuple[float, np.ndarray]]:
+        """Validate a warm start against the model; ``None`` when unusable.
+
+        The incumbent must name every variable, respect the root bounds and
+        integrality, and satisfy every row — an invalid warm start is
+        silently ignored (callers hand over heuristic schedules from
+        *neighboring* configurations, which legitimately may not fit).
+        """
+        values = getattr(warm, "values", None)
+        if not values:
+            return None
+        x = np.empty(len(model.variables), dtype=float)
+        for var in model.variables:
+            if var.name not in values:
+                return None
+            raw = float(values[var.name])
+            if var.kind in ("integer", "binary"):
+                rounded = round(raw)
+                if abs(raw - rounded) > _FEAS_TOL:
+                    return None
+                raw = float(rounded)
+            x[var.index] = raw
+        if bool(np.any(x < lo - _FEAS_TOL)) or bool(np.any(x > hi + _FEAS_TOL)):
+            return None
+        if not self._verified(rows, x):
+            return None
+        return float(np.dot(c, x)), x
+
     # ------------------------------------------------------------------ solve
     def solve(self, model: Model, options=None):
         """Solve ``model`` exactly (small instances) or best-effort at limits."""
         from repro.ilp.solver import SolveResult, SolverOptions
 
         options = options or SolverOptions()
+        self._scalar = os.environ.get(_SCALAR_ENV, "") == "1"
         trivial = empty_model_result(model)
         if trivial is not None:
             trivial.backend_name = self.name
@@ -265,11 +505,11 @@ class BranchAndBoundBackend(SolverBackend):
 
         c_arr, A, lower, upper, lb, ub, integrality = model.to_matrices()
         n = len(model.variables)
-        c = [float(v) for v in c_arr]
-        is_int = [bool(v) for v in integrality]
-        rows = _build_rows(A, lower, upper)
-        lo = [float(v) for v in lb]
-        hi = [float(v) for v in ub]
+        c = np.asarray(c_arr, dtype=float)
+        is_int = np.asarray(integrality, dtype=bool)
+        rows = _RowSystem(A, lower, upper, c)
+        lo = np.asarray(lb, dtype=float).copy()
+        hi = np.asarray(ub, dtype=float).copy()
         # Decide binaries (and other unit-range integers) before wide ranges:
         # in the flow's models the binaries are the assignment/ordering
         # decisions, and once they are fixed propagation collapses the start
@@ -280,7 +520,12 @@ class BranchAndBoundBackend(SolverBackend):
             key=lambda j: (0 if hi[j] - lo[j] <= 1.0 else 1, j),
         )
 
-        best: Optional[Tuple[float, List[float]]] = None
+        warm = self._usable_warm_start(model, options.warm_start, c, lo, hi, is_int, rows) \
+            if options.warm_start is not None else None
+        warm_used = warm is not None
+        warm_obj: Optional[float] = warm[0] if warm else None
+
+        best: Optional[Tuple[float, np.ndarray]] = None
         nodes = 0
         status: Optional[SolverStatus] = None
         # True while every leaf reached so far was provably closed (an exact
@@ -294,42 +539,76 @@ class BranchAndBoundBackend(SolverBackend):
         # instead of being asserted as zero.
         discarded_below_best: Optional[float] = None
 
+        def refresh_cut() -> None:
+            # The cut admits ties (+eps around the reference objective): a
+            # strictly-improving point always survives it, and on ties the
+            # search can still reach its own incumbent, keeping the returned
+            # solution independent of the warm start.  Gap-widened pruning
+            # stays in the explicit margin checks below so its discarded
+            # bounds remain accounted for.
+            cut = _INF
+            if best is not None:
+                cut = best[0] - _OBJ_TOL
+            if warm_obj is not None:
+                cut = min(cut, warm_obj + _OBJ_TOL)
+            rows.set_cut(cut)
+
+        def prunable(bound: float) -> bool:
+            nonlocal discarded_below_best
+            if best is not None and bound >= best[0] - self._margin(best[0], options):
+                if bound < best[0] - _OBJ_TOL and (
+                    discarded_below_best is None or bound < discarded_below_best
+                ):
+                    discarded_below_best = bound
+                return True
+            # Boxes that provably cannot beat the warm incumbent (ties keep
+            # surviving: the comparison is strict and eps above it).
+            return warm_obj is not None and bound > warm_obj + _OBJ_TOL
+
+        refresh_cut()
         if not self._propagate(rows, lo, hi, is_int):
-            status = SolverStatus.INFEASIBLE
+            # Refuted at the root: with an active warm cut this only proves
+            # "nothing at least as good as the warm incumbent", which *is*
+            # the optimality proof for the warm point itself.
+            if warm:
+                best = warm
+                status = SolverStatus.OPTIMAL
+            else:
+                status = SolverStatus.INFEASIBLE
         else:
             dived = self._dive(rows, c, lo, hi, is_int, int_indices)
-            if dived is not None:
+            if dived is not None and (warm_obj is None or dived[0] <= warm_obj + _OBJ_TOL):
                 best = (dived[0], dived[1])
-            heap: List[Tuple[float, int, List[float], List[float]]] = [
+                refresh_cut()
+            heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = [
                 (self._box_bound(c, lo, hi), 0, lo, hi)
             ]
             seq = 1
             while heap:
                 if deadline is not None and time.perf_counter() > deadline:
-                    status = SolverStatus.FEASIBLE if best else SolverStatus.TIME_LIMIT
+                    status = SolverStatus.FEASIBLE if best or warm else SolverStatus.TIME_LIMIT
                     break
                 if nodes >= node_limit:
-                    status = SolverStatus.FEASIBLE if best else SolverStatus.TIME_LIMIT
+                    status = SolverStatus.FEASIBLE if best or warm else SolverStatus.TIME_LIMIT
                     break
                 bound, _, lo_n, hi_n = heapq.heappop(heap)
-                if best is not None and bound >= best[0] - self._margin(best[0], options):
-                    if bound < best[0] - _OBJ_TOL and (
-                        discarded_below_best is None or bound < discarded_below_best
-                    ):
-                        discarded_below_best = bound
+                if prunable(bound):
                     continue
                 nodes += 1
                 j = self._first_unfixed_int(int_indices, lo_n, hi_n)
                 if j is None:
-                    candidate = self._complete(rows, c, lo_n, hi_n, is_int, int_indices)
+                    candidate = self._complete(rows, c, lo_n, hi_n, is_int)
                     if candidate is None:
                         leaves_closed = False
                         continue
                     obj, x, exact = candidate
                     if not exact:
                         leaves_closed = False
-                    if best is None or obj < best[0] - _OBJ_TOL:
+                    if (best is None or obj < best[0] - _OBJ_TOL) and (
+                        warm_obj is None or obj <= warm_obj + _OBJ_TOL
+                    ):
                         best = (obj, x)
+                        refresh_cut()
                     continue
                 if lo_n[j] == -_INF and hi_n[j] == _INF:
                     # Doubly unbounded: fix zero and keep the two open rays.
@@ -344,25 +623,27 @@ class BranchAndBoundBackend(SolverBackend):
                     mid = int(math.floor((lo_n[j] + hi_n[j]) / 2 + 1e-9))
                     splits = [(lo_n[j], float(mid)), (float(mid) + 1, hi_n[j])]
                 for child_lo_j, child_hi_j in splits:
-                    child_lo, child_hi = list(lo_n), list(hi_n)
+                    child_lo, child_hi = lo_n.copy(), hi_n.copy()
                     child_lo[j], child_hi[j] = child_lo_j, child_hi_j
                     if not self._propagate(rows, child_lo, child_hi, is_int):
                         continue
                     child_bound = self._box_bound(c, child_lo, child_hi)
-                    if best is not None and child_bound >= best[0] - self._margin(best[0], options):
-                        if child_bound < best[0] - _OBJ_TOL and (
-                            discarded_below_best is None
-                            or child_bound < discarded_below_best
-                        ):
-                            discarded_below_best = child_bound
+                    if prunable(child_bound):
                         continue
                     heapq.heappush(heap, (child_bound, seq, child_lo, child_hi))
                     seq += 1
             else:
+                if best is None and warm:
+                    # The search closed every box at least as good as the
+                    # warm incumbent without beating it: the warm point is
+                    # optimal (or, with open leaves, simply the best known).
+                    best = warm
                 if best is not None:
                     status = SolverStatus.OPTIMAL if leaves_closed else SolverStatus.FEASIBLE
                 else:
                     status = SolverStatus.INFEASIBLE if leaves_closed else SolverStatus.TIME_LIMIT
+            if status is SolverStatus.FEASIBLE and best is None and warm:
+                best = warm
 
         elapsed = time.perf_counter() - start
         values: Dict[str, float] = {}
@@ -391,14 +672,18 @@ class BranchAndBoundBackend(SolverBackend):
                 )
             else:
                 mip_gap = 0.0
+        message = f"branch-and-bound: {nodes} nodes explored"
+        if warm_used:
+            message += ", warm start seeded"
         return SolveResult(
             status=status,
             objective=objective_value,
             values=values,
             wall_time_s=elapsed,
-            message=f"branch-and-bound: {nodes} nodes explored",
+            message=message,
             mip_gap=mip_gap,
             backend_name=self.name,
+            warm_start_used=warm_used,
         )
 
     @staticmethod

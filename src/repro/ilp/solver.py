@@ -18,6 +18,28 @@ from repro.ilp.status import SolverStatus
 
 
 @dataclass
+class WarmStart:
+    """A known-good incumbent handed to a backend before its search starts.
+
+    ``values`` maps *every* variable name of the model to a value; partial
+    assignments are rejected.  Backends verify the point against the model
+    (bounds, integrality, all rows) and silently ignore it when it does not
+    fit — callers hand over solutions from *neighboring* configurations
+    (e.g. the nearest already-solved exploration candidate), which may
+    legitimately be infeasible under the current one.  A valid warm start
+    bounds the search from the start; it never changes the reported status
+    or objective, only how many nodes the proof takes.  ``objective`` is an
+    optional advisory bound (backends recompute it from ``values``);
+    ``label`` records provenance for diagnostics, e.g. the neighbor's
+    candidate id.
+    """
+
+    values: Dict[str, float]
+    objective: Optional[float] = None
+    label: Optional[str] = None
+
+
+@dataclass
 class SolverOptions:
     """Backend options.
 
@@ -26,7 +48,9 @@ class SolverOptions:
     incumbent which is reported as :attr:`SolverStatus.FEASIBLE`.
     ``backend`` names a registered solver backend
     (:func:`repro.ilp.backends.get_backend`); ``None`` selects the default
-    portfolio.
+    portfolio.  ``warm_start`` optionally seeds the search with a known
+    incumbent; it is runtime advice, not part of the problem, and must
+    never enter cache keys.
     """
 
     time_limit_s: Optional[float] = None
@@ -35,6 +59,7 @@ class SolverOptions:
     verbose: bool = False
     node_limit: Optional[int] = None
     backend: Optional[str] = None
+    warm_start: Optional[WarmStart] = None
 
 
 @dataclass
@@ -44,8 +69,10 @@ class SolveResult:
     ``backend_name`` records which backend actually produced the outcome
     (for a portfolio solve: the member that won, never ``"portfolio"``);
     ``fallback_used`` is set when that member was not the portfolio's
-    primary.  Both travel into the stage artifacts and from there into
-    batch/service reports.
+    primary.  ``warm_start_used`` records whether the winning backend
+    actually consumed a valid :class:`WarmStart` (HiGHS via scipy has no
+    warm-start API, so it always reports ``False``).  All three travel into
+    the stage artifacts and from there into batch/service reports.
     """
 
     status: SolverStatus
@@ -56,6 +83,7 @@ class SolveResult:
     mip_gap: Optional[float] = None
     backend_name: Optional[str] = None
     fallback_used: bool = False
+    warm_start_used: bool = False
 
     def __bool__(self) -> bool:
         return self.status.is_feasible()

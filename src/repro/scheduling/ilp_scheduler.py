@@ -27,7 +27,7 @@ edge (same-device edges contribute nothing, exactly as in the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.devices.device import DeviceLibrary
@@ -38,6 +38,7 @@ from repro.ilp import (
     SolverLimitError,
     SolverOptions,
     SolverStatus,
+    WarmStart,
     lin_sum,
     linearize_and,
 )
@@ -68,6 +69,13 @@ class IlpSchedulerConfig:
     mip_rel_gap: Optional[float] = None
     horizon: Optional[int] = None
     solver: Optional[SolverOptions] = None
+    #: Seed every solve with the storage-aware list heuristic's schedule
+    #: translated into a full ILP assignment (a :class:`WarmStart`), unless
+    #: the caller supplies an external hint.  Backends that cannot consume
+    #: warm starts (HiGHS through scipy) simply ignore it; the
+    #: branch-and-bound backend uses it to bound its search from node one.
+    #: A warm start never changes the solved status or objective.
+    warm_start_heuristic: bool = True
 
     def solver_options(self) -> SolverOptions:
         """The options every solve of this scheduler runs under."""
@@ -92,10 +100,24 @@ class IlpScheduler:
         #: portfolio had to abandon its primary to get it.
         self.last_backend: Optional[str] = None
         self.last_fallback_used: bool = False
+        #: Whether the last solve's backend consumed a warm start.
+        self.last_warm_start_used: bool = False
 
     # ------------------------------------------------------------------ API
-    def schedule(self, graph: SequencingGraph) -> Schedule:
+    def schedule(self, graph: SequencingGraph,
+                 warm_hint: Optional[Schedule] = None) -> Schedule:
         """Solve the ILP and return a validated :class:`Schedule`.
+
+        Parameters
+        ----------
+        graph:
+            The assay's sequencing graph.
+        warm_hint:
+            Optional known-good schedule of the *same graph* (typically from
+            a neighboring flow configuration in an exploration sweep) that is
+            translated into a solver warm start.  A hint that does not fit
+            this scheduler's device library or constraints is silently
+            ignored — the solve is unaffected beyond the attempt.
 
         Raises
         ------
@@ -175,7 +197,9 @@ class IlpScheduler:
 
         # Non-overlap (4) for pairs that could share a device and are not
         # already ordered by precedence.
-        self._add_non_overlap(model, graph, operations, compatible, assign, start, durations, big_m)
+        ordering = self._add_non_overlap(
+            model, graph, operations, compatible, assign, start, durations, big_m
+        )
 
         # Completion time (5).
         t_end = model.add_integer("tE", low=0, up=horizon)
@@ -197,12 +221,21 @@ class IlpScheduler:
             objective = objective + cfg.beta * lin_sum(gap_terms)
         model.minimize(objective)
 
-        result = model.solve(cfg.solver_options())
+        options = cfg.solver_options()
+        warm = self._build_warm_start(
+            graph, warm_hint, operations, compatible, device_edges, ordering, big_m
+        )
+        if warm is not None:
+            # A copy: the options object is shared flow-wide configuration,
+            # the warm start is advice for this one solve.
+            options = replace(options, warm_start=warm)
+        result = model.solve(options)
         self.last_status = result.status
         self.last_wall_time_s = result.wall_time_s
         self.last_objective = result.objective
         self.last_backend = result.backend_name
         self.last_fallback_used = result.fallback_used
+        self.last_warm_start_used = result.warm_start_used
 
         if not result.status.is_feasible():
             message = (
@@ -228,8 +261,12 @@ class IlpScheduler:
         serial = sum(op.duration for op in graph.device_operations())
         return serial + self.config.transport_time * (len(graph.device_edges()) + 1)
 
-    def _add_non_overlap(self, model, graph, operations, compatible, assign, start, durations, big_m) -> None:
+    def _add_non_overlap(self, model, graph, operations, compatible, assign, start,
+                         durations, big_m) -> Dict[Tuple[str, str], Tuple[object, object]]:
+        """Add the pairwise ordering constraints; return the ``ord`` binaries
+        keyed by operation pair, so a warm start can assign them."""
         ancestor_cache: Dict[str, set] = {}
+        ordering: Dict[Tuple[str, str], Tuple[object, object]] = {}
 
         def ancestors(op_id: str) -> set:
             if op_id not in ancestor_cache:
@@ -246,6 +283,7 @@ class IlpScheduler:
                     continue
                 before = model.add_binary(f"ord[{i},{j}]")
                 after = model.add_binary(f"ord[{j},{i}]")
+                ordering[(i, j)] = (before, after)
                 # i ends before j starts when `before` is set, and vice versa.
                 model.add_constraint(
                     start[i] + durations[i] <= start[j] + big_m * (1 - before)
@@ -260,6 +298,114 @@ class IlpScheduler:
                         before + after
                         >= assign[(i, device.device_id)] + assign[(j, device.device_id)] - 1
                     )
+        return ordering
+
+    # ------------------------------------------------------------ warm start
+    def _build_warm_start(self, graph, warm_hint, operations, compatible,
+                          device_edges, ordering, big_m) -> Optional[WarmStart]:
+        """Translate a schedule into a full ILP assignment, best-effort.
+
+        The external ``warm_hint`` (a neighboring configuration's solved
+        schedule) wins over the self-seeded list-heuristic schedule; any
+        failure to translate — missing operations, a device this library
+        does not have — degrades to the heuristic seed (or no warm start)
+        rather than an error.  The backend re-verifies the assignment
+        against every constraint anyway, so a stale or ill-fitting hint can
+        never corrupt a solve.
+        """
+        attempts = []
+        if warm_hint is not None:
+            attempts.append((warm_hint, "neighbor"))
+        if self.config.warm_start_heuristic:
+            attempts.append((self._heuristic_schedule(graph), "list-heuristic"))
+        best: Optional[WarmStart] = None
+        best_obj = float("inf")
+        for hint, label in attempts:
+            if hint is None:
+                continue
+            values = self._hint_values(hint, operations, compatible, device_edges,
+                                       ordering, big_m)
+            if values is None:
+                continue
+            # The model's objective over the assignment: both attempts may
+            # translate, and the neighbor's schedule is not automatically
+            # better than the self-seeded heuristic — keep whichever bounds
+            # the search tighter.
+            objective = self.config.alpha * values["tE"] + self.config.beta * sum(
+                values[f"w[{p},{c}]"] for p, c in device_edges
+            )
+            if objective < best_obj:
+                best = WarmStart(values=values, objective=objective, label=label)
+                best_obj = objective
+        return best
+
+    def _heuristic_schedule(self, graph) -> Optional[Schedule]:
+        from repro.scheduling.list_scheduler import ListScheduler, ListSchedulerConfig
+
+        try:
+            return ListScheduler(
+                self.library,
+                ListSchedulerConfig(
+                    transport_time=self.config.transport_time,
+                    storage_aware=bool(self.config.beta),
+                ),
+            ).schedule(graph)
+        except Exception:
+            # The heuristic is an optional accelerant; scheduling failures
+            # (e.g. an exotic library it cannot serve) must not mask the
+            # exact solve.
+            return None
+
+    def _hint_values(self, hint: Schedule, operations, compatible, device_edges,
+                     ordering, big_m) -> Optional[Dict[str, float]]:
+        """Values for *every* model variable, derived from a hint schedule.
+
+        Start times and bindings come straight from the hint; the dependent
+        variables (``both``/``same`` device indicators, ``ord`` orderings,
+        storage gaps ``w``, completion ``tE``) are recomputed under the
+        ILP's own semantics — in particular operation ends are ``start +
+        duration`` even if the hint's device stretched the execution, so the
+        assignment is judged exactly as the model would judge it.
+        """
+        start_t: Dict[str, int] = {}
+        end_t: Dict[str, int] = {}
+        dev: Dict[str, str] = {}
+        values: Dict[str, float] = {}
+        for op in operations:
+            if op.op_id not in hint:
+                return None
+            entry = hint.entry(op.op_id)
+            if entry.device_id is None:
+                return None
+            devices = compatible[op.op_id]
+            if all(d.device_id != entry.device_id for d in devices):
+                return None  # bound to a device this library lacks
+            start_t[op.op_id] = int(entry.start)
+            end_t[op.op_id] = int(entry.start) + int(op.duration)
+            dev[op.op_id] = entry.device_id
+            values[f"ts[{op.op_id}]"] = float(entry.start)
+            for device in devices:
+                values[f"s[{op.op_id},{device.device_id}]"] = float(
+                    device.device_id == entry.device_id
+                )
+        values["tE"] = float(max(end_t.values(), default=0))
+        for parent_id, child_id in device_edges:
+            shared = [d for d in compatible[parent_id] if d in compatible[child_id]]
+            same_val = 0.0
+            for device in shared:
+                both = float(
+                    dev[parent_id] == device.device_id and dev[child_id] == device.device_id
+                )
+                values[f"both[{parent_id},{child_id},{device.device_id}]"] = both
+                same_val += both
+            if shared:
+                values[f"same[{parent_id},{child_id}]"] = same_val
+            gap = start_t[child_id] - end_t[parent_id]
+            values[f"w[{parent_id},{child_id}]"] = float(max(0.0, gap - big_m * same_val))
+        for (i, j), (before, after) in ordering.items():
+            values[before.name] = float(end_t[i] <= start_t[j])
+            values[after.name] = float(end_t[j] <= start_t[i])
+        return values
 
     def _extract_schedule(self, graph, start, assign, compatible) -> Schedule:
         schedule = Schedule(graph, self.library, self.config.transport_time)

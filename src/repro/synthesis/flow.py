@@ -68,6 +68,10 @@ class SynthesisResult:
     synthesis_backend: Optional[str] = None
     scheduler_fallback_used: bool = False
     synthesis_fallback_used: bool = False
+    #: Whether the scheduling solve consumed a warm-start incumbent (only
+    #: the branch-and-bound backend can; HiGHS through scipy has no
+    #: warm-start API, and the heuristic engines never see one).
+    scheduler_warm_start_used: bool = False
 
     @property
     def execution_time(self) -> int:
@@ -105,6 +109,7 @@ class SynthesisResult:
             synthesis_backend=getattr(architecture_artifact, "backend_name", None),
             scheduler_fallback_used=getattr(schedule_artifact, "fallback_used", False),
             synthesis_fallback_used=getattr(architecture_artifact, "fallback_used", False),
+            scheduler_warm_start_used=getattr(schedule_artifact, "warm_start_used", False),
         )
 
 

@@ -94,6 +94,9 @@ class ScheduleArtifact:
     #: scheduler) and whether the portfolio abandoned its primary.
     backend_name: Optional[str] = None
     fallback_used: bool = False
+    #: Whether the solving backend consumed a warm start (a neighboring
+    #: candidate's schedule, or the scheduler's own heuristic seed).
+    warm_start_used: bool = False
 
 
 @dataclass
@@ -118,11 +121,23 @@ class PhysicalArtifact:
 
 @dataclass
 class StageContext:
-    """Everything a stage may read besides its upstream artifact."""
+    """Everything a stage may read besides its upstream artifact.
+
+    ``warm_start`` is an optional known-good schedule of the same graph
+    (from a neighboring configuration) handed to the schedule stage as a
+    solver seed.  ``schedule_workspace`` is an optional
+    :class:`~repro.scheduling.list_scheduler.ListSchedulerWorkspace` the
+    list scheduler reuses across repeated probes of one graph.  Both are
+    runtime advice only: they never enter any cache key and never change
+    the produced schedule — a hint that does not fit the current
+    configuration is ignored.
+    """
 
     graph: SequencingGraph
     config: FlowConfig
     library: DeviceLibrary
+    warm_start: Optional[Any] = None  # repro.scheduling.schedule.Schedule
+    schedule_workspace: Optional[Any] = None  # ListSchedulerWorkspace
 
 
 @dataclass(frozen=True)
@@ -134,7 +149,8 @@ class StageExecution:
     job of the same batch and shared).  ``backend`` is the solver backend
     that produced the stage's artifact (regardless of which job paid for
     it; ``None`` for heuristic stages and the physical stage), and
-    ``fallback_used`` records a portfolio solve that abandoned its primary.
+    ``fallback_used`` records a portfolio solve that abandoned its primary,
+    and ``warm_start_used`` whether that solve consumed a warm start.
     """
 
     stage: str
@@ -143,6 +159,7 @@ class StageExecution:
     wall_time_s: float = 0.0
     backend: Optional[str] = None
     fallback_used: bool = False
+    warm_start_used: bool = False
 
 
 # ----------------------------------------------------------------------- stages
@@ -203,7 +220,14 @@ class ScheduleStage(Stage):
             context.config, context.library, context.graph
         )
         start = time.perf_counter()
-        schedule = scheduler.schedule(context.graph)
+        if scheduler_name == "ilp" and context.warm_start is not None:
+            schedule = scheduler.schedule(context.graph, warm_hint=context.warm_start)
+        elif scheduler_name == "list" and context.schedule_workspace is not None:
+            schedule = scheduler.schedule(
+                context.graph, workspace=context.schedule_workspace
+            )
+        else:
+            schedule = scheduler.schedule(context.graph)
         elapsed = time.perf_counter() - start
         return ScheduleArtifact(
             schedule=schedule,
@@ -211,6 +235,7 @@ class ScheduleStage(Stage):
             scheduling_time_s=elapsed,
             backend_name=getattr(scheduler, "last_backend", None),
             fallback_used=getattr(scheduler, "last_fallback_used", False),
+            warm_start_used=getattr(scheduler, "last_warm_start_used", False),
         )
 
 
@@ -353,6 +378,7 @@ class SynthesisPipeline:
         cache: Optional[Any] = None,
         executions: Optional[List[StageExecution]] = None,
         graph_hash: Optional[str] = None,
+        warm_start: Optional[Any] = None,
     ) -> SynthesisResult:
         """Run (or replay) all stages and assemble a :class:`SynthesisResult`.
 
@@ -367,12 +393,17 @@ class SynthesisPipeline:
             recording whether the stage ran or replayed and how long it took.
         graph_hash:
             Optional precomputed :func:`graph_fingerprint` of ``graph``.
+        warm_start:
+            Optional schedule of the same graph used to seed the schedule
+            stage's solver (see :class:`StageContext`); never keyed.
         """
         config = config or FlowConfig()
         assert_valid(graph)
         use_cache = cache is not None and library is None
         library = library or build_library(config)
-        context = StageContext(graph=graph, config=config, library=library)
+        context = StageContext(
+            graph=graph, config=config, library=library, warm_start=warm_start
+        )
 
         planned = self.plan(graph, config, graph_hash=graph_hash) if use_cache else [
             PlannedStage(stage=stage, key="") for stage in self.stages
@@ -410,6 +441,7 @@ class SynthesisPipeline:
                         wall_time_s=time.perf_counter() - start,
                         backend=getattr(artifact, "backend_name", None),
                         fallback_used=getattr(artifact, "fallback_used", False),
+                        warm_start_used=getattr(artifact, "warm_start_used", False),
                     )
                 )
             artifacts.append(artifact)

@@ -1,0 +1,247 @@
+"""Differential tests: vectorized vs scalar branch-and-bound kernels.
+
+The vectorized numpy kernels in
+:mod:`repro.ilp.backends.branch_and_bound` replaced the historical
+per-term Python loops; the scalar loops survive behind
+``REPRO_BB_SCALAR=1`` precisely so this suite can pin them against each
+other.  Three levels are covered:
+
+* **kernel level** — ``_propagate``, ``_box_bound`` and ``_verified``
+  reach identical verdicts (and, for propagation, the identical bound
+  fixpoint) on hypothesis-generated all-integer models.  All-integer
+  boxes make the fixpoint exact, so the comparison is equality-strength,
+  not merely "close";
+* **solve level** — full ``solve()`` runs of both kernel families agree
+  on status and objective for every generated model and every parity
+  fixture;
+* **regression level** — a deterministic chain model whose propagation
+  only converges when mid-pass activity updates are applied (the stale
+  ``min_fin``/``max_fin`` bug both kernels had to fix), asserted against
+  the hand-computed fixpoint.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import BranchAndBoundBackend, Model, SolverOptions, SolverStatus, lin_sum
+from repro.ilp.backends import branch_and_bound as bb
+
+
+# ------------------------------------------------------------------ helpers
+
+def _matrices(model: Model):
+    """The solver-facing arrays plus a fresh ``_RowSystem``."""
+    c_arr, A, lower, upper, lb, ub, integrality = model.to_matrices()
+    c = np.asarray(c_arr, dtype=float)
+    rows = bb._RowSystem(A, lower, upper, c)
+    lo = np.asarray(lb, dtype=float).copy()
+    hi = np.asarray(ub, dtype=float).copy()
+    is_int = np.asarray(integrality, dtype=bool)
+    return rows, c, lo, hi, is_int
+
+
+def _solve_with_kernels(model: Model, scalar: bool):
+    """Solve on a fresh backend with the requested kernel family."""
+    if scalar:
+        os.environ[bb._SCALAR_ENV] = "1"
+    else:
+        os.environ.pop(bb._SCALAR_ENV, None)
+    try:
+        return BranchAndBoundBackend().solve(
+            model, SolverOptions(backend="branch-and-bound", time_limit_s=10.0)
+        )
+    finally:
+        os.environ.pop(bb._SCALAR_ENV, None)
+
+
+# ----------------------------------------------------------------- strategy
+#
+# Small all-integer models: every variable bound, every coefficient, and
+# every right-hand side is a small integer, so propagation lands on exact
+# integral bounds and the optimum (when one exists) is exactly
+# representable — the two kernel families must agree to the bit, modulo
+# float tolerance.
+
+@st.composite
+def integer_models(draw) -> Model:
+    n = draw(st.integers(min_value=1, max_value=4))
+    model = Model("hyp")
+    variables = []
+    for j in range(n):
+        low = draw(st.integers(min_value=-4, max_value=3))
+        up = low + draw(st.integers(min_value=0, max_value=6))
+        variables.append(model.add_integer(f"x{j}", low=low, up=up))
+
+    coeff = st.integers(min_value=-3, max_value=3)
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        coeffs = [draw(coeff) for _ in range(n)]
+        if not any(coeffs):
+            continue
+        expr = lin_sum(a * v for a, v in zip(coeffs, variables) if a)
+        rhs = draw(st.integers(min_value=-10, max_value=10))
+        sense = draw(st.sampled_from(["<=", ">=", "=="]))
+        if sense == "<=":
+            model.add_constraint(expr <= rhs)
+        elif sense == ">=":
+            model.add_constraint(expr >= rhs)
+        else:
+            model.add_constraint(expr == rhs)
+
+    objective = [draw(coeff) for _ in range(n)]
+    expr = lin_sum(a * v for a, v in zip(objective, variables) if a)
+    if any(objective):
+        model.minimize(expr)
+    else:
+        model.minimize(0 * variables[0])
+    return model
+
+
+# --------------------------------------------------------- kernel equality
+
+class TestKernelEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(integer_models())
+    def test_propagation_reaches_the_same_fixpoint(self, model):
+        """Jacobi (vectorized) and Gauss-Seidel (scalar) propagation agree.
+
+        Interval narrowing is monotone, so chaotic iteration converges to
+        one fixpoint regardless of visit order — the verdicts must match,
+        and on feasible boxes the tightened bounds must be identical.
+        """
+        rows, _c, lo, hi, is_int = _matrices(model)
+        lo_v, hi_v = lo.copy(), hi.copy()
+        lo_s, hi_s = lo.copy(), hi.copy()
+
+        ok_vec = BranchAndBoundBackend._propagate_vec(rows, lo_v, hi_v, is_int)
+        ok_scalar = BranchAndBoundBackend._propagate_scalar(
+            rows.scalar_rows(), lo_s, hi_s, is_int
+        )
+
+        assert ok_vec == ok_scalar
+        if ok_vec:
+            np.testing.assert_allclose(lo_v, lo_s, atol=1e-6)
+            np.testing.assert_allclose(hi_v, hi_s, atol=1e-6)
+
+    @settings(max_examples=120, deadline=None)
+    @given(integer_models())
+    def test_box_bound_matches(self, model):
+        _rows, c, lo, hi, _is_int = _matrices(model)
+        backend = BranchAndBoundBackend()
+        backend._scalar = False
+        vec = backend._box_bound(c, lo, hi)
+        scalar = BranchAndBoundBackend._box_bound_scalar(c, lo, hi)
+        assert vec == pytest.approx(scalar, abs=1e-9)
+
+    @settings(max_examples=120, deadline=None)
+    @given(integer_models(), st.randoms(use_true_random=False))
+    def test_verified_matches_on_random_points(self, model, rng):
+        rows, _c, lo, hi, _is_int = _matrices(model)
+        x = np.array([float(rng.randint(int(l), int(h))) for l, h in zip(lo, hi)])
+        backend = BranchAndBoundBackend()
+        backend._scalar = False
+        assert backend._verified(rows, x) == BranchAndBoundBackend._verified_scalar(
+            rows.rows, x
+        )
+
+
+# ---------------------------------------------------------- solve equality
+
+class TestSolveEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(integer_models())
+    def test_full_solves_agree_on_status_and_objective(self, model):
+        """Warm-path invariant of the whole backend, not just the kernels.
+
+        All-integer models with bounded boxes always close within the node
+        budget, so both runs must return a decisive status; the objective
+        (when one exists) is exactly representable and must match.
+        """
+        vec = _solve_with_kernels(model, scalar=False)
+        scalar = _solve_with_kernels(model, scalar=True)
+
+        assert vec.status == scalar.status
+        if vec.status is SolverStatus.OPTIMAL:
+            assert vec.objective == pytest.approx(scalar.objective, abs=1e-6)
+
+    def test_scalar_env_actually_selects_the_scalar_kernels(self):
+        os.environ[bb._SCALAR_ENV] = "1"
+        try:
+            assert BranchAndBoundBackend()._scalar is True
+        finally:
+            os.environ.pop(bb._SCALAR_ENV, None)
+        assert BranchAndBoundBackend()._scalar is False
+
+
+# ------------------------------------------------- deterministic regression
+
+class TestStaleActivityRegression:
+    def make_chain(self):
+        """A chain whose propagation tightens several variables per row pass.
+
+        ``x0 >= 6`` combined with ``x0 + x1 + x2 <= 10`` and
+        ``x1 - x2 >= 0`` forces, inside a *single* row visit, first
+        ``x1 <= 4`` then (from the already-updated activity) ``x2 <= 4``;
+        a kernel that keeps using the activity sums computed at the top of
+        the row reaches a weaker box.  The expected fixpoint is computed by
+        hand: lo = (6, 0, 0), hi = (10, 4, 4).
+        """
+        model = Model("chain")
+        x0 = model.add_integer("x0", low=0, up=10)
+        x1 = model.add_integer("x1", low=0, up=10)
+        x2 = model.add_integer("x2", low=0, up=10)
+        model.add_constraint(x0 >= 6)
+        model.add_constraint(x0 + x1 + x2 <= 10)
+        model.add_constraint(x1 - x2 >= 0)
+        model.minimize(x0 + x1 + x2)
+        return model
+
+    @pytest.mark.parametrize("kernel", ["vectorized", "scalar"])
+    def test_fixpoint_uses_fresh_mid_pass_activities(self, kernel):
+        model = self.make_chain()
+        rows, _c, lo, hi, is_int = _matrices(model)
+        if kernel == "vectorized":
+            ok = BranchAndBoundBackend._propagate_vec(rows, lo, hi, is_int)
+        else:
+            ok = BranchAndBoundBackend._propagate_scalar(
+                rows.scalar_rows(), lo, hi, is_int
+            )
+        assert ok
+        np.testing.assert_allclose(lo, [6.0, 0.0, 0.0])
+        np.testing.assert_allclose(hi, [10.0, 4.0, 4.0])
+
+    def test_chain_solves_identically_under_both_kernels(self):
+        vec = _solve_with_kernels(self.make_chain(), scalar=False)
+        scalar = _solve_with_kernels(self.make_chain(), scalar=True)
+        assert vec.status is SolverStatus.OPTIMAL
+        assert scalar.status is SolverStatus.OPTIMAL
+        assert vec.objective == pytest.approx(6.0)
+        assert scalar.objective == pytest.approx(6.0)
+
+
+# ------------------------------------------------------------- tolerances
+
+class TestToleranceConstants:
+    def test_tighten_tolerance_is_the_single_named_constant(self):
+        """Both kernel families share ``_TIGHTEN_TOL``; no stray literals.
+
+        The historical loops compared against a bare ``1e-7`` in four
+        places — if the constant and a literal ever drift apart, the two
+        kernels stop iterating to the same fixpoint, which is exactly the
+        class of bug the differential suite exists to prevent.
+        """
+        assert bb._TIGHTEN_TOL == 1e-7
+        source = inspect.getsource(bb)
+        assert source.count("1e-7") == 1, (
+            "magic tightening tolerance duplicated outside _TIGHTEN_TOL"
+        )
+
+    def test_infinity_convention_is_shared(self):
+        assert bb._INF == math.inf

@@ -10,9 +10,11 @@ structures:
   expanded from a parameter grid (``repro sweep spec.json``,
   :func:`~repro.batch.jobs.expand_sweep`);
 * :class:`~repro.batch.cache.ResultCache` — a content-addressed cache with
-  an in-memory LRU tier and an optional on-disk tier, holding per-stage
-  artifacts (keyed by ``hash(upstream hash + the config slice the stage
-  consumes)``) as well as assembled results;
+  an in-memory LRU tier and pluggable durable tiers behind it (the
+  ``memory``/``disk``/``shared`` backends of
+  :mod:`repro.batch.cache_backends`), holding per-stage artifacts (keyed
+  by ``hash(upstream hash + the config slice the stage consumes)``) as
+  well as assembled results;
 * :class:`~repro.batch.engine.BatchSynthesisEngine` — executes jobs stage
   by stage with cross-job sharing (sweep points that agree on a prefix of
   the pipeline solve it once), per-tier process-pool parallelism, and
@@ -27,6 +29,11 @@ performs exactly one scheduling solve.
 """
 
 from repro.batch.cache import CacheStats, ResultCache, cache_key
+from repro.batch.cache_backends import (
+    cache_backend_names,
+    get_cache_backend,
+    register_cache_backend,
+)
 from repro.batch.engine import BatchSynthesisEngine
 from repro.batch.jobs import (
     BatchJob,
@@ -50,8 +57,11 @@ __all__ = [
     "CacheStats",
     "JobOutcome",
     "ResultCache",
+    "cache_backend_names",
     "cache_key",
     "expand_sweep",
+    "get_cache_backend",
+    "register_cache_backend",
     "format_batch_report",
     "format_stage_summary",
     "job_from_spec",

@@ -1,4 +1,4 @@
-"""Content-addressed artifact cache: in-memory LRU tier + optional disk tier.
+"""Content-addressed artifact cache: in-memory LRU + pluggable durable tiers.
 
 Since the staged-pipeline refactor the cache stores two kinds of entries
 under one namespace of SHA-256 keys:
@@ -9,37 +9,43 @@ under one namespace of SHA-256 keys:
   physical-design knobs replays the untouched upstream stages;
 * **assembled results** (:class:`~repro.synthesis.flow.SynthesisResult`)
   under the run-level key of :func:`cache_key` — kept in the memory tier
-  only, since they are thin views over stage artifacts that already live on
-  disk.
+  only, since they are thin views over stage artifacts that already
+  persist individually.
 
 Every synthesis engine is deterministic, so equal keys mean equal content.
 Two graphs built in different node orders hash equal; changing any duration,
 edge, or config knob changes the key.
 
-The cache is two-tiered:
+The cache is a tier chain:
 
 * an in-memory LRU dictionary bounded by ``max_entries`` — the hot tier that
-  serves repeated experiment runs within one process;
-* an optional on-disk tier (``cache_dir``) holding pickled entries, so warm
-  re-runs of a batch manifest survive process restarts.  Disk entries are
-  wrapped in a ``(KEY_VERSION, payload)`` envelope; an entry written by an
-  older (or newer) key version is ignored and dropped — a stale cache
-  directory degrades to misses, it never crashes a run or, worse, replays a
-  payload with outdated semantics.  Disk hits are promoted into the memory
-  tier.
+  serves repeated experiment runs within one process, always present;
+* zero or more durable :class:`~repro.batch.cache_backends.CacheTier`
+  instances built by the named backend from the
+  :mod:`repro.batch.cache_backends` registry — ``memory`` (none), ``disk``
+  (pickled envelope files, atomic writes), or ``shared`` (an optional disk
+  tier in front of a networked key-value daemon, pooling artifacts across
+  ``repro serve`` replicas).  Lookups fall through the chain front to back;
+  a tier hit is promoted into memory; durable writes go through to every
+  tier.  Durable entries carry a ``(KEY_VERSION, payload)`` envelope, so a
+  stale or corrupt tier degrades to misses — it never crashes a run or,
+  worse, replays a payload with outdated semantics.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import uuid
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro import keys
+from repro.batch.cache_backends import (
+    CacheBackendOptions,
+    CacheTier,
+    get_cache_backend,
+)
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.keys import stable_digest
 from repro.synthesis.config import FlowConfig
@@ -78,18 +84,26 @@ def cache_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by tier."""
+    """Hit/miss and single-flight counters, split by tier."""
 
     memory_hits: int = 0
     disk_hits: int = 0
+    shared_hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Single-flight claims this process acquired (local or cross-process).
+    claims: int = 0
+    #: Times a lookup blocked on a claim held by another thread or process.
+    claim_waits: int = 0
+    #: Claims inherited from a presumed-dead claimant (local thread timeout
+    #: or a remote lease that expired).
+    takeovers: int = 0
 
     @property
     def hits(self) -> int:
-        """Total hits across both tiers."""
-        return self.memory_hits + self.disk_hits
+        """Total hits across every tier."""
+        return self.memory_hits + self.disk_hits + self.shared_hits
 
     @property
     def lookups(self) -> int:
@@ -101,9 +115,33 @@ class CacheStats:
         """Fraction of lookups served from a tier (0.0 with no lookups)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Counters plus derived totals, JSON-ready for reports/endpoints."""
+        payload: Dict[str, Any] = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+        payload["hits"] = self.hits
+        payload["lookups"] = self.lookups
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """Field-wise ``self - before``: the activity between two snapshots.
+
+        Iterates the dataclass fields so a future counter cannot be
+        silently dropped from per-batch deltas.
+        """
+        return CacheStats(
+            **{
+                field.name: getattr(self, field.name) - getattr(before, field.name)
+                for field in dataclasses.fields(self)
+            }
+        )
+
 
 class ResultCache:
-    """Two-tier (memory LRU + optional disk) content-addressed cache.
+    """Tiered (memory LRU + pluggable durable tiers) content-addressed cache.
 
     Parameters
     ----------
@@ -111,29 +149,50 @@ class ResultCache:
         Bound on the in-memory tier; least-recently-used entries are evicted
         first.  ``None`` means unbounded.
     cache_dir:
-        Directory for the persistent tier; ``None`` disables it.  Entries are
-        stored as ``<digest>.pkl`` files; sharding is unnecessary at the
-        evaluation's scale.
+        Directory for the on-disk tier; consumed by the ``disk`` and
+        ``shared`` backends.
+    backend:
+        Name from the :mod:`repro.batch.cache_backends` registry.  ``None``
+        keeps the historical behavior: ``disk`` when a ``cache_dir`` is
+        given, plain ``memory`` otherwise.
+    cache_addr:
+        ``host:port`` of a ``repro cache-daemon``; required by the
+        ``shared`` backend.
+    request_timeout_s:
+        Per-request timeout of the networked tier.
     """
 
     def __init__(
         self,
         max_entries: Optional[int] = 256,
         cache_dir: Optional[Union[str, Path]] = None,
+        backend: Optional[str] = None,
+        cache_addr: Optional[str] = None,
+        request_timeout_s: float = 10.0,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None for unbounded)")
         self.max_entries = max_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.backend_name = backend or (
+            "disk" if cache_dir is not None else "memory"
+        )
+        options = CacheBackendOptions(
+            cache_dir=cache_dir,
+            cache_addr=cache_addr,
+            request_timeout_s=request_timeout_s,
+        )
+        #: Ordered durable tiers behind the memory LRU (may be empty).
+        self.tiers: List[CacheTier] = get_cache_backend(
+            self.backend_name
+        ).build_tiers(options)
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         # Keys inserted with put(..., disk=False): thin views over artifacts
-        # that persist individually, deliberately excluded from the disk
-        # tier — and therefore also from flush_to_disk().
+        # that persist individually, deliberately excluded from the durable
+        # tiers — and therefore also from flush_to_disk().
         self._memory_only: set = set()
-        # Failed jobs are memoized in memory only (never on disk): synthesis
+        # Failed jobs are memoized in memory only (never durably): synthesis
         # is deterministic, so re-running an identical failed job in the same
         # process just burns a solver run to reproduce the same error.  The
         # exception object itself is kept so callers can re-raise it with its
@@ -141,58 +200,81 @@ class ResultCache:
         self._failures: Dict[str, BaseException] = {}
 
     # ------------------------------------------------------------------- api
+    @property
+    def claim_tier(self) -> Optional[CacheTier]:
+        """The first tier that arbitrates cross-process claims, or ``None``.
+
+        :class:`~repro.service.singleflight.SingleFlightCache` consults this
+        to decide whether a local miss must also negotiate a claim with the
+        shared daemon before computing.
+        """
+        for tier in self.tiers:
+            if tier.supports_claims:
+                return tier
+        return None
+
     def get(self, key: str) -> Optional[Any]:
-        """Look ``key`` up in both tiers; ``None`` on a miss."""
+        """Look ``key`` up through the tier chain; ``None`` on a miss."""
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
             return self._memory[key]
-        value = self._load_from_disk(key)
-        if value is not None:
-            self.stats.disk_hits += 1
-            self._store_memory(key, value)
-            return value
+        for tier in self.tiers:
+            value = tier.get(key)
+            if value is not None:
+                if tier.kind == "shared":
+                    self.stats.shared_hits += 1
+                else:
+                    self.stats.disk_hits += 1
+                self._store_memory(key, value)
+                return value
         self.stats.misses += 1
         return None
 
     def put(self, key: str, value: Any, disk: bool = True) -> None:
-        """Insert into the memory tier and (if configured) the disk tier.
+        """Insert into the memory tier and (if any) every durable tier.
 
-        ``disk=False`` keeps an entry memory-only even when a ``cache_dir``
-        is configured — used for assembled :class:`SynthesisResult` views,
+        ``disk=False`` keeps an entry memory-only even when durable tiers
+        are configured — used for assembled :class:`SynthesisResult` views,
         whose stage artifacts already persist individually (writing the view
-        too would double every result's disk footprint).
+        too would double every result's durable footprint).
         """
         self.stats.stores += 1
         self._store_memory(key, value)
         if disk:
             self._memory_only.discard(key)
-            if self.cache_dir is not None:
-                self._write_disk(key, value)
+            for tier in self.tiers:
+                tier.put(key, value)
         else:
             self._memory_only.add(key)
 
     def flush_to_disk(self) -> int:
-        """Write durable memory-tier entries missing from the disk tier.
+        """Re-publish durable memory entries a tier does not yet hold.
 
         The safety net behind the synthesis service's graceful shutdown:
-        normal ``put`` calls write through to disk immediately, but a write
-        may have soft-failed (full disk, revoked permissions) or an entry
-        may have been deleted out from under the process.  Flushing
-        re-publishes every durable entry whose ``<key>.pkl`` file is absent,
-        so a restarted server resumes from the last completed stage instead
-        of re-solving it.  Entries stored with ``disk=False`` (assembled
-        result views) are skipped — their stage artifacts persist
-        individually.  Returns the number of entries written; a cache
-        without a disk tier flushes nothing.
+        normal ``put`` calls write through immediately, but a write may
+        have soft-failed (full disk, unreachable daemon).  Each tier tracks
+        the keys it successfully wrote or observed, and the flush rewrites
+        only the *dirty* remainder — an entry the live tier already
+        persisted is not written a second time.  Entries stored with
+        ``disk=False`` (assembled result views) are skipped; their stage
+        artifacts persist individually.  Returns the number of entries
+        written to at least one tier; a cache without durable tiers flushes
+        nothing.
         """
-        if self.cache_dir is None:
+        if not self.tiers:
             return 0
         written = 0
         for key, value in list(self._memory.items()):
-            if key in self._memory_only or self._disk_path(key).exists():
+            if key in self._memory_only:
                 continue
-            if self._write_disk(key, value):
+            wrote = False
+            for tier in self.tiers:
+                if tier.is_clean(key):
+                    continue
+                if tier.put(key, value):
+                    wrote = True
+            if wrote:
                 written += 1
         return written
 
@@ -208,16 +290,27 @@ class ResultCache:
         """Membership test that does not touch the stats or LRU order."""
         if key in self._memory:
             return True
-        return self.cache_dir is not None and self._disk_path(key).exists()
+        return any(tier.contains(key) for tier in self.tiers)
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        """Drop the memory tier (and every durable tier with ``disk=True``)."""
         self._memory.clear()
         self._memory_only.clear()
         self._failures.clear()
-        if disk and self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.pkl"):
-                path.unlink(missing_ok=True)
+        if disk:
+            for tier in self.tiers:
+                tier.clear()
+
+    def close(self) -> None:
+        """Close every durable tier (sockets, handles); memory is untouched."""
+        for tier in self.tiers:
+            tier.close()
+
+    def tier_counters(self) -> List[Dict[str, Any]]:
+        """Per-tier write counters, JSON-ready for the stats endpoints."""
+        return [
+            {"kind": tier.kind, "writes": tier.writes} for tier in self.tiers
+        ]
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -231,50 +324,3 @@ class ResultCache:
                 evicted, _ = self._memory.popitem(last=False)
                 self._memory_only.discard(evicted)
                 self.stats.evictions += 1
-
-    def _disk_path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"{key}.pkl"
-
-    def _write_disk(self, key: str, value: Any) -> bool:
-        """Atomically publish one entry to the disk tier; ``True`` on success."""
-        path = self._disk_path(key)
-        # Unique temp name per writer: several processes may share a
-        # cache_dir and solve the same miss concurrently; each must
-        # publish atomically without trampling the other's staging file.
-        tmp = path.with_name(f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
-        try:
-            envelope = (keys.KEY_VERSION, value)
-            tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
-            tmp.replace(path)  # atomic so readers never see partial files
-        except OSError:
-            # The disk tier is an optimization: a full disk or revoked
-            # permissions must not abort a batch whose solve already
-            # succeeded (reads treat bad entries as misses, symmetrically).
-            tmp.unlink(missing_ok=True)
-            return False
-        return True
-
-    def _load_from_disk(self, key: str) -> Optional[Any]:
-        if self.cache_dir is None:
-            return None
-        path = self._disk_path(key)
-        if not path.exists():
-            return None
-        try:
-            envelope = pickle.loads(path.read_bytes())
-        except Exception:  # noqa: BLE001 - a corrupt entry is just a miss
-            path.unlink(missing_ok=True)
-            return None
-        # Entries from another key version (including pre-envelope v1 files,
-        # which unpickle as a bare object) are stale by definition: the
-        # payload's semantics may have changed.  Treat them as misses and
-        # drop them so the directory converges to the current version.
-        if (
-            not isinstance(envelope, tuple)
-            or len(envelope) != 2
-            or envelope[0] != keys.KEY_VERSION
-        ):
-            path.unlink(missing_ok=True)
-            return None
-        return envelope[1]

@@ -1,0 +1,61 @@
+"""Pluggable durable tiers behind the result cache's in-memory LRU.
+
+The registry maps string keys to :class:`CacheBackend` factories, the same
+pattern as :mod:`repro.ilp.backends`:
+
+* ``memory`` — no durable tier; the seed single-process behavior;
+* ``disk`` — a live on-disk read/write tier with atomic publishes;
+* ``shared`` — a networked tier speaking to ``repro cache-daemon``, which
+  also arbitrates cross-process single-flight claims (optionally stacked
+  behind a local disk tier).
+
+Importing this package registers the built-ins; third-party tiers register
+through :func:`register_cache_backend`.
+"""
+
+from repro.batch.cache_backends.base import (
+    DEFAULT_CACHE_BACKEND,
+    CacheBackend,
+    CacheBackendOptions,
+    CacheTier,
+    MemoryBackend,
+    cache_backend_names,
+    decode_envelope,
+    encode_envelope,
+    get_cache_backend,
+    register_cache_backend,
+    unregister_cache_backend,
+)
+from repro.batch.cache_backends.disk import DiskBackend, DiskCacheTier
+from repro.batch.cache_backends.shared import (
+    DEFAULT_LEASE_S,
+    ClaimOutcome,
+    SharedBackend,
+    SharedCacheTier,
+    parse_cache_addr,
+)
+
+register_cache_backend(MemoryBackend())
+register_cache_backend(DiskBackend())
+register_cache_backend(SharedBackend())
+
+__all__ = [
+    "DEFAULT_CACHE_BACKEND",
+    "DEFAULT_LEASE_S",
+    "CacheBackend",
+    "CacheBackendOptions",
+    "CacheTier",
+    "ClaimOutcome",
+    "DiskBackend",
+    "DiskCacheTier",
+    "MemoryBackend",
+    "SharedBackend",
+    "SharedCacheTier",
+    "cache_backend_names",
+    "decode_envelope",
+    "encode_envelope",
+    "get_cache_backend",
+    "parse_cache_addr",
+    "register_cache_backend",
+    "unregister_cache_backend",
+]

@@ -1,0 +1,207 @@
+"""The shared cache tier: a blocking HTTP client for the cache daemon.
+
+The ``shared`` backend lets N ``repro serve`` replicas (or parallel batch
+runs) pool one content-addressed store — and, through the daemon's claim
+records, extend single-flight "exactly one process solves each miss"
+semantics across process boundaries.  The client half lives here, built on
+nothing but stdlib :mod:`http.client` so :mod:`repro.batch` stays free of
+any dependency on :mod:`repro.service` (the daemon itself lives in
+:mod:`repro.service.cachedaemon`, next to the server that reuses the same
+HTTP framing).
+
+Values travel as the same opaque ``(KEY_VERSION, payload)`` pickle
+envelopes the disk tier writes; the daemon stores bytes it never decodes,
+so a mixed-version replica fleet degrades to per-version misses instead of
+poisoning each other.  Like every tier, the network is *soft*: an
+unreachable daemon turns reads into misses, writes into no-ops, and claims
+into :data:`ClaimOutcome` state ``"unavailable"`` — callers degrade to
+process-local behavior, they never crash.
+
+Entries are pickles, so the daemon must only ever be reachable by trusted
+replicas (bind it to loopback or a private network), the same trust
+posture as the synthesis service itself.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import uuid
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.batch.cache_backends.base import (
+    CacheBackend,
+    CacheBackendOptions,
+    CacheTier,
+    decode_envelope,
+    encode_envelope,
+)
+from repro.batch.cache_backends.disk import DiskCacheTier
+
+#: Default lease on a cross-process claim; a claimant that neither
+#: publishes nor releases within the lease is presumed dead and taken over.
+DEFAULT_LEASE_S = 300.0
+
+
+def parse_cache_addr(addr: str) -> Tuple[str, int]:
+    """Split a ``host:port`` cache address; :class:`ValueError` when malformed."""
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"cache address {addr!r} is not of the form host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"cache address {addr!r} has a non-numeric port") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"cache address {addr!r} has an out-of-range port")
+    return host, port
+
+
+@dataclass
+class ClaimOutcome:
+    """The daemon's answer to one cross-process claim attempt.
+
+    ``state`` is one of:
+
+    * ``"granted"`` — this process owns the claim and must compute the
+      value (``takeover`` marks grants that displaced an expired lease);
+    * ``"present"`` — the value is already in the shared store, just read it;
+    * ``"claimed"`` — another live process holds the claim; poll again in
+      at most ``retry_after_s`` seconds;
+    * ``"unavailable"`` — the daemon could not be reached; degrade to
+      process-local single-flight and compute.
+    """
+
+    state: str
+    takeover: bool = False
+    retry_after_s: float = 0.0
+
+
+class SharedCacheTier(CacheTier):
+    """Key-value + claim client speaking to one ``repro cache-daemon``.
+
+    One short-lived connection per request (the daemon, like the synthesis
+    service, closes after every response), so the tier is safe to call from
+    any number of threads without pooling or locking.
+    """
+
+    kind = "shared"
+    supports_claims = True
+
+    def __init__(self, cache_addr: str, request_timeout_s: float = 10.0) -> None:
+        super().__init__()
+        self.cache_addr = cache_addr
+        self.host, self.port = parse_cache_addr(cache_addr)
+        self.request_timeout_s = request_timeout_s
+        #: Stable claim-owner identity of this process; the daemon uses it
+        #: to make claim/release idempotent per owner.
+        self.owner = f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+    # ------------------------------------------------------------------- tier
+    def get(self, key: str) -> Optional[Any]:
+        """Fetch and decode one entry; any network failure is a miss."""
+        status, body = self._request("GET", f"/kv/{key}")
+        if status != 200 or body is None:
+            return None
+        ok, value = decode_envelope(body)
+        if not ok:
+            # Entry written by a different key version (mixed-version
+            # fleet): a miss for us, but other replicas may still want it,
+            # so it is left in place rather than deleted.
+            return None
+        self._note_observed(key)
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Publish one entry (which also releases any claim on its key)."""
+        status, _ = self._request("PUT", f"/kv/{key}", body=encode_envelope(value))
+        if status != 200:
+            return False
+        self._note_write(key)
+        return True
+
+    def contains(self, key: str) -> bool:
+        """Whether the daemon holds ``key`` (``False`` when unreachable)."""
+        status, _ = self._request("HEAD", f"/kv/{key}")
+        return status == 200
+
+    def clear(self) -> None:
+        """Ask the daemon to drop every entry and claim (best effort)."""
+        self._request("POST", "/clear")
+        self._clean.clear()
+
+    # ------------------------------------------------------------------ claims
+    def claim(self, key: str, lease_s: float = DEFAULT_LEASE_S) -> ClaimOutcome:
+        """Try to acquire the cross-process claim on ``key``.
+
+        Re-claiming a key this owner already holds refreshes the lease and
+        is granted again — which is what lets a process-local takeover
+        (original thread presumed dead, same process) inherit the remote
+        claim without a round of lease expiry.
+        """
+        payload = json.dumps({"owner": self.owner, "lease_s": lease_s}).encode("utf-8")
+        status, body = self._request("POST", f"/claim/{key}", body=payload)
+        if status != 200 or body is None:
+            return ClaimOutcome(state="unavailable")
+        try:
+            answer = json.loads(body.decode("utf-8"))
+            state = answer["state"]
+            if state not in ("granted", "present", "claimed"):
+                raise ValueError(state)
+            return ClaimOutcome(
+                state=state,
+                takeover=bool(answer.get("takeover", False)),
+                retry_after_s=float(answer.get("retry_after_s", 0.0)),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return ClaimOutcome(state="unavailable")
+
+    def release(self, key: str) -> None:
+        """Release this owner's claim on ``key`` (no-op for other owners)."""
+        payload = json.dumps({"owner": self.owner}).encode("utf-8")
+        self._request("POST", f"/release/{key}", body=payload)
+
+    # -------------------------------------------------------------- internals
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[Optional[int], Optional[bytes]]:
+        """One request/response; ``(None, None)`` on any transport failure."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.request_timeout_s
+        )
+        try:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (OSError, http.client.HTTPException):
+            return None, None
+        finally:
+            conn.close()
+
+
+class SharedBackend(CacheBackend):
+    """``shared``: optional disk tier, then the networked tier.
+
+    With a ``cache_dir`` configured the disk tier sits in front of the
+    network, so each replica answers repeat lookups locally and only pays
+    a round trip for entries first computed elsewhere.
+    """
+
+    name = "shared"
+
+    def build_tiers(self, options: CacheBackendOptions) -> List[CacheTier]:
+        """Disk tier (when ``cache_dir`` is set) + shared tier (required)."""
+        if options.cache_addr is None:
+            raise ValueError(
+                "cache backend 'shared' requires a daemon address (--cache-addr)"
+            )
+        tiers: List[CacheTier] = []
+        if options.cache_dir is not None:
+            tiers.append(DiskCacheTier(options.cache_dir))
+        tiers.append(
+            SharedCacheTier(options.cache_addr, request_timeout_s=options.request_timeout_s)
+        )
+        return tiers

@@ -37,7 +37,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.batch.cache import CacheStats, ResultCache, cache_key
+from repro.batch.cache import ResultCache, cache_key
 from repro.batch.jobs import BatchJob
 from repro.batch.report import BatchReport, JobOutcome
 from repro.devices.device import DeviceLibrary
@@ -310,14 +310,9 @@ class BatchSynthesisEngine:
 
         # Snapshot the cache counters as a per-batch delta: the cache may be
         # shared across many batches, and a report must describe its own.
-        after = self.cache.stats
-        batch_stats = CacheStats(
-            memory_hits=after.memory_hits - stats_before.memory_hits,
-            disk_hits=after.disk_hits - stats_before.disk_hits,
-            misses=after.misses - stats_before.misses,
-            stores=after.stores - stats_before.stores,
-            evictions=after.evictions - stats_before.evictions,
-        )
+        # delta() iterates the CacheStats fields, so tier or claim counters
+        # added later flow into per-batch reports without touching this.
+        batch_stats = self.cache.stats.delta(stats_before)
         return BatchReport(
             outcomes=[o for o in outcomes if o is not None],
             wall_time_s=time.perf_counter() - start,

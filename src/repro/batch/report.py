@@ -215,6 +215,11 @@ class BatchReport:
             "wall_time_s": round(self.wall_time_s, 3),
             "max_workers": self.max_workers,
             "stages": self.stage_summary(),
+            # Per-tier hit/miss and single-flight claim counters for this
+            # batch; flows verbatim into the service result payload.
+            "cache": self.cache_stats.as_dict()
+            if self.cache_stats is not None
+            else None,
         }
 
     def to_json_payload(self) -> Dict[str, Any]:
@@ -288,9 +293,10 @@ def format_batch_report(report: BatchReport) -> str:
     stats = report.cache_stats
     cache_line = ""
     if stats is not None:
+        shared = f", {stats.shared_hits} shared" if stats.shared_hits else ""
         cache_line = (
             f", cache {stats.hits}/{stats.lookups} hits"
-            f" ({stats.memory_hits} memory, {stats.disk_hits} disk)"
+            f" ({stats.memory_hits} memory, {stats.disk_hits} disk{shared})"
         )
     lines.append(
         f"batch: {len(report.outcomes)} jobs ({report.num_failed} failed), "

@@ -3,7 +3,7 @@
 Runs the small benchmark fixtures (RA30 / IVD / PCR by default, the same
 assays the golden regression pins cover) cold through the batch engine,
 times a tiny design-space exploration (the ``repro explore`` hot path), and
-writes a machine-readable ``BENCH_6.json`` so the performance trajectory of
+writes a machine-readable ``BENCH_7.json`` so the performance trajectory of
 the repository has data points a CI job can collect and compare across
 commits:
 
@@ -18,6 +18,12 @@ commits:
   makespan the warm-started backend delivers within it — the quantity the
   warm-start work moves (the seed backend returned a makespan of 520 at
   any budget; the warm-started one returns the optimal 280 immediately),
+* a two-replica throughput probe: an in-process cache daemon plus two
+  synthesis-service replicas on the ``shared`` cache backend, each running
+  one of two overlapping solver-free PCR pitch sweeps — recording combined
+  jobs/s and the total number of scheduling solves the pair performed
+  (exactly one: the pitch axis never touches the schedule stage, so
+  cross-process single-flight must let one replica's solve serve both),
 * a ``delta`` section against the most recent previous ``BENCH_*.json``
   found next to the output file, so a regression is visible in the payload
   itself, not only after downloading two artifacts — including per-assay
@@ -25,9 +31,9 @@ commits:
   file's IVD schedule stage.
 
 The file name carries the PR sequence number of the benchmark format
-(``BENCH_6``) rather than a timestamp, so CI artifact uploads of different
+(``BENCH_7``) rather than a timestamp, so CI artifact uploads of different
 commits are directly comparable — and the repository commits each sequence
-point, making the checked-in ``BENCH_6.json`` the trajectory's next
+point, making the checked-in ``BENCH_7.json`` the trajectory's next
 recorded entry.  The payload also embeds :data:`repro.keys.KEY_VERSION` — a
 bump there invalidates every cache, so wall-time regressions across a bump
 are expected and the comparison tooling can tell the two apart.
@@ -59,8 +65,10 @@ DEFAULT_ASSAYS = ("RA30", "IVD", "PCR")
 #: name, which tracks the PR that introduced or last evolved the
 #: telemetry).  v2 added the exploration smoke and the delta section; v3
 #: added ``warm_start_used`` per stage, the anytime branch-and-bound probe
-#: (``bb_probe``), and schedule-stage wall times in the delta.
-BENCH_FORMAT = 3
+#: (``bb_probe``), and schedule-stage wall times in the delta; v4 added the
+#: two-replica shared-cache throughput record (``replica``) and its jobs/s
+#: comparison in the delta.
+BENCH_FORMAT = 4
 
 #: Time budget of the anytime branch-and-bound probe.  Deliberately tiny:
 #: the probe measures solution *quality under a budget*, not proof time —
@@ -85,6 +93,16 @@ EXPLORE_SMOKE_SPEC: Dict[str, Any] = {
     "strategy": "successive-halving",
 }
 
+#: The two overlapping pitch sweeps of the two-replica throughput probe:
+#: six points each, three shared.  Solver-free (``ilp_operation_limit: 0``)
+#: so the probe measures cache/claim machinery and replica plumbing, not an
+#: ILP — and pitch-only, so the whole pair of sweeps contains exactly one
+#: distinct scheduling problem.
+REPLICA_SWEEP_PITCHES = (
+    [5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+    [8.0, 9.0, 10.0, 11.0, 12.0, 13.0],
+)
+
 
 def build_bench_parser() -> argparse.ArgumentParser:
     """Argument surface of the ``repro bench`` subcommand."""
@@ -97,8 +115,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "used per stage) to a JSON file for the perf trajectory.",
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_6.json"),
-        help="output JSON path (default BENCH_6.json)",
+        "--out", type=Path, default=Path("BENCH_7.json"),
+        help="output JSON path (default BENCH_7.json)",
     )
     parser.add_argument(
         "--assays", nargs="+", default=list(DEFAULT_ASSAYS),
@@ -112,6 +130,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-bb-probe", action="store_true",
         help="skip the anytime branch-and-bound probe",
+    )
+    parser.add_argument(
+        "--no-replica", action="store_true",
+        help="skip the two-replica shared-cache throughput probe",
     )
     parser.add_argument(
         "--bb-time-limit", type=float, default=BB_PROBE_TIME_LIMIT_S,
@@ -254,6 +276,144 @@ def run_explore_smoke() -> Dict[str, Any]:
     }
 
 
+def _count_schedule_runs(result_payload: Any) -> int:
+    """Schedule-stage solves actually *executed* inside one result payload.
+
+    Counts the per-job stage rows with ``stage == "schedule"`` and
+    ``action == "ran"`` — replayed and shared rows are exactly the ones the
+    cache saved, so they do not count.
+    """
+    if not isinstance(result_payload, dict):
+        return 0
+    runs = 0
+    for job in result_payload.get("jobs") or []:
+        if _schedule_stage_wall(job) is not None:
+            runs += 1
+    return runs
+
+
+def run_replica_throughput() -> Dict[str, Any]:
+    """Two-replica throughput probe: overlapping sweeps over a shared cache.
+
+    Boots an in-process :class:`~repro.service.CacheDaemon` plus two
+    :class:`~repro.service.SynthesisService` replicas on ``--cache-backend
+    shared`` (all on ephemeral ports and daemon threads), submits one of the
+    two overlapping solver-free PCR pitch sweeps to each replica, waits for
+    both, and records the combined throughput in jobs/s.  The quantity the
+    record pins is ``scheduling_solves``: both sweeps agree on every
+    schedule-stage input, so cross-process single-flight must leave exactly
+    *one* schedule row marked ``ran`` across both result payloads — one
+    replica solved it, the daemon's claim protocol handed it to the other.
+    Any failure (daemon, replica, job, or count mismatch) is reported in the
+    record, never raised: telemetry must not crash the bench.
+    """
+    import asyncio
+    import threading
+
+    from repro.service import (
+        CacheDaemon,
+        CacheDaemonConfig,
+        ServiceClient,
+        ServiceConfig,
+        SynthesisService,
+    )
+
+    start = time.perf_counter()
+
+    def _failure(error: str) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "error": error,
+            "replicas": 2,
+            "wall_time_s": round(time.perf_counter() - start, 4),
+        }
+
+    daemon = CacheDaemon(CacheDaemonConfig(port=0))
+    daemon_thread = threading.Thread(
+        target=lambda: asyncio.run(daemon.serve_forever()),
+        name="bench-cache-daemon",
+        daemon=True,
+    )
+    daemon_thread.start()
+    services: List[Any] = []
+    try:
+        if not daemon.ready.wait(timeout=10.0):
+            return _failure("cache daemon did not become ready")
+        for index in range(2):
+            service = SynthesisService(
+                ServiceConfig(
+                    port=0,
+                    workers=2,
+                    cache_backend="shared",
+                    cache_addr=f"127.0.0.1:{daemon.bound_port}",
+                )
+            )
+            thread = threading.Thread(
+                target=lambda s=service: asyncio.run(s.serve_forever()),
+                name=f"bench-replica-{index}",
+                daemon=True,
+            )
+            thread.start()
+            services.append((service, thread))
+            if not service.ready.wait(timeout=10.0):
+                return _failure(f"replica {index} did not become ready")
+        clients = [ServiceClient(port=service.bound_port) for service, _ in services]
+        try:
+            job_ids = [
+                client.submit(
+                    {
+                        "assay": "PCR",
+                        "base": {"ilp_operation_limit": 0},
+                        "sweep": {"pitch": pitches},
+                    }
+                )
+                for client, pitches in zip(clients, REPLICA_SWEEP_PITCHES)
+            ]
+            statuses = [
+                client.wait(job_id, timeout=120.0)
+                for client, job_id in zip(clients, job_ids)
+            ]
+            wall_time_s = time.perf_counter() - start
+            for status in statuses:
+                if status.get("status") != "done":
+                    return _failure(
+                        f"replica job ended {status.get('status')}: {status.get('error')}"
+                    )
+            results = [
+                client.result(job_id) for client, job_id in zip(clients, job_ids)
+            ]
+        except Exception as exc:  # noqa: BLE001 - telemetry must not crash bench
+            return _failure(f"{type(exc).__name__}: {exc}")
+        jobs = sum(len(result.get("jobs") or []) for result in results)
+        solves = sum(_count_schedule_runs(result) for result in results)
+        expected_jobs = sum(len(pitches) for pitches in REPLICA_SWEEP_PITCHES)
+        ok = jobs == expected_jobs and solves == 1
+        return {
+            "ok": ok,
+            "error": None
+            if ok
+            else f"expected {expected_jobs} jobs / 1 scheduling solve, "
+            f"got {jobs} jobs / {solves} solves",
+            "replicas": 2,
+            "jobs": jobs,
+            "wall_time_s": round(wall_time_s, 4),
+            "jobs_per_s": round(jobs / wall_time_s, 2) if wall_time_s > 0 else None,
+            "scheduling_solves": solves,
+            "overlap_points": len(
+                set(REPLICA_SWEEP_PITCHES[0]) & set(REPLICA_SWEEP_PITCHES[1])
+            ),
+        }
+    finally:
+        for service, thread in services:
+            try:
+                ServiceClient(port=service.bound_port, timeout=5.0).shutdown()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            thread.join(timeout=10.0)
+        daemon.request_shutdown_threadsafe()
+        daemon_thread.join(timeout=10.0)
+
+
 def previous_bench_file(out: Path) -> Optional[Path]:
     """The most recent earlier ``BENCH_*.json`` next to ``out``, if any.
 
@@ -314,9 +474,11 @@ def bench_delta(payload: Dict[str, Any], previous_path: Path) -> Optional[Dict[s
     payload carries a ``bb_probe`` record, ``bb_probe`` compares its
     schedule-stage wall against the baseline — the previous file's own
     probe, or (for a pre-format-3 previous file) its exact IVD schedule
-    stage — and reports the speedup factor.  ``None`` when the previous
-    file is unreadable (a broken old artifact must not fail the current
-    bench).
+    stage — and reports the speedup factor.  When both payloads carry a
+    ``replica`` record with a numeric ``jobs_per_s`` (format 4+), the
+    throughputs are diffed as ``replica`` — a pre-format-4 baseline simply
+    gets no replica comparison.  ``None`` when the previous file is
+    unreadable (a broken old artifact must not fail the current bench).
     """
     try:
         previous = json.loads(previous_path.read_text())
@@ -383,6 +545,24 @@ def bench_delta(payload: Dict[str, Any], previous_path: Path) -> Optional[Dict[s
             "speedup": round(baseline_wall / probe_wall, 2),
             "makespan": probe.get("makespan"),
         }
+
+    new_replica = payload.get("replica")
+    old_replica = previous.get("replica")
+    # A pre-format-4 baseline has no replica record: skip the comparison
+    # rather than inventing one (BENCH_6 and earlier simply carry no
+    # multi-replica data point).
+    if (
+        isinstance(new_replica, dict)
+        and isinstance(old_replica, dict)
+        and isinstance(new_replica.get("jobs_per_s"), (int, float))
+        and isinstance(old_replica.get("jobs_per_s"), (int, float))
+    ):
+        delta["replica"] = {
+            "jobs_per_s": round(
+                new_replica["jobs_per_s"] - old_replica["jobs_per_s"], 2
+            ),
+            "baseline_jobs_per_s": float(old_replica["jobs_per_s"]),
+        }
     return delta
 
 
@@ -400,10 +580,13 @@ def run_bench(argv: List[str]) -> int:
             totals[stage] = totals.get(stage, 0) + count
     explore_record = None if args.no_explore else run_explore_smoke()
     bb_record = None if args.no_bb_probe else run_bb_probe(args.bb_time_limit)
+    replica_record = None if args.no_replica else run_replica_throughput()
     failed = sum(1 for r in experiments if not r["ok"])
     if explore_record is not None and not explore_record["ok"]:
         failed += 1
     if bb_record is not None and not bb_record["ok"]:
+        failed += 1
+    if replica_record is not None and not replica_record["ok"]:
         failed += 1
     payload = {
         "bench_format": BENCH_FORMAT,
@@ -413,6 +596,7 @@ def run_bench(argv: List[str]) -> int:
         "experiments": experiments,
         "explore": explore_record,
         "bb_probe": bb_record,
+        "replica": replica_record,
         "totals": {
             "wall_time_s": round(
                 sum(r["wall_time_s"] for r in experiments)
@@ -454,6 +638,16 @@ def run_bench(argv: List[str]) -> int:
             )
         else:
             print(f"bb-probe FAILED: {bb_record['error']}")
+    if replica_record is not None:
+        if replica_record["ok"]:
+            print(
+                f"replica  jobs/s={replica_record['jobs_per_s']} "
+                f"jobs={replica_record['jobs']} "
+                f"solves={replica_record['scheduling_solves']} "
+                f"{replica_record['wall_time_s']:.2f}s"
+            )
+        else:
+            print(f"replica  FAILED: {replica_record['error']}")
     if payload.get("delta"):
         total_delta = payload["delta"].get("wall_time_s")
         note = (
@@ -464,6 +658,9 @@ def run_bench(argv: List[str]) -> int:
         probe_delta = payload["delta"].get("bb_probe")
         if probe_delta is not None:
             note += f", bb-probe {probe_delta['speedup']}x vs {probe_delta['baseline_source']}"
+        replica_delta = payload["delta"].get("replica")
+        if replica_delta is not None:
+            note += f", replica {replica_delta['jobs_per_s']:+.2f} jobs/s"
         print(f"delta vs {payload['delta']['against']}: {note}")
     print(f"bench telemetry written to {args.out}")
     if failed:

@@ -48,12 +48,22 @@ Serve mode runs the long-lived HTTP synthesis service (see
 
     python -m repro serve --port 8642 --workers 2 --cache-dir .repro-cache
 
-Bench mode runs the small benchmark fixtures cold, times an exploration
-smoke, and writes machine-readable telemetry — per-experiment wall time,
-solver invocations, the solver backend each exact stage ran on, and a delta
-against the previous recorded ``BENCH_*.json`` — to ``BENCH_5.json``::
+Every job-running mode also accepts ``--cache-backend`` (``memory``,
+``disk``, or ``shared``) and — for ``shared`` — ``--cache-addr HOST:PORT``
+pointing at a ``repro cache-daemon``, which pools stage artifacts and
+single-flight claims across processes so N replicas perform each solve
+exactly once between them::
 
-    python -m repro bench --out BENCH_5.json
+    python -m repro cache-daemon --port 8643
+    python -m repro serve --port 8642 --cache-addr 127.0.0.1:8643
+
+Bench mode runs the small benchmark fixtures cold, times an exploration
+smoke plus a two-replica shared-cache throughput probe, and writes
+machine-readable telemetry — per-experiment wall time, solver invocations,
+the solver backend each exact stage ran on, and a delta against the
+previous recorded ``BENCH_*.json`` — to ``BENCH_7.json``::
+
+    python -m repro bench --out BENCH_7.json
 
 Every job-running mode accepts ``--solver`` to force both ILPs onto one
 registered solver backend (``highs``, ``branch-and-bound``, or the default
@@ -172,6 +182,65 @@ def _config_from_args(args: argparse.Namespace) -> FlowConfig:
     return apply_solver_override(config, args.solver)
 
 
+def _add_cache_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared cache-backend flags of every job-running subcommand.
+
+    ``--cache-backend`` picks a name from the
+    :mod:`repro.batch.cache_backends` registry; the default keeps the
+    historical behavior (``disk`` when ``--cache-dir`` is given, plain
+    ``memory`` otherwise).  ``--cache-addr`` points the ``shared`` backend
+    at a ``repro cache-daemon`` — and, given alone, implies
+    ``--cache-backend shared``.
+    """
+    from repro.batch import cache_backend_names
+
+    parser.add_argument(
+        "--cache-backend",
+        choices=sorted(cache_backend_names()),
+        default=None,
+        help="cache backend behind the in-memory LRU (default: 'disk' with "
+        "--cache-dir, else 'memory'); 'shared' pools artifacts and "
+        "single-flight claims across processes via a repro cache-daemon",
+    )
+    parser.add_argument(
+        "--cache-addr",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of a running 'repro cache-daemon' (required by "
+        "--cache-backend shared; implies it when given alone)",
+    )
+
+
+def _build_cache(args: argparse.Namespace, parser: argparse.ArgumentParser):
+    """Build the configured cache (wrapped for claims when cross-process).
+
+    Misconfigurations (``shared`` without an address, a malformed address)
+    surface as ``parser.error`` — exit code 2, like every other CLI input
+    problem.  When the backend arbitrates cross-process claims, the cache
+    is wrapped in a :class:`~repro.service.singleflight.SingleFlightCache`
+    so concurrent CLI runs against one daemon solve each stage once
+    between them, exactly like service replicas do.
+    """
+    from repro.batch import ResultCache
+
+    backend = args.cache_backend
+    if backend is None and args.cache_addr is not None:
+        backend = "shared"
+    if backend == "shared" and args.cache_addr is None:
+        parser.error("--cache-backend shared requires --cache-addr HOST:PORT")
+    try:
+        cache = ResultCache(
+            cache_dir=args.cache_dir, backend=backend, cache_addr=args.cache_addr
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if cache.claim_tier is not None:
+        from repro.service.singleflight import SingleFlightCache
+
+        return SingleFlightCache(cache)
+    return cache
+
+
 def _build_jobs_parser(prog: str, description: str, source_help: str) -> argparse.ArgumentParser:
     """Shared argument surface of the ``batch`` and ``sweep`` subcommands."""
     parser = argparse.ArgumentParser(prog=prog, description=description)
@@ -180,6 +249,7 @@ def _build_jobs_parser(prog: str, description: str, source_help: str) -> argpars
                         help="process count for stage execution (default 1 = serial)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for the persistent stage-cache tier (default: memory only)")
+    _add_cache_backend_arguments(parser)
     parser.add_argument("--json", dest="json_out", type=Path, default=None,
                         help="also write per-job metrics and batch totals to this JSON file")
     parser.add_argument("--fail-fast", action="store_true",
@@ -225,6 +295,7 @@ def build_explore_parser() -> argparse.ArgumentParser:
                         help="process count for stage execution (default 1 = serial)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for the persistent stage-cache tier (default: memory only)")
+    _add_cache_backend_arguments(parser)
     parser.add_argument("--state-dir", type=Path, default=None,
                         help="directory for resumable exploration state "
                         "(frontier + evaluated candidates; default: no persistence)")
@@ -250,7 +321,6 @@ def run_explore(argv: List[str]) -> int:
     different spec), ``1`` when every evaluated candidate failed (there is
     no frontier to report), ``0`` otherwise.
     """
-    from repro.batch import ResultCache
     from repro.explore import (
         ExplorationEngine,
         format_exploration_report,
@@ -276,9 +346,10 @@ def run_explore(argv: List[str]) -> int:
     state_path = (
         args.state_dir / "explore_state.json" if args.state_dir is not None else None
     )
+    cache = _build_cache(args, parser)
     engine = ExplorationEngine(
         spec,
-        cache=ResultCache(cache_dir=args.cache_dir),
+        cache=cache,
         max_workers=max(1, args.workers),
         state_path=state_path,
         solver=args.solver,
@@ -294,6 +365,8 @@ def run_explore(argv: List[str]) -> int:
     except Exception as exc:  # noqa: BLE001 - infrastructure failure
         print(f"exploration failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        cache.close()
 
     print(format_exploration_report(report))
     if args.json_out is not None:
@@ -326,6 +399,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for the persistent stage-cache tier "
                         "(default: memory only; required for restart resume)")
+    _add_cache_backend_arguments(parser)
     parser.add_argument("--drain-timeout", type=float, default=5.0,
                         help="seconds shutdown waits for running jobs before "
                         "flushing the cache and exiting (default 5)")
@@ -345,18 +419,28 @@ def run_serve(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1 or args.engine_workers < 1:
         parser.error("--workers and --engine-workers must be at least 1")
+    cache_backend = args.cache_backend
+    if cache_backend is None and args.cache_addr is not None:
+        cache_backend = "shared"
+    if cache_backend == "shared" and args.cache_addr is None:
+        parser.error("--cache-backend shared requires --cache-addr HOST:PORT")
 
-    service = SynthesisService(
-        ServiceConfig(
-            host=args.host,
-            port=args.port,
-            workers=args.workers,
-            engine_workers=args.engine_workers,
-            cache_dir=args.cache_dir,
-            drain_timeout_s=args.drain_timeout,
-            solver=args.solver,
+    try:
+        service = SynthesisService(
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                engine_workers=args.engine_workers,
+                cache_dir=args.cache_dir,
+                cache_backend=cache_backend,
+                cache_addr=args.cache_addr,
+                drain_timeout_s=args.drain_timeout,
+                solver=args.solver,
+            )
         )
-    )
+    except ValueError as exc:
+        parser.error(str(exc))
 
     async def _serve() -> None:
         loop = asyncio.get_running_loop()
@@ -366,9 +450,11 @@ def run_serve(argv: List[str]) -> int:
             with contextlib.suppress(NotImplementedError):
                 loop.add_signal_handler(signum, service.request_shutdown)
         await service.start()
+        backend_name = getattr(service.cache.inner, "backend_name", "memory")
         print(
             f"repro service listening on http://{args.host}:{service.bound_port} "
-            f"({args.workers} worker(s), cache_dir={args.cache_dir})",
+            f"({args.workers} worker(s), cache_dir={args.cache_dir}, "
+            f"cache_backend={backend_name})",
             flush=True,
         )
         try:
@@ -384,11 +470,71 @@ def run_serve(argv: List[str]) -> int:
     return 0
 
 
+def build_cache_daemon_parser() -> argparse.ArgumentParser:
+    """Argument surface of the ``repro cache-daemon`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache-daemon",
+        description="Run the shared cache daemon: a small key-value + "
+        "single-flight-claim server that 'repro serve' replicas and batch "
+        "runs configured with '--cache-backend shared' pool their stage "
+        "artifacts through, so N processes perform each solve exactly once "
+        "between them (see docs/service.md).  Entries are pickles: bind "
+        "only to loopback or a trusted private network.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8643,
+                        help="TCP port; 0 binds an ephemeral port (default 8643)")
+    parser.add_argument("--max-entries", type=int, default=4096,
+                        help="bound on stored entries; least-recently-used "
+                        "entries are evicted (default 4096)")
+    return parser
+
+
+def run_cache_daemon(argv: List[str]) -> int:
+    """The ``repro cache-daemon`` subcommand; blocks until shutdown, returns 0."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.service.cachedaemon import CacheDaemon, CacheDaemonConfig
+
+    parser = build_cache_daemon_parser()
+    args = parser.parse_args(argv)
+    if args.max_entries < 1:
+        parser.error("--max-entries must be at least 1")
+
+    daemon = CacheDaemon(
+        CacheDaemonConfig(host=args.host, port=args.port, max_entries=args.max_entries)
+    )
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, daemon.request_shutdown)
+        await daemon.start()
+        print(
+            f"repro cache daemon listening on http://{args.host}:{daemon.bound_port} "
+            f"(max_entries={args.max_entries})",
+            flush=True,
+        )
+        try:
+            await daemon.serve_forever()
+        finally:
+            print("repro cache daemon stopped", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     """Shared implementation of the ``batch`` and ``sweep`` subcommands."""
     from repro.batch import (
         BatchSynthesisEngine,
-        ResultCache,
         format_batch_report,
         load_manifest,
         load_sweep,
@@ -411,7 +557,7 @@ def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     for job in jobs:
         job.config = apply_solver_override(job.config, args.solver)
 
-    cache = ResultCache(cache_dir=args.cache_dir)
+    cache = _build_cache(args, parser)
     engine = BatchSynthesisEngine(
         max_workers=max(1, args.workers), cache=cache, fail_fast=args.fail_fast
     )
@@ -420,6 +566,8 @@ def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     except Exception as exc:  # noqa: BLE001 - fail-fast surfaces the first job error
         print(f"batch failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        cache.close()
 
     print(format_batch_report(report))
 
@@ -452,6 +600,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_explore(list(argv[1:]))
     if argv and argv[0] == "serve":
         return run_serve(list(argv[1:]))
+    if argv and argv[0] == "cache-daemon":
+        return run_cache_daemon(list(argv[1:]))
     if argv and argv[0] == "bench":
         from repro.bench import run_bench
 

@@ -6,12 +6,17 @@ persistent process:
 
 * :class:`~repro.service.server.SynthesisService` — an asyncio HTTP server
   (hand-rolled on ``asyncio.start_server``, zero new dependencies) exposing
-  ``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/result`` and
-  ``GET /healthz``, with a bounded worker pool driving the stage-granular
-  batch engine and one long-lived result cache shared by every request;
+  ``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/result``,
+  ``GET /healthz`` and ``GET /stats``, with a bounded worker pool driving
+  the stage-granular batch engine and one long-lived result cache shared
+  by every request;
 * :class:`~repro.service.singleflight.SingleFlightCache` — the claim layer
   that makes *concurrent* jobs share in-flight stage solves, not just
-  completed ones;
+  completed ones — and, against a ``shared`` cache backend, extends those
+  claims across server replicas;
+* :class:`~repro.service.cachedaemon.CacheDaemon` — the shared key-value +
+  claim daemon (``repro cache-daemon``) that N replicas point their
+  ``--cache-backend shared`` tier at;
 * :class:`~repro.service.client.ServiceClient` — a small blocking client
   for scripts and tests;
 * :mod:`~repro.service.http` / :mod:`~repro.service.state` — minimal HTTP
@@ -24,12 +29,15 @@ embed one with::
     asyncio.run(service.serve_forever())
 """
 
+from repro.service.cachedaemon import CacheDaemon, CacheDaemonConfig
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.server import ServiceConfig, SynthesisService
 from repro.service.singleflight import SingleFlightCache
 from repro.service.state import JobRecord, JobRegistry
 
 __all__ = [
+    "CacheDaemon",
+    "CacheDaemonConfig",
     "JobRecord",
     "JobRegistry",
     "ServiceClient",

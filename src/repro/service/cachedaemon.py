@@ -1,0 +1,340 @@
+"""The shared cache daemon: one key-value + claim arbiter for N replicas.
+
+``repro cache-daemon`` runs this tiny asyncio server; every ``repro serve``
+replica (or batch run) configured with ``--cache-backend shared`` points
+its :class:`~repro.batch.cache_backends.SharedCacheTier` at it.  The
+daemon stores *opaque* byte envelopes — it never unpickles a value, so a
+buggy or version-skewed client cannot crash it — plus claim records that
+extend single-flight semantics across processes:
+
+* ``GET/HEAD/PUT /kv/{key}`` — the key-value store (raw envelope bodies);
+  a ``PUT`` also releases any claim on its key, which is how "the solve
+  finished" is announced to every waiting replica.
+* ``POST /claim/{key}`` — claim arbitration.  The reply is ``present``
+  when the value already exists, ``granted`` when the caller may compute
+  (with ``takeover: true`` when it displaced an expired lease), or
+  ``claimed`` with a ``retry_after_s`` hint while another live owner
+  holds the claim.  A claim carries a lease; an owner that neither
+  publishes nor releases within it is presumed dead, so a crashed replica
+  delays its waiters by at most one lease.
+* ``POST /release/{key}`` — voluntary release (owner-checked, idempotent).
+* ``GET /stats``, ``GET /healthz``, ``POST /clear``, ``POST /shutdown``.
+
+Everything runs on the event-loop thread — requests are tiny and the store
+is in memory, so there are no worker threads and no locks.  Like the
+synthesis service, the daemon reuses the hand-rolled HTTP framing of
+:mod:`repro.service.http` (one request per connection) and binds loopback
+by default: entries are pickles, so only trusted replicas may reach it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    read_request,
+    response_bytes,
+)
+
+#: Keys are SHA-256 hex digests in practice; the permissive charset also
+#: admits test keys, but still rules out path games and header injection.
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,200}$")
+
+#: Ceiling on a single claim's lease; a claimant asking for more is
+#: clamped, so one bad client cannot park a key for a day.
+MAX_LEASE_S = 3600.0
+
+
+@dataclass
+class CacheDaemonConfig:
+    """Everything tunable about one :class:`CacheDaemon` instance."""
+
+    #: Interface to bind; loopback by default — entries are pickles, so the
+    #: daemon must only be reachable by trusted replicas.
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (read it back from
+    #: :attr:`CacheDaemon.bound_port`).
+    port: int = 8643
+    #: Bound on stored entries; least-recently-used entries are evicted.
+    max_entries: int = 4096
+    #: Reject value bodies larger than this (physical artifacts are tens of
+    #: KB; the default leaves two orders of magnitude of headroom).
+    max_body_bytes: int = MAX_BODY_BYTES
+    #: Lease granted when a claim request does not name one.
+    default_lease_s: float = 300.0
+
+
+@dataclass
+class _Claim:
+    """One live claim record: who owns it and when the lease runs out."""
+
+    owner: str
+    deadline: float = 0.0
+
+
+@dataclass
+class DaemonStats:
+    """Daemon-side counters, mirrored verbatim into ``GET /stats``."""
+
+    gets: int = 0
+    hits: int = 0
+    puts: int = 0
+    evictions: int = 0
+    claims_granted: int = 0
+    claims_present: int = 0
+    claims_denied: int = 0
+    takeovers: int = 0
+    releases: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a JSON-ready mapping."""
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "claims_granted": self.claims_granted,
+            "claims_present": self.claims_present,
+            "claims_denied": self.claims_denied,
+            "takeovers": self.takeovers,
+            "releases": self.releases,
+        }
+
+
+class CacheDaemon:
+    """The daemon object: build once, ``await serve_forever()``.
+
+    Single-use, like :class:`~repro.service.server.SynthesisService`; all
+    state mutation happens on the event-loop thread.
+    """
+
+    def __init__(self, config: Optional[CacheDaemonConfig] = None) -> None:
+        self.config = config or CacheDaemonConfig()
+        if self.config.max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.stats = DaemonStats()
+        #: Actual bound port once started (differs from config.port for 0).
+        self.bound_port: Optional[int] = None
+        #: Set once the listener is accepting — lets a hosting thread hand
+        #: the bound port to blocking-client code safely.
+        self.ready = threading.Event()
+        self._store: "OrderedDict[str, bytes]" = OrderedDict()
+        self._claims: Dict[str, _Claim] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the listener (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        self.ready.set()
+
+    async def serve_forever(self) -> None:
+        """Run until shutdown is requested, then close the listener."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def request_shutdown(self) -> None:
+        """Begin shutdown (callable from handlers or signal hooks)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def request_shutdown_threadsafe(self) -> None:
+        """Like :meth:`request_shutdown`, safe from any thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self.request_shutdown)
+
+    # -------------------------------------------------------------- requests
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one request on one connection, then close it."""
+        after_send: Optional[Callable[[], None]] = None
+        try:
+            try:
+                request = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes
+                )
+                if request is None:
+                    return
+                response, after_send = self._route(request)
+            except HttpError as exc:
+                response = response_bytes(exc.status, {"error": exc.message})
+            except Exception as exc:  # noqa: BLE001 - never kill the listener
+                response = response_bytes(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:  # noqa: BLE001 - a broken transport is not fatal
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if after_send is not None:
+                after_send()
+
+    def _route(
+        self, request: Request
+    ) -> Tuple[bytes, Optional[Callable[[], None]]]:
+        """Dispatch one request; returns the serialized response."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return response_bytes(200, self._healthz_payload()), None
+        if path == "/stats" and method == "GET":
+            return response_bytes(200, self._stats_payload()), None
+        if path == "/shutdown" and method == "POST":
+            # The response is written before shutdown fires, so the
+            # requesting client always hears the acknowledgement.
+            return (
+                response_bytes(202, {"status": "shutting down"}),
+                self.request_shutdown,
+            )
+        if path == "/clear" and method == "POST":
+            self._store.clear()
+            self._claims.clear()
+            return response_bytes(200, {"status": "cleared"}), None
+        if path.startswith("/kv/"):
+            return self._kv_endpoint(method, path[len("/kv/"):], request), None
+        if path.startswith("/claim/"):
+            return self._claim_endpoint(method, path[len("/claim/"):], request), None
+        if path.startswith("/release/"):
+            return (
+                self._release_endpoint(method, path[len("/release/"):], request),
+                None,
+            )
+        raise HttpError(404, f"no such endpoint: {method} {request.path}")
+
+    def _kv_endpoint(self, method: str, key: str, request: Request) -> bytes:
+        """``GET``/``HEAD``/``PUT /kv/{key}``: the raw-envelope store."""
+        key = self._check_key(key)
+        if method in ("GET", "HEAD"):
+            self.stats.gets += 1
+            data = self._store.get(key)
+            if data is None:
+                return response_bytes(404, {"error": f"no such key: {key}"})
+            self.stats.hits += 1
+            self._store.move_to_end(key)
+            if method == "HEAD":
+                return response_bytes(200, raw=b"", content_type="application/octet-stream")
+            return response_bytes(200, raw=data, content_type="application/octet-stream")
+        if method == "PUT":
+            if not request.body:
+                raise HttpError(400, "PUT /kv/{key} requires a non-empty body")
+            self.stats.puts += 1
+            self._store[key] = request.body
+            self._store.move_to_end(key)
+            while len(self._store) > self.config.max_entries:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
+            # Publishing the value is the definitive release: every replica
+            # polling the claim now sees "present" and just reads.
+            self._claims.pop(key, None)
+            return response_bytes(200, {"status": "stored"})
+        raise HttpError(405, f"{method} not supported on /kv/{{key}}")
+
+    def _claim_endpoint(self, method: str, key: str, request: Request) -> bytes:
+        """``POST /claim/{key}``: single-flight claim arbitration."""
+        if method != "POST":
+            raise HttpError(405, f"{method} not supported on /claim/{{key}}")
+        key = self._check_key(key)
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(body.get("owner"), str):
+            raise HttpError(400, "claim body must be a JSON object with an 'owner'")
+        owner = body["owner"]
+        lease_s = body.get("lease_s", self.config.default_lease_s)
+        if not isinstance(lease_s, (int, float)) or lease_s <= 0:
+            lease_s = self.config.default_lease_s
+        lease_s = min(float(lease_s), MAX_LEASE_S)
+
+        if key in self._store:
+            self.stats.claims_present += 1
+            return response_bytes(200, {"state": "present"})
+        now = time.monotonic()
+        claim = self._claims.get(key)
+        if claim is None or claim.owner == owner:
+            takeover = False
+        elif claim.deadline <= now:
+            # The lease ran out: the claimant is presumed dead, and the
+            # caller inherits the claim instead of waiting forever.
+            takeover = True
+            self.stats.takeovers += 1
+        else:
+            self.stats.claims_denied += 1
+            return response_bytes(
+                200,
+                {
+                    "state": "claimed",
+                    "retry_after_s": round(claim.deadline - now, 3),
+                },
+            )
+        self._claims[key] = _Claim(owner=owner, deadline=now + lease_s)
+        self.stats.claims_granted += 1
+        return response_bytes(200, {"state": "granted", "takeover": takeover})
+
+    def _release_endpoint(self, method: str, key: str, request: Request) -> bytes:
+        """``POST /release/{key}``: owner-checked voluntary claim release."""
+        if method != "POST":
+            raise HttpError(405, f"{method} not supported on /release/{{key}}")
+        key = self._check_key(key)
+        body = request.json()
+        owner = body.get("owner") if isinstance(body, dict) else None
+        claim = self._claims.get(key)
+        if claim is not None and claim.owner == owner:
+            del self._claims[key]
+            self.stats.releases += 1
+            return response_bytes(200, {"status": "released"})
+        return response_bytes(200, {"status": "ignored"})
+
+    def _healthz_payload(self) -> Any:
+        """``GET /healthz``: liveness plus store gauges."""
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started_at, 3)
+            if self._started_at is not None
+            else 0.0,
+            "entries": len(self._store),
+            "claims": len(self._claims),
+        }
+
+    def _stats_payload(self) -> Any:
+        """``GET /stats``: counters plus store gauges."""
+        payload = self.stats.as_dict()
+        payload["entries"] = len(self._store)
+        payload["claims"] = len(self._claims)
+        payload["max_entries"] = self.config.max_entries
+        return payload
+
+    @staticmethod
+    def _check_key(key: str) -> str:
+        """Validate one key path segment; :class:`HttpError` 400 otherwise."""
+        if not _KEY_RE.match(key):
+            raise HttpError(400, f"malformed cache key: {key[:80]!r}")
+        return key

@@ -135,15 +135,31 @@ async def read_request(
     return Request(method=method.upper(), path=path, headers=headers, body=body)
 
 
-def response_bytes(status: int, payload: Any = None) -> bytes:
-    """Serialize one JSON response (``Connection: close``) to raw bytes."""
-    body = b""
-    if payload is not None:
+def response_bytes(
+    status: int,
+    payload: Any = None,
+    *,
+    raw: Optional[bytes] = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """Serialize one response (``Connection: close``) to raw bytes.
+
+    ``payload`` is JSON-encoded; ``raw`` sends pre-encoded bytes verbatim
+    (the cache daemon's value envelopes are opaque pickles, not JSON) and
+    takes precedence when both are given.  ``content_type`` applies to
+    ``raw`` bodies; JSON payloads always go out as ``application/json``.
+    """
+    if raw is not None:
+        body, ctype = raw, content_type
+    elif payload is not None:
         body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        ctype = "application/json"
+    else:
+        body, ctype = b"", "application/json"
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {ctype}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
         "\r\n"

@@ -8,7 +8,8 @@ One process, three moving parts:
   exploration, ``sweep`` → sweep, else manifest), ``GET /jobs/{id}``
   reports status plus the per-stage
   ran/replayed/shared breakdown, ``GET /jobs/{id}/result`` returns the full
-  report payload, ``GET /healthz`` answers liveness probes;
+  report payload, ``GET /healthz`` answers liveness probes, ``GET /stats``
+  reports the per-tier cache and single-flight claim counters;
 * a bounded pool of worker coroutines, each driving one queued job at a
   time through the *existing* stage-granular
   :class:`~repro.batch.engine.BatchSynthesisEngine` on a daemon job
@@ -194,6 +195,15 @@ class ServiceConfig:
     #: Directory for the cache's persistent tier; ``None`` keeps the cache
     #: memory-only (shutdown then has nothing to flush).
     cache_dir: Optional[Union[str, Path]] = None
+    #: Cache backend name from the :mod:`repro.batch.cache_backends`
+    #: registry (``memory``/``disk``/``shared``); ``None`` keeps the
+    #: historical default — ``disk`` when ``cache_dir`` is set, else
+    #: ``memory``.
+    cache_backend: Optional[str] = None
+    #: ``host:port`` of a ``repro cache-daemon``; required by (and only
+    #: used with) the ``shared`` backend, which pools artifacts and
+    #: single-flight claims across replicas.
+    cache_addr: Optional[str] = None
     #: Bound on the cache's in-memory LRU tier.
     cache_entries: Optional[int] = 1024
     #: How long a job waits on another job's in-flight stage solve before
@@ -241,6 +251,8 @@ class SynthesisService:
             ResultCache(
                 max_entries=self.config.cache_entries,
                 cache_dir=self.config.cache_dir,
+                backend=self.config.cache_backend,
+                cache_addr=self.config.cache_addr,
             ),
             claim_timeout_s=self.config.claim_timeout_s,
         )
@@ -329,8 +341,10 @@ class SynthesisService:
         # The flush is the resume guarantee: every durable artifact a tier
         # completed before shutdown is now on disk (including any whose
         # original write soft-failed), so the next server picks up where
-        # this one stopped.
+        # this one stopped.  Entries a live tier already persisted are
+        # tracked as clean and not written a second time.
         self.flushed_on_shutdown = self.cache.flush_to_disk()
+        self.cache.close()
 
     # --------------------------------------------------------------- workers
     async def _worker(self) -> None:
@@ -461,6 +475,8 @@ class SynthesisService:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             return 200, self._healthz_payload(), None
+        if path == "/stats" and method == "GET":
+            return 200, self._stats_payload(), None
         if path == "/jobs":
             if method == "POST":
                 return (*await self._submit(request), None)
@@ -590,4 +606,26 @@ class SynthesisService:
                 "evictions": stats.evictions,
                 "dir": str(self.config.cache_dir) if self.config.cache_dir else None,
             },
+        }
+
+    def _stats_payload(self) -> Any:
+        """``GET /stats``: the full per-tier hit/miss/claim counter set.
+
+        ``/healthz`` keeps its slim historical shape for liveness probes;
+        this endpoint is the observability surface — everything
+        :class:`~repro.batch.cache.CacheStats` counts (per-tier hits,
+        single-flight claims, waits, takeovers), per-tier write counters,
+        and which backend the cache is running.
+        """
+        inner = self.cache.inner
+        return {
+            "backend": getattr(inner, "backend_name", "memory"),
+            "cache_addr": self.config.cache_addr,
+            "cache_dir": str(self.config.cache_dir)
+            if self.config.cache_dir
+            else None,
+            "entries": len(self.cache),
+            "cache": self.cache.stats.as_dict(),
+            "tiers": self.cache.tier_counters(),
+            "jobs": self.registry.counts(),
         }

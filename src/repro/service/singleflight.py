@@ -18,19 +18,31 @@ object:
   releasing (a killed thread, a bug), a waiter takes the claim over and
   computes the artifact itself — slower, never deadlocked.
 
+When the wrapped cache exposes a claim-arbitrating tier
+(:attr:`ResultCache.claim_tier`, present under the ``shared`` backend), the
+same protocol extends **across processes**: a local miss-claim additionally
+negotiates with the cache daemon before computing.  ``granted`` means this
+process solves; ``present`` means another replica already published, just
+read it; ``claimed`` means another *live* replica is mid-solve — one
+thread per process polls (everyone else queues on the local claim event)
+until the value appears or the remote lease expires and the claim is taken
+over.  An unreachable daemon degrades to process-local single-flight; it
+never blocks or crashes a solve.
+
 The batch engine releases claims on every path (``put`` on success,
 ``abandon`` via :meth:`BatchSynthesisEngine._abandon_claim` on failure), so
 under normal operation the timeout never fires.  All inner-cache access is
-serialized under one lock, which also makes the wrapped ``ResultCache``
+serialized under one lock — which also makes the wrapped ``ResultCache``
 (plain dicts, not thread-safe by itself) safe to share between the
-service's worker threads.
+service's worker threads — except the daemon round trips themselves, which
+run outside it so a slow network cannot stall unrelated lookups.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 class SingleFlightCache:
@@ -41,20 +53,34 @@ class SingleFlightCache:
     inner:
         The wrapped cache; anything with the :class:`ResultCache` surface
         (``get``/``put``/``put_failure``/``get_failure``/``contains``/
-        ``flush_to_disk``/``stats``).
+        ``flush_to_disk``/``stats``).  When it also exposes a non-``None``
+        ``claim_tier``, misses negotiate cross-process claims through it.
     claim_timeout_s:
         How long a waiter blocks on another caller's claim before assuming
-        the claimant died and taking the claim over.  Generous by default —
-        a legitimate claimant is mid-solve — and short in tests.
+        the claimant died and taking the claim over; doubles as the lease
+        requested on cross-process claims.  Generous by default — a
+        legitimate claimant is mid-solve — and short in tests.
+    poll_interval_s:
+        How often the (single) polling thread re-asks the daemon about a
+        key another replica has claimed.
     """
 
-    def __init__(self, inner: Any, claim_timeout_s: float = 300.0) -> None:
+    def __init__(
+        self,
+        inner: Any,
+        claim_timeout_s: float = 300.0,
+        poll_interval_s: float = 0.05,
+    ) -> None:
         if claim_timeout_s <= 0:
             raise ValueError("claim_timeout_s must be positive")
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
         self._inner = inner
         self._claim_timeout_s = claim_timeout_s
+        self._poll_interval_s = poll_interval_s
         self._lock = threading.Lock()
         self._inflight: Dict[str, threading.Event] = {}
+        self._claims = getattr(inner, "claim_tier", None)
 
     @property
     def inner(self) -> Any:
@@ -66,12 +92,18 @@ class SingleFlightCache:
         """The wrapped cache's hit/miss counters."""
         return self._inner.stats
 
+    @property
+    def claim_tier(self) -> Any:
+        """The cross-process claim arbiter in use, or ``None``."""
+        return self._claims
+
     # ------------------------------------------------------------------- api
     def get(self, key: str) -> Optional[Any]:
         """Look up ``key``; a miss claims it, a foreign claim blocks.
 
         Returns the cached value, or ``None`` when the *caller* now holds
-        the claim and is expected to compute and ``put`` (or ``abandon``).
+        the claim (local, and — under a shared backend — cross-process) and
+        is expected to compute and ``put`` (or ``abandon``).
         """
         waited = 0.0
         last_event: Optional[threading.Event] = None
@@ -83,8 +115,13 @@ class SingleFlightCache:
                 event = self._inflight.get(key)
                 if event is None:
                     self._inflight[key] = threading.Event()
-                    return None
+                    if self._claims is None:
+                        self._bump("claims")
+                        return None
+                    break  # holds the local claim; negotiate remotely below
                 if event is not last_event:
+                    if last_event is None:
+                        self._bump("claim_waits")
                     # A different claimant than the one we were timing: give
                     # the new one a full patience window.  Without this
                     # reset, every waiter's accumulated wait would instantly
@@ -104,11 +141,18 @@ class SingleFlightCache:
                         # the replacement instead of the orphaned event.
                         self._inflight[key] = threading.Event()
                         event.set()
-                        return None
-                continue  # the claim changed hands; re-time the new claimant
+                        self._bump("takeovers")
+                        if self._claims is None:
+                            self._bump("claims")
+                            return None
+                        # Inherit the remote claim too: re-claiming under
+                        # this process's owner id refreshes the lease.
+                        break
+                    continue  # the claim changed hands; re-time the claimant
             start = time.monotonic()
             event.wait(timeout=remaining)
             waited += time.monotonic() - start
+        return self._negotiate_shared_claim(key)
 
     def get_nowait(self, key: str) -> Optional[Any]:
         """Plain thread-safe lookup: no claiming, no waiting.
@@ -123,21 +167,32 @@ class SingleFlightCache:
             return self._inner.get(key)
 
     def put(self, key: str, value: Any, disk: bool = True) -> None:
-        """Store ``value`` and release the claim on ``key`` (waking waiters)."""
+        """Store ``value`` and release the claim on ``key`` (waking waiters).
+
+        Under a shared backend the write-through publish is itself the
+        remote release (the daemon drops the claim when the value arrives);
+        when that publish soft-failed, the claim is released explicitly so
+        other replicas stop waiting and compute.
+        """
         with self._lock:
             self._inner.put(key, value, disk=disk)
             self._release(key)
+        if self._claims is not None and (not disk or not self._claims.is_clean(key)):
+            self._claims.release(key)
 
     def abandon(self, key: str) -> None:
         """Release the claim on ``key`` without storing anything.
 
         Called by the batch engine when a claimed stage (or run) ends in
-        failure; waiters wake, find the key still missing, and claim it
-        themselves.  Abandoning an unclaimed or already-released key is a
-        no-op, so callers need not track claim ownership precisely.
+        failure; waiters wake — local and, under a shared backend, in every
+        replica — find the key still missing, and claim it themselves.
+        Abandoning an unclaimed or already-released key is a no-op, so
+        callers need not track claim ownership precisely.
         """
         with self._lock:
             self._release(key)
+        if self._claims is not None:
+            self._claims.release(key)
 
     def put_failure(self, key: str, error: BaseException) -> None:
         """Memoize a failure in the inner cache (claims are unaffected)."""
@@ -155,9 +210,24 @@ class SingleFlightCache:
             return self._inner.contains(key)
 
     def flush_to_disk(self) -> int:
-        """Flush the inner cache's durable memory entries to its disk tier."""
+        """Flush the inner cache's dirty durable entries to its tiers."""
         with self._lock:
             return self._inner.flush_to_disk()
+
+    def close(self) -> None:
+        """Close the inner cache's durable tiers (when it has any)."""
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            with self._lock:
+                close()
+
+    def tier_counters(self) -> List[Dict[str, Any]]:
+        """The inner cache's per-tier write counters (empty when absent)."""
+        counters = getattr(self._inner, "tier_counters", None)
+        if counters is None:
+            return []
+        with self._lock:
+            return counters()
 
     def __len__(self) -> int:
         """Number of entries in the inner cache's memory tier."""
@@ -165,6 +235,59 @@ class SingleFlightCache:
             return len(self._inner)
 
     # -------------------------------------------------------------- internals
+    def _negotiate_shared_claim(self, key: str) -> Optional[Any]:
+        """Resolve a local miss-claim against the cross-process arbiter.
+
+        Runs while *holding* the local claim event — concurrent local
+        threads queue on it, so each process sends one poller, however many
+        worker threads want the key.  Returns the remotely-published value,
+        or ``None`` once this process owns the cross-process claim (or the
+        daemon is unreachable, which degrades to local-only single-flight).
+        """
+        present_misses = 0
+        waiting_counted = False
+        while True:
+            outcome = self._claims.claim(key, lease_s=self._claim_timeout_s)
+            if outcome.state in ("granted", "unavailable"):
+                with self._lock:
+                    self._bump("claims")
+                    if outcome.takeover:
+                        self._bump("takeovers")
+                return None
+            if outcome.state == "present":
+                with self._lock:
+                    value = self._inner.get(key)
+                    if value is not None:
+                        self._release(key)
+                        return value
+                present_misses += 1
+                if present_misses >= 3:
+                    # The daemon holds an envelope this process cannot read
+                    # (a different key version, or it evicted between
+                    # answers): stop ping-ponging and compute locally — the
+                    # eventual put simply overwrites the unreadable entry.
+                    with self._lock:
+                        self._bump("claims")
+                    return None
+                continue
+            # Another live replica holds the claim: poll until its put makes
+            # the key "present", its release/expiry grants it to us, or the
+            # daemon vanishes.
+            if not waiting_counted:
+                with self._lock:
+                    self._bump("claim_waits")
+                waiting_counted = True
+            delay = self._poll_interval_s
+            if outcome.retry_after_s > 0:
+                delay = min(delay, outcome.retry_after_s)
+            time.sleep(max(delay, 0.01))
+
+    def _bump(self, counter: str) -> None:
+        """Increment a claim counter on the inner stats, when it has one."""
+        stats = getattr(self._inner, "stats", None)
+        if stats is not None and hasattr(stats, counter):
+            setattr(stats, counter, getattr(stats, counter) + 1)
+
     def _release(self, key: str) -> None:
         event = self._inflight.pop(key, None)
         if event is not None:

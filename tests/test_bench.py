@@ -15,10 +15,10 @@ class TestBenchCommand:
     def test_bench_writes_machine_readable_telemetry(self, tmp_path, capsys):
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "PCR", "IVD",
-                          "--time-limit", "20"])
+                          "--time-limit", "20", "--no-replica"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
-        assert payload["bench_format"] == 3
+        assert payload["bench_format"] == 4
         assert payload["key_version"] >= 3
         assert payload["solver"] is None  # default: each config's portfolio
         assays = [record["assay"] for record in payload["experiments"]]
@@ -46,6 +46,7 @@ class TestBenchCommand:
         assert explore["ok"]
         assert explore["frontier_size"] >= 1
         assert explore["scheduling_solves"] < explore["evaluated"]
+        assert payload["replica"] is None  # --no-replica
         assert payload.get("delta") is None  # no previous BENCH_*.json here
         captured = capsys.readouterr()
         assert "bench telemetry written" in captured.out
@@ -79,7 +80,7 @@ class TestBenchCommand:
     def test_no_explore_flag_skips_the_smoke(self, tmp_path):
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore"])
+                          "--no-explore", "--no-replica"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
         assert payload["explore"] is None
@@ -94,7 +95,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore"])
+                          "--no-explore", "--no-replica"])
         assert exit_code == 0
         delta = json.loads(out.read_text())["delta"]
         assert delta["against"] == "BENCH_4.json"
@@ -115,7 +116,8 @@ class TestBenchCommand:
         }
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
-        assert main(["bench", "--out", str(out), "--assays", "RA30"]) == 0
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-replica"]) == 0
         payload = json.loads(out.read_text())
         assert payload["explore"]["ok"]  # smoke ran and is in totals...
         delta = payload["delta"]
@@ -137,7 +139,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore"]) == 0
+                     "--no-explore", "--no-replica"]) == 0
         payload = json.loads(out.read_text())
         ra30_wall = payload["experiments"][0]["wall_time_s"]
         # Only RA30 is common: the headline excludes IVD's 25 s entirely.
@@ -155,7 +157,8 @@ class TestBenchCommand:
         }
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
-        assert main(["bench", "--out", str(out), "--assays", "RA30"]) == 0
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-replica"]) == 0
         delta = json.loads(out.read_text())["delta"]
         assert delta["explore_wall_time_s"] < 0  # the smoke is far under 50 s
 
@@ -164,7 +167,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_abc.json").write_text("nope")   # non-matching name
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore"])
+                          "--no-explore", "--no-replica"])
         assert exit_code == 0
         assert json.loads(out.read_text()).get("delta") is None
 
@@ -178,7 +181,7 @@ class TestBenchCommand:
         }))
         out = tmp_path / "custom.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore"])
+                          "--no-explore", "--no-replica"])
         assert exit_code == 0
         assert "delta" not in json.loads(out.read_text())
 
@@ -186,7 +189,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text("{not json")
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore"])
+                          "--no-explore", "--no-replica"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
         assert "delta" in payload and payload["delta"] is None
@@ -197,7 +200,7 @@ class TestBenchCommand:
         # be recorded in the payload for trajectory comparisons.
         exit_code = main([
             "bench", "--out", str(out), "--assays", "RA30",
-            "--solver", "branch-and-bound",
+            "--solver", "branch-and-bound", "--no-replica",
         ])
         assert exit_code == 0
         payload = json.loads(out.read_text())
@@ -216,7 +219,7 @@ class TestBranchAndBoundProbe:
     def test_probe_delivers_optimal_makespan_within_budget(self, tmp_path):
         out = tmp_path / "bench.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore"]) == 0
+                     "--no-explore", "--no-replica"]) == 0
         probe = json.loads(out.read_text())["bb_probe"]
         assert probe["ok"], probe
         assert probe["assay"] == "IVD"
@@ -235,7 +238,7 @@ class TestBranchAndBoundProbe:
     def test_no_bb_probe_flag_skips_it(self, tmp_path):
         out = tmp_path / "bench.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-bb-probe"]) == 0
+                     "--no-explore", "--no-replica", "--no-bb-probe"]) == 0
         assert json.loads(out.read_text())["bb_probe"] is None
 
     def test_delta_reports_probe_speedup_against_previous_ivd(self, tmp_path):
@@ -255,7 +258,7 @@ class TestBranchAndBoundProbe:
         (tmp_path / "BENCH_5.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_6.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore"]) == 0
+                     "--no-explore", "--no-replica"]) == 0
         delta = json.loads(out.read_text())["delta"]
         probe = delta["bb_probe"]
         assert probe["baseline_source"] == "IVD"
@@ -280,10 +283,81 @@ class TestBranchAndBoundProbe:
         (tmp_path / "BENCH_5.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_6.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore"]) == 0
+                     "--no-explore", "--no-replica"]) == 0
         probe = json.loads(out.read_text())["delta"]["bb_probe"]
         assert probe["baseline_source"] == "bb_probe"
         assert probe["baseline_schedule_stage_s"] == 0.2
+
+
+class TestReplicaProbe:
+    """The two-replica shared-cache throughput probe (format 4)."""
+
+    def test_probe_shares_the_one_scheduling_solve(self):
+        from repro.bench import REPLICA_SWEEP_PITCHES, run_replica_throughput
+
+        record = run_replica_throughput()
+        assert record["ok"], record
+        assert record["replicas"] == 2
+        assert record["jobs"] == sum(len(p) for p in REPLICA_SWEEP_PITCHES)
+        # The exactly-once guarantee across processes: both sweeps agree on
+        # every schedule-stage input, so the pair performs one solve total.
+        assert record["scheduling_solves"] == 1
+        assert record["jobs_per_s"] > 0
+        assert record["overlap_points"] == 3
+
+    def test_count_schedule_runs_counts_only_ran_rows(self):
+        from repro.bench import _count_schedule_runs
+
+        payload = {
+            "jobs": [
+                {"stages": [{"stage": "schedule", "action": "ran",
+                             "wall_time_s": 0.1}]},
+                {"stages": [{"stage": "schedule", "action": "shared",
+                             "wall_time_s": 0.0}]},
+                {"stages": [{"stage": "schedule", "action": "replayed",
+                             "wall_time_s": 0.0}]},
+                {"stages": [{"stage": "physical", "action": "ran",
+                             "wall_time_s": 0.2}]},
+            ]
+        }
+        assert _count_schedule_runs(payload) == 1
+        assert _count_schedule_runs(None) == 0
+        assert _count_schedule_runs({}) == 0
+
+    def test_delta_diffs_replica_throughput_when_both_sides_have_one(self, tmp_path):
+        import json as _json
+
+        from repro.bench import bench_delta
+
+        previous_path = tmp_path / "BENCH_6.json"
+        previous_path.write_text(_json.dumps({
+            "bench_format": 4,
+            "experiments": [{"assay": "RA30", "wall_time_s": 1.0}],
+            "replica": {"ok": True, "jobs_per_s": 40.0},
+        }))
+        payload = {
+            "experiments": [{"assay": "RA30", "wall_time_s": 0.5}],
+            "replica": {"ok": True, "jobs_per_s": 100.0},
+        }
+        delta = bench_delta(payload, previous_path)
+        assert delta["replica"] == {"jobs_per_s": 60.0, "baseline_jobs_per_s": 40.0}
+
+    def test_delta_skips_replica_against_pre_format4_baseline(self, tmp_path):
+        import json as _json
+
+        from repro.bench import bench_delta
+
+        previous_path = tmp_path / "BENCH_6.json"
+        previous_path.write_text(_json.dumps({
+            "bench_format": 3,
+            "experiments": [{"assay": "RA30", "wall_time_s": 1.0}],
+        }))
+        payload = {
+            "experiments": [{"assay": "RA30", "wall_time_s": 0.5}],
+            "replica": {"ok": True, "jobs_per_s": 100.0},
+        }
+        delta = bench_delta(payload, previous_path)
+        assert "replica" not in delta
 
 
 class TestCommittedTrajectory:
@@ -334,6 +408,55 @@ class TestCommittedTrajectory:
         # default portfolio through the B&B proof tree) is seconds, not
         # fractions.
         for assay, row in bench6["delta"]["experiments"].items():
+            drift = row.get("schedule_stage_s")
+            if drift is not None:
+                assert drift <= 0.3, (assay, row)
+
+
+class TestCommittedTrajectory7:
+    """CI guard over the checked-in BENCH_7.json against BENCH_6.json.
+
+    The next recorded trajectory point: format 4's two-replica throughput
+    record joins the makespan and probe pins.  The bb-probe speedup here is
+    probe-vs-probe (both files carry one), so unlike the BENCH_6 guard no
+    5x floor applies — the floor lives in the BENCH_6-vs-BENCH_5 guard and
+    the replica record is this file's new acceptance quantity.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench7(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+        assert path.exists(), "BENCH_7.json must be committed at the repo root"
+        return json.loads(path.read_text())
+
+    def test_format_and_baseline(self, bench7):
+        assert bench7["bench_format"] == 4
+        assert bench7["delta"]["against"] == "BENCH_6.json"
+
+    def test_paper_makespans_unchanged(self, bench7):
+        makespans = {r["assay"]: r["makespan"] for r in bench7["experiments"]}
+        assert makespans == {"RA30": 650, "IVD": 280, "PCR": 330}
+
+    def test_probe_still_delivers_optimal_quality(self, bench7):
+        probe = bench7["bb_probe"]
+        assert probe["ok"], probe
+        assert probe["makespan"] == 280
+        schedule_row = next(
+            row for row in probe["stages"] if row["stage"] == "schedule"
+        )
+        assert schedule_row["warm_start_used"] is True
+        assert schedule_row["backend"] == "branch-and-bound"
+
+    def test_replica_record_pins_exactly_one_scheduling_solve(self, bench7):
+        replica = bench7["replica"]
+        assert replica["ok"], replica
+        assert replica["replicas"] == 2
+        assert replica["jobs"] == 12
+        assert replica["scheduling_solves"] == 1
+        assert replica["jobs_per_s"] > 0
+
+    def test_schedule_stage_has_no_real_regression(self, bench7):
+        for assay, row in bench7["delta"]["experiments"].items():
             drift = row.get("schedule_stage_s")
             if drift is not None:
                 assert drift <= 0.3, (assay, row)

@@ -1,0 +1,450 @@
+"""Tests of the pluggable cache-backend layer: the registry, the envelope
+format, the disk tier's corruption handling, the shared tier's protocol
+against an in-process cache daemon, and cross-cache single-flight claims."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import pickle
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import keys
+from repro.batch.cache import ResultCache
+from repro.batch.cache_backends import (
+    cache_backend_names,
+    get_cache_backend,
+    register_cache_backend,
+)
+from repro.batch.cache_backends.base import (
+    CacheBackend,
+    CacheBackendOptions,
+    decode_envelope,
+    encode_envelope,
+    unregister_cache_backend,
+)
+from repro.batch.cache_backends.disk import DiskCacheTier
+from repro.batch.cache_backends.shared import (
+    SharedCacheTier,
+    parse_cache_addr,
+)
+from repro.service import CacheDaemon, CacheDaemonConfig, SingleFlightCache
+from repro.service.cachedaemon import MAX_LEASE_S
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+@contextlib.contextmanager
+def running_daemon(**config_kwargs):
+    """An in-process cache daemon on an ephemeral port, torn down on exit."""
+    daemon = CacheDaemon(CacheDaemonConfig(port=0, **config_kwargs))
+    thread = threading.Thread(
+        target=lambda: asyncio.run(daemon.serve_forever()), daemon=True
+    )
+    thread.start()
+    assert daemon.ready.wait(timeout=10.0), "daemon did not become ready"
+    try:
+        yield daemon
+    finally:
+        daemon.request_shutdown_threadsafe()
+        thread.join(timeout=10.0)
+
+
+@pytest.fixture()
+def daemon():
+    with running_daemon() as instance:
+        yield instance
+
+
+@pytest.fixture()
+def daemon_addr(daemon):
+    return f"127.0.0.1:{daemon.bound_port}"
+
+
+def free_port() -> int:
+    """A port that was just free — nothing listens on it afterwards."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        ok, value = decode_envelope(encode_envelope({"makespan": 330}))
+        assert ok and value == {"makespan": 330}
+
+    def test_truncated_bytes_are_a_miss(self):
+        data = encode_envelope([1, 2, 3])
+        ok, value = decode_envelope(data[: len(data) // 2])
+        assert not ok and value is None
+
+    def test_garbage_bytes_are_a_miss(self):
+        assert decode_envelope(b"not a pickle at all") == (False, None)
+
+    def test_other_key_version_is_a_miss(self):
+        stale = pickle.dumps((keys.KEY_VERSION + 1, {"x": 1}))
+        assert decode_envelope(stale) == (False, None)
+
+    def test_legacy_unversioned_object_is_a_miss(self):
+        assert decode_envelope(pickle.dumps({"x": 1})) == (False, None)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(cache_backend_names()) >= {"memory", "disk", "shared"}
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(ValueError, match="memory"):
+            get_cache_backend("nope")
+
+    def test_duplicate_registration_raises_without_replace(self):
+        class Fake(CacheBackend):
+            name = "memory"
+
+            def build_tiers(self, options):
+                return []
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_cache_backend(Fake())
+
+    def test_register_replace_and_unregister(self):
+        class Fake(CacheBackend):
+            name = "test-fake-backend"
+
+            def build_tiers(self, options):
+                return []
+
+        try:
+            register_cache_backend(Fake())
+            assert "test-fake-backend" in cache_backend_names()
+            register_cache_backend(Fake(), replace=True)  # no raise
+            cache = ResultCache(backend="test-fake-backend")
+            assert cache.backend_name == "test-fake-backend"
+            assert cache.tiers == []
+        finally:
+            unregister_cache_backend("test-fake-backend")
+        assert "test-fake-backend" not in cache_backend_names()
+
+    def test_nameless_backend_is_rejected(self):
+        class Nameless(CacheBackend):
+            def build_tiers(self, options):
+                return []
+
+        with pytest.raises(ValueError, match="no name"):
+            register_cache_backend(Nameless())
+
+    def test_disk_backend_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache-dir"):
+            get_cache_backend("disk").build_tiers(CacheBackendOptions())
+
+    def test_shared_backend_requires_cache_addr(self):
+        with pytest.raises(ValueError, match="cache-addr"):
+            get_cache_backend("shared").build_tiers(CacheBackendOptions())
+
+    def test_shared_backend_stacks_disk_in_front(self, tmp_path):
+        tiers = get_cache_backend("shared").build_tiers(
+            CacheBackendOptions(cache_dir=tmp_path, cache_addr="127.0.0.1:1")
+        )
+        assert [tier.kind for tier in tiers] == ["disk", "shared"]
+
+
+class TestParseCacheAddr:
+    def test_host_port(self):
+        assert parse_cache_addr("10.0.0.5:8643") == ("10.0.0.5", 8643)
+
+    @pytest.mark.parametrize("addr", ["nohost", ":8643", "h:notaport", "h:0", "h:70000"])
+    def test_malformed_addresses_raise(self, addr):
+        with pytest.raises(ValueError):
+            parse_cache_addr(addr)
+
+
+class TestDiskTierCorruption:
+    """Satellite: a damaged persistent tier degrades to a miss, never a crash."""
+
+    def test_roundtrip_and_clean_tracking(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        assert tier.put(KEY_A, {"v": 1})
+        assert tier.writes == 1
+        assert tier.is_clean(KEY_A)
+        assert tier.get(KEY_A) == {"v": 1}
+        assert tier.contains(KEY_A)
+
+    def test_truncated_file_is_a_miss_and_unlinked(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.put(KEY_A, {"v": 1})
+        path = tmp_path / f"{KEY_A}.pkl"
+        path.write_bytes(path.read_bytes()[:10])
+        assert tier.get(KEY_A) is None
+        assert not path.exists()  # quarantined so the next run re-solves
+        assert not tier.is_clean(KEY_A)
+
+    def test_garbage_file_is_a_miss_and_unlinked(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        path = tmp_path / f"{KEY_B}.pkl"
+        path.write_bytes(b"\x00\xffgarbage")
+        assert tier.get(KEY_B) is None
+        assert not path.exists()
+
+    def test_stale_key_version_is_a_miss_and_unlinked(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        path = tmp_path / f"{KEY_C}.pkl"
+        path.write_bytes(pickle.dumps((keys.KEY_VERSION + 7, {"old": True})))
+        assert tier.get(KEY_C) is None
+        assert not path.exists()
+
+    def test_corrupt_entry_through_result_cache_is_a_soft_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(KEY_A, {"v": 1})
+        (tmp_path / f"{KEY_A}.pkl").write_bytes(b"junk")
+        cache.clear()  # memory only; the corrupt file stays
+        assert cache.get(KEY_A) is None
+        assert cache.stats.misses == 1
+        assert not (tmp_path / f"{KEY_A}.pkl").exists()
+
+    def test_write_failure_is_soft_and_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        tier = DiskCacheTier(tmp_path)
+        monkeypatch.setattr(
+            "pathlib.Path.write_bytes",
+            lambda self, data: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        assert tier.put(KEY_A, {"v": 1}) is False
+        assert tier.writes == 0
+        assert not tier.is_clean(KEY_A)
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp file
+
+    def test_clear_unlinks_entries(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.put(KEY_A, 1)
+        tier.put(KEY_B, 2)
+        tier.clear()
+        assert not tier.contains(KEY_A)
+        assert not tier.is_clean(KEY_A)
+
+
+class TestSharedTier:
+    def test_kv_roundtrip(self, daemon, daemon_addr):
+        tier = SharedCacheTier(daemon_addr)
+        assert tier.get(KEY_A) is None
+        assert tier.put(KEY_A, {"v": 42})
+        assert tier.writes == 1
+        assert tier.contains(KEY_A)
+        assert tier.get(KEY_A) == {"v": 42}
+        assert daemon.stats.puts == 1
+        assert daemon.stats.hits == 2  # the HEAD probe counts as one too
+
+    def test_clear_drops_entries(self, daemon_addr):
+        tier = SharedCacheTier(daemon_addr)
+        tier.put(KEY_A, 1)
+        tier.clear()
+        assert not tier.contains(KEY_A)
+        assert tier.get(KEY_A) is None
+
+    def test_claim_lifecycle(self, daemon_addr):
+        first = SharedCacheTier(daemon_addr)
+        second = SharedCacheTier(daemon_addr)
+        outcome = first.claim(KEY_A, lease_s=30.0)
+        assert outcome.state == "granted" and not outcome.takeover
+        # Same owner re-claims: granted again (lease refresh).
+        assert first.claim(KEY_A, lease_s=30.0).state == "granted"
+        # Another owner: denied with a retry hint bounded by the lease.
+        denied = second.claim(KEY_A, lease_s=30.0)
+        assert denied.state == "claimed"
+        assert 0 < denied.retry_after_s <= 30.0
+        # Publishing the value releases the claim: now "present" for all.
+        first.put(KEY_A, {"v": 1})
+        assert second.claim(KEY_A).state == "present"
+
+    def test_release_is_owner_checked(self, daemon, daemon_addr):
+        first = SharedCacheTier(daemon_addr)
+        second = SharedCacheTier(daemon_addr)
+        first.claim(KEY_A, lease_s=30.0)
+        second.release(KEY_A)  # not the owner: ignored
+        assert second.claim(KEY_A).state == "claimed"
+        first.release(KEY_A)
+        assert second.claim(KEY_A).state == "granted"
+        assert daemon.stats.releases == 1
+
+    def test_expired_lease_is_taken_over(self, daemon, daemon_addr):
+        dead = SharedCacheTier(daemon_addr)
+        assert dead.claim(KEY_A, lease_s=0.2).state == "granted"
+        survivor = SharedCacheTier(daemon_addr)
+        assert survivor.claim(KEY_A).state == "claimed"
+        time.sleep(0.25)
+        outcome = survivor.claim(KEY_A)
+        assert outcome.state == "granted" and outcome.takeover
+        assert daemon.stats.takeovers == 1
+
+    def test_unreachable_daemon_degrades_softly(self):
+        tier = SharedCacheTier(f"127.0.0.1:{free_port()}", request_timeout_s=0.5)
+        assert tier.get(KEY_A) is None
+        assert tier.put(KEY_A, 1) is False
+        assert not tier.contains(KEY_A)
+        assert tier.claim(KEY_A).state == "unavailable"
+        tier.release(KEY_A)  # no raise
+        tier.clear()  # no raise
+
+    def test_version_skewed_entry_is_a_miss_but_not_deleted(self, daemon_addr):
+        tier = SharedCacheTier(daemon_addr)
+        skewed = pickle.dumps((keys.KEY_VERSION + 1, {"other": True}))
+        status, _ = tier._request("PUT", f"/kv/{KEY_A}", body=skewed)
+        assert status == 200
+        assert tier.get(KEY_A) is None  # a miss for this version...
+        assert tier.contains(KEY_A)  # ...but other replicas may want it
+
+
+class TestDaemonEndpoints:
+    def test_malformed_key_is_rejected(self, daemon_addr):
+        tier = SharedCacheTier(daemon_addr)
+        status, _ = tier._request("GET", "/kv/not/a/key")
+        assert status == 400
+        status, _ = tier._request("GET", "/kv/" + "x" * 300)
+        assert status == 400
+
+    def test_empty_put_body_is_rejected(self, daemon_addr):
+        tier = SharedCacheTier(daemon_addr)
+        status, _ = tier._request("PUT", f"/kv/{KEY_A}", body=b"")
+        assert status == 400
+
+    def test_unknown_endpoint_is_404(self, daemon_addr):
+        status, _ = SharedCacheTier(daemon_addr)._request("GET", "/nope")
+        assert status == 404
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        with running_daemon(max_entries=2) as daemon:
+            tier = SharedCacheTier(f"127.0.0.1:{daemon.bound_port}")
+            tier.put(KEY_A, 1)
+            tier.put(KEY_B, 2)
+            assert tier.get(KEY_A) == 1  # refresh A: B is now oldest
+            tier.put(KEY_C, 3)
+            assert daemon.stats.evictions == 1
+            assert tier.contains(KEY_A) and tier.contains(KEY_C)
+            assert not tier.contains(KEY_B)
+
+    def test_lease_is_clamped_to_the_ceiling(self, daemon):
+        tier = SharedCacheTier(f"127.0.0.1:{daemon.bound_port}")
+        assert tier.claim(KEY_A, lease_s=10 * MAX_LEASE_S).state == "granted"
+        deadline = daemon._claims[KEY_A].deadline
+        assert deadline - time.monotonic() <= MAX_LEASE_S + 1.0
+
+    def test_stats_and_healthz_payloads(self, daemon_addr):
+        tier = SharedCacheTier(daemon_addr)
+        tier.put(KEY_A, 1)
+        tier.get(KEY_A)
+        tier.claim(KEY_B, lease_s=30.0)
+        status, body = tier._request("GET", "/stats")
+        assert status == 200
+        stats = json.loads(body.decode("utf-8"))
+        assert stats["puts"] == 1
+        assert stats["hits"] == 1
+        assert stats["claims_granted"] == 1
+        assert stats["entries"] == 1
+        assert stats["claims"] == 1
+        status, body = tier._request("GET", "/healthz")
+        assert status == 200
+        health = json.loads(body.decode("utf-8"))
+        assert health["status"] == "ok"
+        assert health["entries"] == 1
+
+
+class TestSharedResultCache:
+    def test_shared_hits_promote_to_memory(self, daemon_addr):
+        writer = ResultCache(backend="shared", cache_addr=daemon_addr)
+        reader = ResultCache(backend="shared", cache_addr=daemon_addr)
+        writer.put(KEY_A, {"v": 9})
+        assert reader.get(KEY_A) == {"v": 9}
+        assert reader.stats.shared_hits == 1
+        assert reader.get(KEY_A) == {"v": 9}  # now served by memory
+        assert reader.stats.memory_hits == 1
+        assert reader.stats.shared_hits == 1
+
+    def test_memory_only_entries_stay_local(self, daemon_addr):
+        writer = ResultCache(backend="shared", cache_addr=daemon_addr)
+        reader = ResultCache(backend="shared", cache_addr=daemon_addr)
+        writer.put(KEY_A, {"local": True}, disk=False)
+        assert reader.get(KEY_A) is None
+
+    def test_flush_skips_entries_the_shared_tier_already_holds(self, daemon_addr):
+        cache = ResultCache(backend="shared", cache_addr=daemon_addr)
+        cache.put(KEY_A, 1)
+        tier = cache.tiers[0]
+        assert tier.writes == 1
+        assert cache.flush_to_disk() == 0  # already published on put
+        assert tier.writes == 1
+
+    def test_tier_counters_surface_kind_and_writes(self, daemon_addr):
+        cache = ResultCache(backend="shared", cache_addr=daemon_addr)
+        cache.put(KEY_A, 1)
+        assert cache.tier_counters() == [{"kind": "shared", "writes": 1}]
+
+
+class TestCrossCacheSingleFlight:
+    """Two independent SingleFlightCache instances (stand-ins for two
+    replica processes) arbitrating through one daemon."""
+
+    def test_waiter_receives_the_value_the_claimant_publishes(self, daemon_addr):
+        claimant = SingleFlightCache(
+            ResultCache(backend="shared", cache_addr=daemon_addr),
+            poll_interval_s=0.01,
+        )
+        waiter = SingleFlightCache(
+            ResultCache(backend="shared", cache_addr=daemon_addr),
+            poll_interval_s=0.01,
+        )
+        assert claimant.get(KEY_A) is None  # claims locally and remotely
+        assert claimant.inner.stats.claims == 1
+        results = []
+        thread = threading.Thread(target=lambda: results.append(waiter.get(KEY_A)))
+        thread.start()
+        time.sleep(0.05)  # let the waiter hit the remote claim and poll
+        claimant.put(KEY_A, {"solved": True})
+        thread.join(timeout=10.0)
+        assert results == [{"solved": True}]
+        assert waiter.inner.stats.claim_waits == 1
+        assert waiter.inner.stats.shared_hits == 1
+        assert waiter.inner.stats.claims == 0  # it never computed
+
+    def test_dead_claimants_lease_expires_into_a_takeover(self, daemon_addr):
+        dead = SharedCacheTier(daemon_addr)
+        assert dead.claim(KEY_A, lease_s=0.3).state == "granted"
+        survivor = SingleFlightCache(
+            ResultCache(backend="shared", cache_addr=daemon_addr),
+            poll_interval_s=0.02,
+        )
+        start = time.monotonic()
+        assert survivor.get(KEY_A) is None  # granted via takeover: compute
+        assert time.monotonic() - start >= 0.2
+        assert survivor.inner.stats.takeovers == 1
+        assert survivor.inner.stats.claims == 1
+
+    def test_abandon_releases_the_remote_claim(self, daemon_addr):
+        first = SingleFlightCache(
+            ResultCache(backend="shared", cache_addr=daemon_addr),
+            poll_interval_s=0.01,
+        )
+        second = SharedCacheTier(daemon_addr)
+        assert first.get(KEY_A) is None
+        assert second.claim(KEY_A, lease_s=30.0).state == "claimed"
+        first.abandon(KEY_A)
+        assert second.claim(KEY_A, lease_s=30.0).state == "granted"
+
+    def test_unreachable_daemon_degrades_to_local_single_flight(self):
+        cache = SingleFlightCache(
+            ResultCache(
+                backend="shared",
+                cache_addr=f"127.0.0.1:{free_port()}",
+                request_timeout_s=0.5,
+            ),
+            poll_interval_s=0.01,
+        )
+        assert cache.get(KEY_A) is None  # unavailable: compute locally
+        assert cache.inner.stats.claims == 1
+        cache.put(KEY_A, {"v": 1})  # soft write-through failure
+        assert cache.get(KEY_A) == {"v": 1}  # memory tier still serves

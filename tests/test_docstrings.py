@@ -19,7 +19,13 @@ import importlib
 import inspect
 import pkgutil
 
-GATED_PACKAGES = ("repro.service", "repro.batch", "repro.ilp.backends", "repro.explore")
+GATED_PACKAGES = (
+    "repro.service",
+    "repro.batch",
+    "repro.batch.cache_backends",
+    "repro.ilp.backends",
+    "repro.explore",
+)
 
 
 def iter_gated_modules():

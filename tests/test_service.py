@@ -214,16 +214,35 @@ class TestSingleFlight:
 
 
 class TestFlushToDisk:
-    def test_rewrites_missing_disk_entries(self, tmp_path):
+    def test_rewrites_soft_failed_disk_entries(self, tmp_path, monkeypatch):
+        """Entries whose live write soft-failed stay dirty and get flushed."""
+        import pathlib
+
         cache = ResultCache(cache_dir=tmp_path)
+        tier = cache.tiers[0]
+
+        # Simulate a full disk during the live writes: both puts soft-fail,
+        # so both keys stay dirty in the disk tier.
+        real_write = pathlib.Path.write_bytes
+
+        def failing_write(self, data):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(pathlib.Path, "write_bytes", failing_write)
         cache.put("a" * 64, {"payload": 1})
         cache.put("b" * 64, {"payload": 2})
-        for path in tmp_path.glob("*.pkl"):
-            path.unlink()  # simulate lost/soft-failed writes
+        assert not list(tmp_path.glob("*.pkl"))
+        assert tier.writes == 0
+
+        # Disk recovered: the shutdown flush republishes the dirty entries.
+        monkeypatch.setattr(pathlib.Path, "write_bytes", real_write)
         assert cache.flush_to_disk() == 2
         assert sorted(p.stem for p in tmp_path.glob("*.pkl")) == ["a" * 64, "b" * 64]
-        # Already-persisted entries are not rewritten.
+        # Already-persisted entries are not rewritten: the write counter is
+        # the regression pin for the historical flush double-write.
+        assert tier.writes == 2
         assert cache.flush_to_disk() == 0
+        assert tier.writes == 2
 
     def test_memory_only_entries_are_skipped(self, tmp_path):
         cache = ResultCache(cache_dir=tmp_path)

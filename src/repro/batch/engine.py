@@ -289,8 +289,12 @@ class BatchSynthesisEngine:
         # then assemble outcomes (and alias copies) in submission order.
         # Run-level keys carry no single-flight claims (tier 0 resolves them
         # via _get_nowait), so there is nothing to release for failed jobs —
-        # stage-key claims are managed entirely inside _run_tier.
-        for tier in range(len(self.pipeline.stages)):
+        # stage-key claims are managed entirely inside _run_tier.  Plans may
+        # differ in length (configs with verify=True carry a fourth stage),
+        # so the tier count is the longest plan and shorter jobs simply sit
+        # out the extra tiers.
+        tiers = max((len(p.plan) for p in pending), default=0)
+        for tier in range(tiers):
             self._run_tier(tier, pending)
 
         for p in pending:
@@ -365,10 +369,9 @@ class BatchSynthesisEngine:
         (one execution per distinct key, shared by every job in the group)
         and run inline or over the pool.
         """
-        stage = self.pipeline.stages[tier]
         by_key: Dict[str, List[_PendingJob]] = {}
         for p in pending:
-            if p.failed:
+            if p.failed or tier >= len(p.plan):
                 continue
             by_key.setdefault(p.plan[tier].key, []).append(p)
         # Resolve the tier's unique keys in *sorted* order.  Under a
@@ -382,6 +385,9 @@ class BatchSynthesisEngine:
         groups: Dict[str, List[_PendingJob]] = {}
         for stage_key in sorted(by_key):
             group = by_key[stage_key]
+            # Every job in a group shares one stage key, and keys embed the
+            # stage name, so the group's stage comes off any member's plan.
+            stage = group[0].plan[tier].stage
             artifact = self.cache.get(stage_key)
             if artifact is not None:
                 for p in group:
@@ -422,7 +428,6 @@ class BatchSynthesisEngine:
         ``stored`` collects the stage keys whose artifacts were published to
         the cache, so the caller knows which claims are already released.
         """
-        stage = self.pipeline.stages[tier]
         if self.max_workers > 1 and len(groups) > 1:
             executed = self._run_tier_pool(tier, groups)
         else:
@@ -430,6 +435,7 @@ class BatchSynthesisEngine:
 
         for stage_key, (ok, value, elapsed, crashed) in executed.items():
             group = groups[stage_key]
+            stage = group[0].plan[tier].stage
             if ok:
                 self.cache.put(stage_key, value)
                 stored.add(stage_key)
@@ -469,11 +475,11 @@ class BatchSynthesisEngine:
     def _run_tier_inline(
         self, tier: int, groups: Dict[str, List[_PendingJob]]
     ) -> Dict[str, Tuple[bool, Any, float, bool]]:
-        stage = self.pipeline.stages[tier]
         executed: Dict[str, Tuple[bool, Any, float, bool]] = {}
         for stage_key, group in groups.items():
             rep = group[0]
-            upstream = rep.artifacts[tier - 1] if tier > 0 else None
+            stage = rep.plan[tier].stage
+            upstream = stage.upstream_for(rep.artifacts)
             context = StageContext(
                 graph=rep.job.graph,
                 config=rep.job.config,
@@ -495,14 +501,14 @@ class BatchSynthesisEngine:
     def _run_tier_pool(
         self, tier: int, groups: Dict[str, List[_PendingJob]]
     ) -> Dict[str, Tuple[bool, Any, float, bool]]:
-        stage = self.pipeline.stages[tier]
         executed: Dict[str, Tuple[bool, Any, float, bool]] = {}
         workers = min(self.max_workers, len(groups))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             future_info = {}
             for stage_key, group in groups.items():
                 rep = group[0]
-                upstream = rep.artifacts[tier - 1] if tier > 0 else None
+                stage = rep.plan[tier].stage
+                upstream = stage.upstream_for(rep.artifacts)
                 payload = (
                     stage.name,
                     graph_to_dict(rep.job.graph),
@@ -549,7 +555,7 @@ class BatchSynthesisEngine:
                 graph_name=p.job.graph.name,
                 stages=list(p.executions),
             )
-        schedule_art, arch_art, physical_art = p.artifacts
+        schedule_art, arch_art, physical_art = p.artifacts[:3]
         result = SynthesisResult.from_artifacts(
             graph=p.job.graph,
             library=p.library,
@@ -557,6 +563,7 @@ class BatchSynthesisEngine:
             schedule_artifact=schedule_art,
             architecture_artifact=arch_art,
             physical_artifact=physical_art,
+            verification_artifact=p.artifacts[3] if len(p.artifacts) > 3 else None,
         )
         # Memory tier only: the stage artifacts persist individually.
         self.cache.put(p.run_key, result, disk=False)

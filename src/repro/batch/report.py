@@ -91,8 +91,17 @@ class JobOutcome:
         ``--json`` files and the synthesis service's ``GET /jobs/{id}/result``
         responses are built from exactly this, so downstream tooling parses
         one format.  Failed jobs carry ``error`` and a ``null`` metrics
-        block.
+        block.  Jobs whose config enabled the verify stage additionally
+        carry a ``verification`` block — the Monte-Carlo makespan
+        distribution (p50/p95/p99), fault-recovery rate, and the
+        deterministic replay's propagated diagnostics.
         """
+        verification = None
+        if self.ok and getattr(self.result, "verification", None) is not None:
+            verification = self.result.verification.as_dict()
+            verification["simulation_problems"] = list(
+                self.result.simulation_problems or []
+            )
         return {
             "id": self.job_id,
             "cache_key": self.cache_key,
@@ -111,6 +120,7 @@ class JobOutcome:
                 for execution in self.stages
             ],
             "metrics": self.metrics().as_dict() if self.ok else None,
+            "verification": verification,
         }
 
 

@@ -67,7 +67,9 @@ DEFAULT_ASSAYS = ("RA30", "IVD", "PCR")
 #: added ``warm_start_used`` per stage, the anytime branch-and-bound probe
 #: (``bb_probe``), and schedule-stage wall times in the delta; v4 added the
 #: two-replica shared-cache throughput record (``replica``) and its jobs/s
-#: comparison in the delta.
+#: comparison in the delta.  The Monte-Carlo verification probe
+#: (``verify_probe``) is additive within v4: a new optional key, with no
+#: change to any existing record's shape.
 BENCH_FORMAT = 4
 
 #: Time budget of the anytime branch-and-bound probe.  Deliberately tiny:
@@ -103,6 +105,10 @@ REPLICA_SWEEP_PITCHES = (
     [8.0, 9.0, 10.0, 11.0, 12.0, 13.0],
 )
 
+#: Trial count of the Monte-Carlo verification probe: enough samples for
+#: stable percentiles, small enough that the probe stays a smoke.
+VERIFY_PROBE_TRIALS = 64
+
 
 def build_bench_parser() -> argparse.ArgumentParser:
     """Argument surface of the ``repro bench`` subcommand."""
@@ -134,6 +140,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-replica", action="store_true",
         help="skip the two-replica shared-cache throughput probe",
+    )
+    parser.add_argument(
+        "--no-verify-probe", action="store_true",
+        help="skip the Monte-Carlo verification probe",
     )
     parser.add_argument(
         "--bb-time-limit", type=float, default=BB_PROBE_TIME_LIMIT_S,
@@ -414,6 +424,65 @@ def run_replica_throughput() -> Dict[str, Any]:
         daemon_thread.join(timeout=10.0)
 
 
+def run_verify_probe() -> Dict[str, Any]:
+    """Monte-Carlo verification probe: PCR under jitter plus fault injection.
+
+    Solver-free (``ilp_operation_limit: 0``) so the record times the verify
+    stage's replay machinery, not an ILP.  64 trials with uniform jitter and
+    device faults exercise both halves the trajectory should track — the
+    sampling loop's wall time and the recovery bookkeeping.  ``ok`` demands
+    a clean report: the deterministic replay must land exactly on the
+    scheduler's makespan, the sampled median must sit at or above it, and
+    the replay validator must raise no problems.
+    """
+    from repro.synthesis.flow import synthesize
+
+    config = FlowConfig(
+        num_mixers=2,
+        ilp_operation_limit=0,
+        verify=True,
+        verify_trials=VERIFY_PROBE_TRIALS,
+        verify_jitter="uniform",
+        verify_jitter_spread=0.2,
+        verify_fault_rate=0.3,
+        verify_max_retries=1,
+        verify_seed=0,
+    )
+    start = time.perf_counter()
+    try:
+        result = synthesize(assay_by_name("PCR"), config)
+    except Exception as exc:  # noqa: BLE001 - telemetry must not crash bench
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "wall_time_s": round(time.perf_counter() - start, 4),
+        }
+    report = result.verification
+    ok = (
+        report is not None
+        and report.deterministic_makespan == result.schedule.makespan
+        and report.makespan_p50 >= report.deterministic_makespan
+        and not (result.simulation_problems or [])
+    )
+    record: Dict[str, Any] = {
+        "ok": ok,
+        "error": None if ok else "verification report inconsistent",
+        "wall_time_s": round(time.perf_counter() - start, 4),
+    }
+    if report is not None:
+        record.update(
+            {
+                "verification_s": round(result.verification_time_s, 4),
+                "trials": len(report.trials),
+                "deterministic_makespan": report.deterministic_makespan,
+                "makespan_p50": report.makespan_p50,
+                "makespan_p99": report.makespan_p99,
+                "recovery_rate": round(report.recovery_rate, 6),
+            }
+        )
+    return record
+
+
 def previous_bench_file(out: Path) -> Optional[Path]:
     """The most recent earlier ``BENCH_*.json`` next to ``out``, if any.
 
@@ -581,12 +650,15 @@ def run_bench(argv: List[str]) -> int:
     explore_record = None if args.no_explore else run_explore_smoke()
     bb_record = None if args.no_bb_probe else run_bb_probe(args.bb_time_limit)
     replica_record = None if args.no_replica else run_replica_throughput()
+    verify_record = None if args.no_verify_probe else run_verify_probe()
     failed = sum(1 for r in experiments if not r["ok"])
     if explore_record is not None and not explore_record["ok"]:
         failed += 1
     if bb_record is not None and not bb_record["ok"]:
         failed += 1
     if replica_record is not None and not replica_record["ok"]:
+        failed += 1
+    if verify_record is not None and not verify_record["ok"]:
         failed += 1
     payload = {
         "bench_format": BENCH_FORMAT,
@@ -597,6 +669,7 @@ def run_bench(argv: List[str]) -> int:
         "explore": explore_record,
         "bb_probe": bb_record,
         "replica": replica_record,
+        "verify_probe": verify_record,
         "totals": {
             "wall_time_s": round(
                 sum(r["wall_time_s"] for r in experiments)
@@ -648,6 +721,17 @@ def run_bench(argv: List[str]) -> int:
             )
         else:
             print(f"replica  FAILED: {replica_record['error']}")
+    if verify_record is not None:
+        if verify_record["ok"]:
+            print(
+                f"verify   p50={verify_record['makespan_p50']} "
+                f"p99={verify_record['makespan_p99']} "
+                f"recovery={verify_record['recovery_rate']} "
+                f"trials={verify_record['trials']} "
+                f"{verify_record['verification_s']:.2f}s"
+            )
+        else:
+            print(f"verify   FAILED: {verify_record['error']}")
     if payload.get("delta"):
         total_delta = payload["delta"].get("wall_time_s")
         note = (

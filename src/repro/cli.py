@@ -57,6 +57,13 @@ exactly once between them::
     python -m repro cache-daemon --port 8643
     python -m repro serve --port 8642 --cache-addr 127.0.0.1:8643
 
+Simulate mode runs the full flow with the Monte-Carlo verification stage
+enabled and reports the stochastic makespan distribution and the
+fault-recovery rate instead of a single deterministic number::
+
+    python -m repro simulate --assay PCR --trials 64 --jitter uniform \
+        --fault-rate 0.05
+
 Bench mode runs the small benchmark fixtures cold, times an exploration
 smoke plus a two-replica shared-cache throughput probe, and writes
 machine-readable telemetry — per-experiment wall time, solver invocations,
@@ -531,6 +538,131 @@ def run_cache_daemon(argv: List[str]) -> int:
     return 0
 
 
+def build_simulate_parser() -> argparse.ArgumentParser:
+    """Argument surface of the ``repro simulate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro simulate",
+        description="Synthesize an assay with the Monte-Carlo verification "
+        "stage enabled and report the stochastic makespan distribution "
+        "(p50/p95/p99), the fault-recovery rate, and violation diagnostics "
+        "(see docs/simulation.md for the fault model and seed semantics).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--assay", choices=sorted(PAPER_ASSAYS),
+                        help="one of the paper's benchmark assays")
+    source.add_argument("--protocol", type=Path,
+                        help="path to a sequencing-graph JSON file")
+    parser.add_argument("--mixers", type=int, default=None,
+                        help="number of mixers (default: the assay's paper setup)")
+    parser.add_argument("--detectors", type=int, default=None,
+                        help="number of detectors (default: the assay's paper setup)")
+    parser.add_argument("--heaters", type=int, default=None,
+                        help="number of heaters (default: the assay's paper setup)")
+    parser.add_argument("--scheduler", choices=["auto", "ilp", "list"], default="auto",
+                        help="scheduling engine (default auto)")
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="ILP time limit in seconds (default 60)")
+    _add_solver_argument(parser)
+    parser.add_argument("--trials", type=int, default=32,
+                        help="number of Monte-Carlo trials (default 32)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed of the trial streams (default 0)")
+    parser.add_argument("--jitter", choices=["none", "uniform", "normal"],
+                        default="none",
+                        help="duration-jitter distribution (default none)")
+    parser.add_argument("--jitter-spread", type=float, default=0.1,
+                        help="jitter spread as a fraction of nominal duration "
+                        "(default 0.1)")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="per-operation device-fault probability (default 0)")
+    parser.add_argument("--channel-fault-rate", type=float, default=0.0,
+                        help="per-transport channel-fault probability (default 0)")
+    parser.add_argument("--max-retries", type=int, default=1,
+                        help="retries on a faulted device before migrating "
+                        "(default 1)")
+    parser.add_argument("--wash-time", type=int, default=0,
+                        help="contamination wash time between unrelated "
+                        "operations on one device (default 0 = off)")
+    parser.add_argument("--json", dest="json_out", type=Path, default=None,
+                        help="also write the verification report to this JSON file")
+    return parser
+
+
+def run_simulate(argv: List[str]) -> int:
+    """The ``repro simulate`` subcommand; returns a process exit code."""
+    from dataclasses import replace as dc_replace
+
+    parser = build_simulate_parser()
+    args = parser.parse_args(argv)
+    if args.assay:
+        graph = assay_by_name(args.assay)
+        config = FlowConfig.paper_defaults_for(args.assay)
+    else:
+        if not args.protocol.exists():
+            parser.error(f"protocol file {args.protocol} does not exist")
+        graph = load_graph(args.protocol)
+        config = FlowConfig()
+    overrides = {
+        "num_mixers": args.mixers,
+        "num_detectors": args.detectors,
+        "num_heaters": args.heaters,
+    }
+    config = dc_replace(
+        config,
+        **{name: value for name, value in overrides.items() if value is not None},
+        scheduler=SchedulerEngine(args.scheduler),
+        ilp_time_limit_s=args.time_limit,
+        verify=True,
+        verify_trials=args.trials,
+        verify_seed=args.seed,
+        verify_jitter=args.jitter,
+        verify_jitter_spread=args.jitter_spread,
+        verify_fault_rate=args.fault_rate,
+        verify_channel_fault_rate=args.channel_fault_rate,
+        verify_max_retries=args.max_retries,
+        verify_wash_time=args.wash_time,
+    )
+    config = apply_solver_override(config, args.solver)
+    try:
+        result = synthesize(graph, config)
+    except Exception as exc:  # noqa: BLE001 - includes VerificationError
+        print(f"simulation failed: {exc}", file=sys.stderr)
+        return 1
+
+    report = result.verification
+    payload = report.as_dict()
+    # Mirror the batch/service payload shape: the deterministic replay's
+    # diagnostics travel with the distribution (empty on success — a
+    # conflicting replay fails above with VerificationError).
+    payload["simulation_problems"] = list(result.simulation_problems or [])
+    print(
+        f"verification of {graph.name}: {payload['trials']} trial(s), "
+        f"seed {args.seed}, scheduler={result.scheduler_engine}"
+    )
+    print(f"  deterministic makespan: {payload['deterministic_makespan']}")
+    print(
+        f"  makespan p50/p95/p99: {payload['makespan_p50']}/"
+        f"{payload['makespan_p95']}/{payload['makespan_p99']} "
+        f"(mean {payload['makespan_mean']}, max {payload['makespan_max']})"
+    )
+    print(
+        f"  faults: {payload['faults_injected']} injected, "
+        f"{payload['faults_recovered']} recovered "
+        f"(recovery rate {payload['recovery_rate']})"
+    )
+    print(
+        f"  reroutes: {payload['reroutes']}, retries: {payload['retries']}, "
+        f"migrations: {payload['migrations']}, washes: {payload['washes']}"
+    )
+    for note in payload["violations"]:
+        print(f"  violation: {note}")
+
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(payload, indent=2))
+        print(f"\nverification report written to {args.json_out}")
+    return 0
+
+
 def _run_jobs_command(argv: List[str], sweep: bool) -> int:
     """Shared implementation of the ``batch`` and ``sweep`` subcommands."""
     from repro.batch import (
@@ -602,6 +734,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_serve(list(argv[1:]))
     if argv and argv[0] == "cache-daemon":
         return run_cache_daemon(list(argv[1:]))
+    if argv and argv[0] == "simulate":
+        return run_simulate(list(argv[1:]))
     if argv and argv[0] == "bench":
         from repro.bench import run_bench
 

@@ -38,10 +38,31 @@ class ObjectiveDef:
     cheap: bool
     from_result: Callable[[Any, FlowConfig, float], float]
     from_schedule: Optional[Callable[[Any, FlowConfig], float]] = None
+    #: Whether extraction reads the Monte-Carlo verification report — the
+    #: exploration spec refuses such objectives at load time unless the
+    #: candidate configs enable the verify stage.
+    requires_verification: bool = False
 
 
 def _device_count(config: FlowConfig) -> float:
     return float(config.num_mixers + config.num_detectors + config.num_heaters)
+
+
+def _verification_of(result: Any) -> Any:
+    """The result's Monte-Carlo report, or a clear error when absent.
+
+    The robustness objectives only exist for configs that enabled the
+    verify stage; naming one in a spec whose base config leaves
+    ``verify=false`` must fail with an actionable message, not an
+    ``AttributeError`` deep inside objective extraction.
+    """
+    report = getattr(result, "verification", None)
+    if report is None:
+        raise ValueError(
+            "objective requires the Monte-Carlo verification stage; set "
+            '"verify": true in the exploration base config'
+        )
+    return report
 
 
 #: All objectives the exploration spec may name, keyed by spec name.
@@ -93,6 +114,25 @@ OBJECTIVES: Dict[str, ObjectiveDef] = {
         "machine-dependent and zero for cache hits)",
         cheap=False,
         from_result=lambda result, config, wall: float(wall),
+    ),
+    "makespan_p99": ObjectiveDef(
+        name="makespan_p99",
+        description="99th-percentile Monte-Carlo makespan under jitter and "
+        "faults (requires verify=true in the config)",
+        cheap=False,
+        from_result=lambda result, config, wall: float(
+            _verification_of(result).makespan_p99
+        ),
+        requires_verification=True,
+    ),
+    "recovery_rate": ObjectiveDef(
+        name="recovery_rate",
+        description="fault-recovery failure fraction 1 - recovery_rate "
+        "(minimized, so robust designs dominate; requires verify=true)",
+        cheap=False,
+        from_result=lambda result, config, wall: 1.0
+        - float(_verification_of(result).recovery_rate),
+        requires_verification=True,
     ),
 }
 

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.batch.jobs import BatchJob, _format_sweep_value, job_from_spec
-from repro.explore.objectives import DEFAULT_OBJECTIVES, objective_names
+from repro.explore.objectives import DEFAULT_OBJECTIVES, OBJECTIVES, objective_names
 from repro.graph.generators import generator_spec_id
 from repro.keys import stable_digest
 from repro.synthesis.config import FlowConfig
@@ -178,6 +178,15 @@ class ExplorationSpec:
             raise ValueError(
                 f"{source}: unknown objectives {sorted(unknown_objectives)} "
                 f"(registered: {list(objective_names())})"
+            )
+        needs_verify = [
+            name for name in objectives if OBJECTIVES[name].requires_verification
+        ]
+        if needs_verify and not base.get("verify") and "verify" not in axes:
+            raise ValueError(
+                f"{source}: objectives {needs_verify} require the "
+                'Monte-Carlo verification stage; set "verify": true in '
+                "'base'"
             )
 
         strategy = payload.get("strategy", "exhaustive")

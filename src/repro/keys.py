@@ -24,7 +24,9 @@ from typing import Any
 #: v2: staged pipeline — per-stage keys, artifact payloads, FlowConfig.seed.
 #: v3: solver backends — scheduler_backend/archsyn_backend/mip_rel_gap join
 #:     the stage config slices, and stage artifacts carry backend identity.
-KEY_VERSION = 3
+#: v4: stochastic verification — the verify_* FlowConfig fields, the
+#:     optional verify stage, and simulation problems in artifact payloads.
+KEY_VERSION = 4
 
 
 def stable_digest(payload: Any) -> str:

@@ -11,9 +11,23 @@ used to
 * extract chip-state *snapshots* at arbitrary times, reproducing the paper's
   Fig. 11 execution snapshots of RA30, and
 * gather activity statistics (channel utilization, valve actuations).
+
+Since the verification stage landed, the package also hosts the seeded
+Monte-Carlo engine (:mod:`repro.simulation.montecarlo`): stochastic
+replays under duration jitter, injected device/channel faults with
+retry/migration recovery, and contamination washes, aggregated into a
+makespan distribution (p50/p95/p99) and a failure-recovery rate.  The
+pipeline's optional ``verify`` stage and the ``repro simulate``
+subcommand both run on it.
 """
 
 from repro.simulation.events import SimulationEvent, EventKind
+from repro.simulation.montecarlo import (
+    MonteCarloConfig,
+    MonteCarloEngine,
+    TrialResult,
+    VerificationReport,
+)
 from repro.simulation.simulator import ChipSimulator, SimulationResult
 from repro.simulation.snapshot import Snapshot, SegmentState, render_snapshot_ascii
 
@@ -22,6 +36,10 @@ __all__ = [
     "EventKind",
     "ChipSimulator",
     "SimulationResult",
+    "MonteCarloConfig",
+    "MonteCarloEngine",
+    "TrialResult",
+    "VerificationReport",
     "Snapshot",
     "SegmentState",
     "render_snapshot_ascii",

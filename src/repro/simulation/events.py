@@ -8,6 +8,8 @@ from typing import Optional, Tuple
 
 
 class EventKind(enum.Enum):
+    """What a timeline event marks: an operation, transport, or storage edge."""
+
     OPERATION_START = "operation_start"
     OPERATION_END = "operation_end"
     TRANSPORT_START = "transport_start"

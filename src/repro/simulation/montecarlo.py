@@ -1,0 +1,376 @@
+"""Seeded Monte-Carlo verification of a synthesized schedule.
+
+The deterministic flow emits a single makespan, but a fabricated biochip
+sees stochastic operation durations and valve/device/channel failures.
+This module replays a :class:`~repro.scheduling.schedule.Schedule` many
+times under three perturbation families and reports a *distribution*
+instead of one number:
+
+* **Duration jitter** — each operation's duration is inflated by a draw
+  from a configurable distribution (``uniform`` or ``normal`` spread).
+  Jitter is inflation-only by construction, so a jittered trial can never
+  finish before the deterministic schedule; with jitter disabled the
+  replay reproduces the deterministic makespan *exactly*, for any seed.
+* **Device faults** — with probability ``fault_rate`` the device executing
+  an operation faults.  Recovery first retries on the same device (each
+  failed attempt burns one full duration), then migrates the operation to
+  a compatible spare (plus one transport time); the faulted device stays
+  blocked until the migrated operation completes — a repair window that
+  keeps every trial's resource-release times pointwise at or above the
+  fault-free trial's, so an injected-failure trial can never report a
+  makespan below the fault-free one.  A fault with no working spare is
+  *unrecovered*: the operation still completes (best effort, one extra
+  duration), but the trial's recovery rate drops below 1.
+* **Channel faults** — with probability ``channel_fault_rate`` the routing
+  channel carrying a fluid transport faults and the droplet is rerouted,
+  adding one transport time to the affected precedence edge.  Reroutes
+  always succeed and are counted separately from device-fault recovery.
+* **Contamination washes** — with ``wash_time > 0``, a wash is inserted
+  between consecutive operations on one device unless the later operation
+  directly consumes the earlier one's product (a direct graph successor
+  needs no wash: the fluid itself moves on).
+
+Determinism: every trial derives two independent :class:`random.Random`
+streams — one for jitter, one for faults — via
+:func:`repro.keys.derive_seed`, which is SHA-256 based and therefore
+identical in every process regardless of ``PYTHONHASHSEED``.  The same
+seed yields the same trial sequence bit-for-bit, and enabling faults
+leaves the jitter draws untouched (separate streams), which is what makes
+the fault-vs-fault-free monotonicity property testable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.devices.device import DeviceLibrary
+from repro.graph.sequencing_graph import SequencingGraph
+from repro.keys import derive_seed
+from repro.scheduling.schedule import Schedule
+
+#: Hard cap on the violation diagnostics kept per report, so a
+#: pathological configuration cannot balloon artifact payloads.
+MAX_DIAGNOSTICS = 32
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Knobs of one Monte-Carlo verification run.
+
+    Mirrors the ``verify_*`` slice of
+    :class:`~repro.synthesis.config.FlowConfig` (see
+    :meth:`from_flow_config`) so the stage's cache key and the engine's
+    behavior are driven by the same values.
+    """
+
+    trials: int = 32
+    seed: int = 0
+    jitter: str = "none"
+    jitter_spread: float = 0.1
+    fault_rate: float = 0.0
+    channel_fault_rate: float = 0.0
+    max_retries: int = 1
+    wash_time: int = 0
+
+    @classmethod
+    def from_flow_config(cls, config: Any) -> "MonteCarloConfig":
+        """Build the engine config from a ``FlowConfig``'s verify fields."""
+        return cls(
+            trials=config.verify_trials,
+            seed=config.verify_seed,
+            jitter=config.verify_jitter,
+            jitter_spread=config.verify_jitter_spread,
+            fault_rate=config.verify_fault_rate,
+            channel_fault_rate=config.verify_channel_fault_rate,
+            max_retries=config.verify_max_retries,
+            wash_time=config.verify_wash_time,
+        )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one stochastic replay."""
+
+    trial: int
+    makespan: int
+    faults_injected: int
+    faults_recovered: int
+    retries: int
+    migrations: int
+    reroutes: int
+    washes: int
+
+    @property
+    def recovered(self) -> bool:
+        """True when every injected device fault was recovered."""
+        return self.faults_recovered == self.faults_injected
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate of all trials: the distribution the stage reports.
+
+    Percentiles use the nearest-rank method (``sorted[ceil(q/100*n)-1]``),
+    which guarantees ``p50 <= p95 <= p99`` and that every reported value
+    is an actually-observed makespan.
+    """
+
+    trials: List[TrialResult]
+    deterministic_makespan: int
+    violations: List[str] = field(default_factory=list)
+
+    def _percentile(self, q: int) -> int:
+        spans = sorted(t.makespan for t in self.trials)
+        rank = max(1, -(-(q * len(spans)) // 100))
+        return spans[min(rank, len(spans)) - 1]
+
+    @property
+    def makespan_p50(self) -> int:
+        """Median trial makespan (nearest rank)."""
+        return self._percentile(50)
+
+    @property
+    def makespan_p95(self) -> int:
+        """95th-percentile trial makespan (nearest rank)."""
+        return self._percentile(95)
+
+    @property
+    def makespan_p99(self) -> int:
+        """99th-percentile trial makespan (nearest rank)."""
+        return self._percentile(99)
+
+    @property
+    def makespan_mean(self) -> float:
+        """Mean trial makespan."""
+        return sum(t.makespan for t in self.trials) / len(self.trials)
+
+    @property
+    def makespan_max(self) -> int:
+        """Worst observed trial makespan."""
+        return max(t.makespan for t in self.trials)
+
+    @property
+    def faults_injected(self) -> int:
+        """Device faults injected across all trials."""
+        return sum(t.faults_injected for t in self.trials)
+
+    @property
+    def faults_recovered(self) -> int:
+        """Device faults recovered (retry or migration) across all trials."""
+        return sum(t.faults_recovered for t in self.trials)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Recovered / injected device faults (1.0 when none injected)."""
+        injected = self.faults_injected
+        return 1.0 if injected == 0 else self.faults_recovered / injected
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary for batch/service payloads."""
+        return {
+            "trials": len(self.trials),
+            "deterministic_makespan": self.deterministic_makespan,
+            "makespan_p50": self.makespan_p50,
+            "makespan_p95": self.makespan_p95,
+            "makespan_p99": self.makespan_p99,
+            "makespan_mean": round(self.makespan_mean, 3),
+            "makespan_max": self.makespan_max,
+            "faults_injected": self.faults_injected,
+            "faults_recovered": self.faults_recovered,
+            "recovery_rate": round(self.recovery_rate, 6),
+            "reroutes": sum(t.reroutes for t in self.trials),
+            "retries": sum(t.retries for t in self.trials),
+            "migrations": sum(t.migrations for t in self.trials),
+            "washes": sum(t.washes for t in self.trials),
+            "violations": list(self.violations),
+        }
+
+
+class MonteCarloEngine:
+    """Replays one schedule ``config.trials`` times under perturbations.
+
+    The replay is a right-shift retiming over the deterministic processing
+    order (``Schedule.entries()``: sorted by start time, then operation
+    id): each operation starts at the latest of its scheduled start, its
+    parents' perturbed finish times plus the precedence minimum (zero on
+    the same device, one transport time otherwise, plus any reroute
+    delay), and its device's availability (plus any wash).  Because every
+    lower bound includes the scheduled start and every perturbation only
+    adds time, the zero-perturbation replay reproduces the deterministic
+    schedule exactly and perturbed replays are pointwise monotone.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        library: DeviceLibrary,
+        config: Optional[MonteCarloConfig] = None,
+    ) -> None:
+        self.schedule = schedule
+        self.library = library
+        self.config = config or MonteCarloConfig()
+        self.graph: SequencingGraph = schedule.graph
+
+    # ------------------------------------------------------------------ API
+    def run(self) -> VerificationReport:
+        """Run all trials and aggregate them into a report."""
+        trials = [self._run_trial(i) for i in range(self.config.trials)]
+        violations: List[str] = []
+        for trial, notes in trials:
+            for note in notes:
+                if len(violations) >= MAX_DIAGNOSTICS:
+                    break
+                violations.append(note)
+        return VerificationReport(
+            trials=[trial for trial, _ in trials],
+            deterministic_makespan=self.schedule.makespan,
+            violations=violations,
+        )
+
+    # ---------------------------------------------------------------- trial
+    def _jittered(self, rng: random.Random, duration: int) -> int:
+        """Inflate ``duration`` by one draw (identity when jitter is off)."""
+        cfg = self.config
+        if cfg.jitter == "none" or duration == 0:
+            return duration
+        if cfg.jitter == "uniform":
+            factor = 1.0 + cfg.jitter_spread * rng.random()
+        else:  # "normal" — folded so inflation-only
+            factor = 1.0 + abs(rng.gauss(0.0, cfg.jitter_spread))
+        return max(duration, int(round(duration * factor)))
+
+    def _run_trial(self, index: int) -> Tuple[TrialResult, List[str]]:
+        """One stochastic replay; returns the trial and its diagnostics."""
+        cfg = self.config
+        jitter_rng = random.Random(derive_seed(cfg.seed, f"jitter-{index}"))
+        fault_rng = random.Random(derive_seed(cfg.seed, f"fault-{index}"))
+        transport = self.schedule.transport_time
+
+        finish: Dict[str, int] = {}
+        bound: Dict[str, str] = {}
+        device_avail: Dict[str, int] = {}
+        device_last_op: Dict[str, Optional[str]] = {}
+        notes: List[str] = []
+        faults = recovered = retries = migrations = reroutes = washes = 0
+
+        for entry in self.schedule.entries():
+            if entry.device_id is None:
+                finish[entry.op_id] = entry.end
+                continue
+            op = self.graph.operation(entry.op_id)
+            duration = self._jittered(jitter_rng, entry.duration)
+
+            # Precedence lower bound over device-bound parents, with
+            # channel-fault reroutes adding one transport per faulted edge.
+            ready = entry.start
+            for parent_id in sorted(self.graph.predecessors(entry.op_id)):
+                if parent_id not in finish or parent_id not in bound:
+                    continue
+                same = bound[parent_id] == entry.device_id
+                minimum = 0 if same else transport
+                if (
+                    not same
+                    and cfg.channel_fault_rate > 0
+                    and fault_rng.random() < cfg.channel_fault_rate
+                ):
+                    minimum += transport
+                    reroutes += 1
+                ready = max(ready, finish[parent_id] + minimum)
+
+            # Device availability, plus a wash when the previous occupant
+            # is not a direct predecessor (contamination model).
+            device_id = entry.device_id
+            avail = device_avail.get(device_id, 0)
+            prev_op = device_last_op.get(device_id)
+            if (
+                cfg.wash_time > 0
+                and prev_op is not None
+                and prev_op not in self.graph.predecessors(entry.op_id)
+            ):
+                avail += cfg.wash_time
+                washes += 1
+                if avail > entry.start:
+                    notes.append(
+                        f"trial {index}: wash on {device_id!r} pushes "
+                        f"{entry.op_id!r} past its scheduled start "
+                        f"({entry.start} -> {avail})"
+                    )
+            start = max(ready, avail)
+
+            # Fault injection: retry on the faulted device, then migrate.
+            end = start + duration
+            if cfg.fault_rate > 0 and fault_rng.random() < cfg.fault_rate:
+                faults += 1
+                ok = False
+                for _ in range(cfg.max_retries):
+                    end += duration  # the failed attempt burned a duration
+                    retries += 1
+                    if fault_rng.random() >= cfg.fault_rate:
+                        ok = True
+                        break
+                if ok:
+                    recovered += 1
+                else:
+                    spare = self._pick_spare(op.kind, device_id, device_avail)
+                    if spare is not None:
+                        migrations += 1
+                        end = max(end + transport, device_avail.get(spare, 0))
+                        end += duration
+                        if fault_rng.random() >= cfg.fault_rate:
+                            recovered += 1
+                        else:
+                            end += duration  # spare faulted too: best effort
+                            notes.append(
+                                f"trial {index}: fault on {device_id!r} for "
+                                f"{entry.op_id!r} unrecovered (spare "
+                                f"{spare!r} faulted too)"
+                            )
+                        # Repair window: the faulted device stays blocked
+                        # until the migrated operation completes, keeping
+                        # release times monotone versus the fault-free run.
+                        device_avail[device_id] = max(
+                            device_avail.get(device_id, 0), end
+                        )
+                        device_id = spare
+                    else:
+                        end += duration  # best-effort completion in place
+                        notes.append(
+                            f"trial {index}: fault on {device_id!r} for "
+                            f"{entry.op_id!r} unrecovered (no compatible spare)"
+                        )
+
+            finish[entry.op_id] = end
+            bound[entry.op_id] = device_id
+            device_avail[device_id] = max(device_avail.get(device_id, 0), end)
+            device_last_op[device_id] = entry.op_id
+
+        makespan = max(finish.values(), default=0)
+        trial = TrialResult(
+            trial=index,
+            makespan=makespan,
+            faults_injected=faults,
+            faults_recovered=recovered,
+            retries=retries,
+            migrations=migrations,
+            reroutes=reroutes,
+            washes=washes,
+        )
+        return trial, notes
+
+    def _pick_spare(
+        self,
+        kind: Any,
+        faulted_device: str,
+        device_avail: Dict[str, int],
+    ) -> Optional[str]:
+        """Least-loaded compatible device other than the faulted one."""
+        candidates = [
+            device.device_id
+            for device in self.library.devices_for(kind)
+            if device.device_id != faulted_device
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda d: (device_avail.get(d, 0), d))

@@ -26,12 +26,15 @@ class SimulationResult:
 
     @property
     def is_valid(self) -> bool:
+        """True when the replay hit no resource conflicts (``problems`` empty)."""
         return not self.problems
 
     def events_at(self, time: int) -> List[SimulationEvent]:
+        """All events happening at exactly ``time``."""
         return [e for e in self.events if e.time == time]
 
     def segment_utilization(self) -> Dict[EdgeId, float]:
+        """Busy-time fraction of each channel segment over the makespan."""
         if self.makespan <= 0:
             return {eid: 0.0 for eid in self.segments}
         return {

@@ -32,12 +32,15 @@ class Snapshot:
     grid_shape: Tuple[int, int]
 
     def transporting_segments(self) -> List[SegmentState]:
+        """Segments carrying a droplet at this instant."""
         return [s for s in self.segments.values() if s.purpose == "transport"]
 
     def storing_segments(self) -> List[SegmentState]:
+        """Segments caching a stored sample at this instant."""
         return [s for s in self.segments.values() if s.purpose == "storage"]
 
     def busy_segment_count(self) -> int:
+        """Number of segments busy (transporting or storing) right now."""
         return len(self.segments)
 
     def describe(self) -> List[str]:

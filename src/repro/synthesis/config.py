@@ -128,6 +128,37 @@ class FlowConfig:
     storage_segment_length: float = 3.0
     min_channel_spacing: float = 1.0
 
+    # Stochastic verification (the optional fourth pipeline stage).
+    #: Run the Monte-Carlo verification stage after physical design.  Off by
+    #: default: the deterministic three-stage flow (and every golden pin
+    #: recorded against it) is unchanged unless a config opts in.
+    verify: bool = False
+    #: Number of Monte-Carlo trials replayed per verification.
+    verify_trials: int = 32
+    #: Root seed of the verification trials; each trial derives independent
+    #: jitter and fault streams via :func:`repro.keys.derive_seed`, so the
+    #: whole distribution is reproducible bit-for-bit across processes.
+    verify_seed: int = 0
+    #: Duration-jitter distribution: ``"none"`` replays nominal durations,
+    #: ``"uniform"`` inflates each duration by ``x(1 + spread*U[0,1])``,
+    #: ``"normal"`` by ``x(1 + |N(0, spread)|)``.  Inflation-only by design
+    #: so a jittered trial can never beat the deterministic schedule.
+    verify_jitter: str = "none"
+    #: Spread parameter of the jitter distribution (fraction of nominal).
+    verify_jitter_spread: float = 0.1
+    #: Per-operation probability that the assigned device faults mid-run.
+    verify_fault_rate: float = 0.0
+    #: Per-transport probability that a routing channel faults, forcing a
+    #: reroute that adds one transport time to the affected precedence edge.
+    verify_channel_fault_rate: float = 0.0
+    #: Retry attempts on the faulted device before migrating the operation
+    #: to a compatible spare; if no spare exists the trial is unrecovered.
+    verify_max_retries: int = 1
+    #: Wash time inserted between consecutive operations on one device when
+    #: the later operation is not a direct successor of the earlier one
+    #: (contamination model); ``0`` disables washes.
+    verify_wash_time: int = 0
+
     def __post_init__(self) -> None:
         if self.num_mixers < 1:
             raise ValueError("at least one mixer is required")
@@ -148,6 +179,23 @@ class FlowConfig:
                     f"{field_name} names unknown solver backend {backend!r}; "
                     f"registered backends: {list(known)}"
                 )
+        if self.verify_trials < 1:
+            raise ValueError("verify_trials must be at least 1")
+        if self.verify_jitter not in ("none", "uniform", "normal"):
+            raise ValueError(
+                f"verify_jitter must be 'none', 'uniform' or 'normal', "
+                f"got {self.verify_jitter!r}"
+            )
+        if self.verify_jitter_spread < 0:
+            raise ValueError("verify_jitter_spread must be non-negative")
+        for rate_field in ("verify_fault_rate", "verify_channel_fault_rate"):
+            rate = getattr(self, rate_field)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_field} must be in [0, 1], got {rate!r}")
+        if self.verify_max_retries < 0:
+            raise ValueError("verify_max_retries must be non-negative")
+        if self.verify_wash_time < 0:
+            raise ValueError("verify_wash_time must be non-negative")
 
     def grid_shape(self) -> Tuple[int, int]:
         return (self.grid_rows, self.grid_cols)

@@ -72,6 +72,14 @@ class SynthesisResult:
     #: the branch-and-bound backend can; HiGHS through scipy has no
     #: warm-start API, and the heuristic engines never see one).
     scheduler_warm_start_used: bool = False
+    #: Monte-Carlo verification report
+    #: (:class:`repro.simulation.montecarlo.VerificationReport`) when the
+    #: config enabled the verify stage; ``None`` on the three-stage flow.
+    verification: Optional[object] = None
+    verification_time_s: float = 0.0
+    #: Deterministic-replay diagnostics propagated from the verify stage
+    #: (always empty on a successful run — conflicts fail the stage).
+    simulation_problems: Optional[list] = None
 
     @property
     def execution_time(self) -> int:
@@ -91,8 +99,14 @@ class SynthesisResult:
         schedule_artifact: "ScheduleArtifact",
         architecture_artifact: "ArchitectureArtifact",
         physical_artifact: "PhysicalArtifact",
+        verification_artifact: Optional[object] = None,
     ) -> "SynthesisResult":
-        """Assemble the result view from the three stage artifacts."""
+        """Assemble the result view from the stage artifacts.
+
+        ``verification_artifact`` is the optional fourth-stage output; when
+        present its distribution report and timing are copied onto the
+        result so batch/service payloads can surface them.
+        """
         return cls(
             graph=graph,
             library=library,
@@ -110,6 +124,9 @@ class SynthesisResult:
             scheduler_fallback_used=getattr(schedule_artifact, "fallback_used", False),
             synthesis_fallback_used=getattr(architecture_artifact, "fallback_used", False),
             scheduler_warm_start_used=getattr(schedule_artifact, "warm_start_used", False),
+            verification=getattr(verification_artifact, "report", None),
+            verification_time_s=getattr(verification_artifact, "verification_time_s", 0.0),
+            simulation_problems=getattr(verification_artifact, "simulation_problems", None),
         )
 
 

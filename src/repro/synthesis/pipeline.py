@@ -10,7 +10,10 @@ call:
 * :class:`ArchSynthStage` → :class:`ArchitectureArtifact` (the placed and
   routed connection grid);
 * :class:`PhysicalStage` → :class:`PhysicalArtifact` (the scaled, expanded
-  and compacted layout).
+  and compacted layout);
+* :class:`VerifyStage` → :class:`VerificationArtifact` (optional, when
+  ``FlowConfig.verify`` is set: the Monte-Carlo makespan distribution and
+  fault-recovery report, keyed off the archsyn key).
 
 Each stage declares the exact slice of :class:`FlowConfig` fields it
 consumes (:attr:`Stage.config_fields`), and its cache key is::
@@ -120,6 +123,43 @@ class PhysicalArtifact:
 
 
 @dataclass
+class VerificationArtifact:
+    """Output of :class:`VerifyStage`: the Monte-Carlo distribution report.
+
+    ``simulation_problems`` carries the deterministic replay's diagnostics
+    (:attr:`repro.simulation.simulator.SimulationResult.problems`); it is
+    empty in every artifact that exists, because a non-empty list fails the
+    stage with :class:`VerificationError` instead of producing one — but it
+    travels in the payload so downstream consumers see the check happened.
+    """
+
+    report: Any  # repro.simulation.montecarlo.VerificationReport
+    verification_time_s: float
+    simulation_problems: List[str] = None  # type: ignore[assignment]
+    simulation_transports: int = 0
+    simulation_storage_intervals: int = 0
+
+    def __post_init__(self) -> None:
+        if self.simulation_problems is None:
+            self.simulation_problems = []
+
+
+class VerificationError(RuntimeError):
+    """A verification stage failed: the deterministic replay found conflicts.
+
+    Raised with the full list of simulator diagnostics so a batch report
+    (which memoizes the failure under the stage key) points straight at the
+    offending resource reservations instead of a bare "stage failed".
+    """
+
+    def __init__(self, problems: List[str]):
+        self.problems = list(problems)
+        super().__init__(
+            "simulation replay found conflicts: " + "; ".join(self.problems)
+        )
+
+
+@dataclass
 class StageContext:
     """Everything a stage may read besides its upstream artifact.
 
@@ -176,10 +216,19 @@ class Stage:
 
     name: str = ""
     config_fields: Tuple[str, ...] = ()
+    #: Index of the planned stage whose *key* is this stage's upstream hash;
+    #: ``None`` chains off the immediately preceding stage.  The verify
+    #: stage sets this to the archsyn tier so physical-only config changes
+    #: (pitch, spacing) never invalidate cached verification reports.
+    upstream_tier: Optional[int] = None
 
     def config_slice(self, config: FlowConfig) -> Dict[str, Any]:
         data = config.to_dict()
         return {field: data[field] for field in self.config_fields}
+
+    def upstream_for(self, artifacts: Sequence[Any]) -> Any:
+        """The upstream value :meth:`run` receives, given prior artifacts."""
+        return artifacts[-1] if artifacts else None
 
     def key(self, upstream_hash: str, config: FlowConfig) -> str:
         return stable_digest(
@@ -303,12 +352,75 @@ class PhysicalStage(Stage):
         return PhysicalArtifact(physical=physical)
 
 
+class VerifyStage(Stage):
+    """Stochastic verification: Monte-Carlo replay of the bound schedule.
+
+    Runs after physical design but consumes only the schedule and the
+    architecture, so its cache key chains off the *archsyn* key
+    (:attr:`upstream_tier`): a pitch-only sweep replays cached verification
+    reports just like it replays cached schedules.
+
+    Before sampling, the deterministic :class:`~repro.simulation.simulator.
+    ChipSimulator` replay runs once; any resource conflict it reports
+    (``SimulationResult.problems``) fails the stage with a
+    :class:`VerificationError` carrying the diagnostics — the conflicts
+    used to be silently dropped.
+    """
+
+    name = "verify"
+    config_fields = (
+        "verify",
+        "verify_trials",
+        "verify_seed",
+        "verify_jitter",
+        "verify_jitter_spread",
+        "verify_fault_rate",
+        "verify_channel_fault_rate",
+        "verify_max_retries",
+        "verify_wash_time",
+        "transport_time",
+    )
+    upstream_tier = 1  # chain off the archsyn key, not the physical key
+
+    def upstream_for(self, artifacts: Sequence[Any]) -> Any:
+        """The (schedule, architecture) artifact pair verification reads."""
+        return (artifacts[0], artifacts[1])
+
+    def run(self, context: StageContext, upstream: Any) -> VerificationArtifact:
+        record_invocation(self.name)
+        # Imported here: repro.simulation has no pipeline dependency and
+        # must stay importable on its own (it predates the stage).
+        from repro.simulation.montecarlo import MonteCarloConfig, MonteCarloEngine
+        from repro.simulation.simulator import ChipSimulator
+
+        schedule_art, arch_art = upstream
+        start = time.perf_counter()
+        replay = ChipSimulator(schedule_art.schedule, arch_art.architecture).run()
+        if not replay.is_valid:
+            raise VerificationError(replay.problems)
+        report = MonteCarloEngine(
+            schedule_art.schedule,
+            context.library,
+            MonteCarloConfig.from_flow_config(context.config),
+        ).run()
+        return VerificationArtifact(
+            report=report,
+            verification_time_s=time.perf_counter() - start,
+            simulation_problems=list(replay.problems),
+            simulation_transports=replay.total_transports,
+            simulation_storage_intervals=replay.total_storage_intervals,
+        )
+
+
 #: Stage singletons (stages are stateless) in pipeline order.
 SCHEDULE_STAGE = ScheduleStage()
 ARCHSYN_STAGE = ArchSynthStage()
 PHYSICAL_STAGE = PhysicalStage()
+VERIFY_STAGE = VerifyStage()
 DEFAULT_STAGES: Tuple[Stage, ...] = (SCHEDULE_STAGE, ARCHSYN_STAGE, PHYSICAL_STAGE)
-STAGES_BY_NAME: Dict[str, Stage] = {stage.name: stage for stage in DEFAULT_STAGES}
+STAGES_BY_NAME: Dict[str, Stage] = {
+    stage.name: stage for stage in DEFAULT_STAGES + (VERIFY_STAGE,)
+}
 
 
 def stage_by_name(name: str) -> Stage:
@@ -350,6 +462,17 @@ class SynthesisPipeline:
     def __init__(self, stages: Optional[Sequence[Stage]] = None) -> None:
         self.stages: Tuple[Stage, ...] = tuple(stages) if stages else DEFAULT_STAGES
 
+    def stages_for(self, config: FlowConfig) -> Tuple[Stage, ...]:
+        """The stage chain one concrete config runs.
+
+        A config with ``verify=True`` appends the Monte-Carlo verification
+        stage to the default chain; explicitly customized pipelines are
+        left exactly as constructed.
+        """
+        if config.verify and self.stages == DEFAULT_STAGES:
+            return self.stages + (VERIFY_STAGE,)
+        return self.stages
+
     def plan(
         self,
         graph: SequencingGraph,
@@ -361,13 +484,22 @@ class SynthesisPipeline:
         ``graph_hash`` lets callers that already computed the graph's
         :func:`graph_fingerprint` (the batch engine computes it once per
         job, for the run-level key) skip re-canonicalizing the graph.
+        Stages with an explicit :attr:`Stage.upstream_tier` chain off that
+        tier's key instead of their predecessor's.
         """
-        upstream = graph_hash if graph_hash is not None else graph_fingerprint(graph)
+        root = graph_hash if graph_hash is not None else graph_fingerprint(graph)
         planned: List[PlannedStage] = []
-        for stage in self.stages:
+        keys_so_far: List[str] = []
+        for stage in self.stages_for(config):
+            if not keys_so_far:
+                upstream = root
+            elif stage.upstream_tier is not None:
+                upstream = keys_so_far[stage.upstream_tier]
+            else:
+                upstream = keys_so_far[-1]
             key = stage.key(upstream, config)
             planned.append(PlannedStage(stage=stage, key=key))
-            upstream = key
+            keys_so_far.append(key)
         return planned
 
     def run(
@@ -406,10 +538,9 @@ class SynthesisPipeline:
         )
 
         planned = self.plan(graph, config, graph_hash=graph_hash) if use_cache else [
-            PlannedStage(stage=stage, key="") for stage in self.stages
+            PlannedStage(stage=stage, key="") for stage in self.stages_for(config)
         ]
         artifacts: List[Any] = []
-        upstream: Any = None
         for planned_stage in planned:
             stage = planned_stage.stage
             start = time.perf_counter()
@@ -418,7 +549,7 @@ class SynthesisPipeline:
                 action = "replayed"
             else:
                 try:
-                    artifact = stage.run(context, upstream)
+                    artifact = stage.run(context, stage.upstream_for(artifacts))
                 except BaseException:
                     # Under a single-flight cache the miss above *claimed*
                     # the key; a failed stage must release exactly that
@@ -445,9 +576,8 @@ class SynthesisPipeline:
                     )
                 )
             artifacts.append(artifact)
-            upstream = artifact
 
-        schedule_art, arch_art, physical_art = artifacts
+        schedule_art, arch_art, physical_art = artifacts[:3]
         return SynthesisResult.from_artifacts(
             graph=graph,
             library=library,
@@ -455,6 +585,7 @@ class SynthesisPipeline:
             schedule_artifact=schedule_art,
             architecture_artifact=arch_art,
             physical_artifact=physical_art,
+            verification_artifact=artifacts[3] if len(artifacts) > 3 else None,
         )
 
 
@@ -466,6 +597,6 @@ def covered_config_fields() -> set:
     changing any stage key, so a test asserts this union stays complete.
     """
     covered: set = set()
-    for stage in DEFAULT_STAGES:
+    for stage in DEFAULT_STAGES + (VERIFY_STAGE,):
         covered.update(stage.config_fields)
     return covered

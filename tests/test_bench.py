@@ -360,6 +360,38 @@ class TestReplicaProbe:
         assert "replica" not in delta
 
 
+class TestVerifyProbe:
+    """The Monte-Carlo verification probe (additive within format 4)."""
+
+    def test_probe_reports_a_consistent_fault_injected_distribution(self):
+        from repro.bench import VERIFY_PROBE_TRIALS, run_verify_probe
+
+        record = run_verify_probe()
+        assert record["ok"], record
+        assert record["trials"] == VERIFY_PROBE_TRIALS
+        # The probe injects jitter and faults, so the sampled distribution
+        # sits at or above the deterministic replay and stays ordered.
+        assert record["makespan_p50"] >= record["deterministic_makespan"]
+        assert record["makespan_p99"] >= record["makespan_p50"]
+        assert 0.0 <= record["recovery_rate"] <= 1.0
+        assert record["verification_s"] <= record["wall_time_s"]
+
+    def test_no_verify_probe_flag_skips_it(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-explore", "--no-replica", "--no-bb-probe",
+                     "--no-verify-probe"]) == 0
+        assert json.loads(out.read_text())["verify_probe"] is None
+
+    def test_probe_record_lands_in_the_payload(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-explore", "--no-replica", "--no-bb-probe"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["verify_probe"]["ok"], payload["verify_probe"]
+        assert "verify   p50=" in capsys.readouterr().out
+
+
 class TestCommittedTrajectory:
     """CI guard over the checked-in BENCH_6.json against BENCH_5.json.
 

@@ -63,3 +63,48 @@ class TestMain:
         exit_code = main(["--assay", "IVD", "--mixers", "2", "--scheduler", "list"])
         assert exit_code == 1
         assert "synthesis failed" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_fault_free_run_reports_the_exact_distribution(self, capsys):
+        exit_code = main([
+            "simulate", "--assay", "PCR", "--scheduler", "list",
+            "--mixers", "2", "--trials", "4", "--seed", "9",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "verification of PCR: 4 trial(s), seed 9" in output
+        assert "recovery rate 1.0" in output
+        # Fault-free: every percentile equals the deterministic makespan.
+        deterministic = next(
+            line for line in output.splitlines()
+            if "deterministic makespan:" in line
+        ).split(":")[1].strip()
+        assert f"makespan p50/p95/p99: {deterministic}/{deterministic}/{deterministic}" in output
+
+    def test_json_payload_shape(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        exit_code = main([
+            "simulate", "--assay", "PCR", "--scheduler", "list",
+            "--mixers", "2", "--trials", "4", "--jitter", "uniform",
+            "--fault-rate", "0.3", "--json", str(out),
+        ])
+        assert exit_code == 0
+        import json as json_module
+
+        payload = json_module.loads(out.read_text())
+        assert payload["trials"] == 4
+        assert payload["makespan_p50"] <= payload["makespan_p99"]
+        assert payload["simulation_problems"] == []
+
+    def test_requires_an_input_source(self):
+        with pytest.raises(SystemExit):
+            main(["simulate"])
+
+    def test_infeasible_configuration_returns_error_code(self, capsys):
+        exit_code = main([
+            "simulate", "--assay", "IVD", "--detectors", "0",
+            "--scheduler", "list",
+        ])
+        assert exit_code == 1
+        assert "simulation failed" in capsys.readouterr().err

@@ -25,6 +25,7 @@ GATED_PACKAGES = (
     "repro.batch.cache_backends",
     "repro.ilp.backends",
     "repro.explore",
+    "repro.simulation",
 )
 
 

@@ -48,7 +48,7 @@ from repro.batch.cache_backends import (
 )
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.keys import stable_digest
-from repro.synthesis.config import FlowConfig
+from repro.synthesis.config import RUNTIME_ADVICE_FIELDS, FlowConfig
 from repro.synthesis.pipeline import graph_fingerprint
 
 # The version constant itself lives in repro.keys so run-level and
@@ -73,11 +73,16 @@ def cache_key(
     graph *name* is deliberately excluded: renaming an assay does not
     change what gets synthesized.  Callers that already computed the
     fingerprint pass it as ``graph_hash`` to skip re-canonicalizing.
+    Runtime-advice fields (``verify_workers``) are excluded too — they
+    change how fast the result arrives, never what it is.
     """
+    config_payload = config.to_dict()
+    for advice_field in RUNTIME_ADVICE_FIELDS:
+        config_payload.pop(advice_field, None)
     payload = {
         "version": keys.KEY_VERSION,
         "graph": graph_hash if graph_hash is not None else graph_fingerprint(graph),
-        "config": config.to_dict(),
+        "config": config_payload,
     }
     return stable_digest(payload)
 

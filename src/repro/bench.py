@@ -3,7 +3,7 @@
 Runs the small benchmark fixtures (RA30 / IVD / PCR by default, the same
 assays the golden regression pins cover) cold through the batch engine,
 times a tiny design-space exploration (the ``repro explore`` hot path), and
-writes a machine-readable ``BENCH_7.json`` so the performance trajectory of
+writes a machine-readable ``BENCH_8.json`` so the performance trajectory of
 the repository has data points a CI job can collect and compare across
 commits:
 
@@ -24,16 +24,22 @@ commits:
   jobs/s and the total number of scheduling solves the pair performed
   (exactly one: the pitch axis never touches the schedule stage, so
   cross-process single-flight must let one replica's solve serve both),
+* a verify-throughput probe: trials/s of the vectorized fault-free and
+  masked fault-path Monte-Carlo kernels on a solver-free PCR schedule,
+  each against the scalar reference engine (``REPRO_MC_SCALAR=1``)
+  measured in the same run — with a byte-identity check between the fast
+  and scalar reports, so throughput can never be bought with a changed
+  number,
 * a ``delta`` section against the most recent previous ``BENCH_*.json``
   found next to the output file, so a regression is visible in the payload
   itself, not only after downloading two artifacts — including per-assay
-  schedule-stage wall times and the B&B probe's speedup over the previous
-  file's IVD schedule stage.
+  schedule-stage wall times, the B&B probe's speedup over the previous
+  file's IVD schedule stage, and the verify probe's in-run speedups.
 
 The file name carries the PR sequence number of the benchmark format
-(``BENCH_7``) rather than a timestamp, so CI artifact uploads of different
+(``BENCH_8``) rather than a timestamp, so CI artifact uploads of different
 commits are directly comparable — and the repository commits each sequence
-point, making the checked-in ``BENCH_7.json`` the trajectory's next
+point, making the checked-in ``BENCH_8.json`` the trajectory's next
 recorded entry.  The payload also embeds :data:`repro.keys.KEY_VERSION` — a
 bump there invalidates every cache, so wall-time regressions across a bump
 are expected and the comparison tooling can tell the two apart.
@@ -66,11 +72,12 @@ DEFAULT_ASSAYS = ("RA30", "IVD", "PCR")
 #: telemetry).  v2 added the exploration smoke and the delta section; v3
 #: added ``warm_start_used`` per stage, the anytime branch-and-bound probe
 #: (``bb_probe``), and schedule-stage wall times in the delta; v4 added the
-#: two-replica shared-cache throughput record (``replica``) and its jobs/s
-#: comparison in the delta.  The Monte-Carlo verification probe
-#: (``verify_probe``) is additive within v4: a new optional key, with no
-#: change to any existing record's shape.
-BENCH_FORMAT = 4
+#: two-replica shared-cache throughput record (``replica``) and a first
+#: (stage-timing) Monte-Carlo verification probe; v5 reshapes
+#: ``verify_probe`` into a throughput probe: trials/s of the vectorized
+#: fault-free and masked fault kernels against the scalar reference engine
+#: measured in the same run, surfaced as ``delta.verify_probe``.
+BENCH_FORMAT = 5
 
 #: Time budget of the anytime branch-and-bound probe.  Deliberately tiny:
 #: the probe measures solution *quality under a budget*, not proof time —
@@ -105,9 +112,18 @@ REPLICA_SWEEP_PITCHES = (
     [8.0, 9.0, 10.0, 11.0, 12.0, 13.0],
 )
 
-#: Trial count of the Monte-Carlo verification probe: enough samples for
-#: stable percentiles, small enough that the probe stays a smoke.
-VERIFY_PROBE_TRIALS = 64
+#: Trial counts of the Monte-Carlo verify-throughput probe: the
+#: vectorized fault-free path is timed over 4096 uniform-jitter trials and
+#: the masked fault path over 1024 fault-injected trials, each against the
+#: scalar reference engine (``REPRO_MC_SCALAR=1``) measured in the same
+#: run — a relative quantity, robust to runner speed.
+VERIFY_PROBE_FAULT_FREE_TRIALS = 4096
+VERIFY_PROBE_FAULT_TRIALS = 1024
+
+#: Speedup floors the CI bench job (and the committed-trajectory tests)
+#: assert on the verify-throughput probe.
+VERIFY_PROBE_FAULT_FREE_FLOOR = 10.0
+VERIFY_PROBE_FAULT_FLOOR = 3.0
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -121,8 +137,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "used per stage) to a JSON file for the perf trajectory.",
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_7.json"),
-        help="output JSON path (default BENCH_7.json)",
+        "--out", type=Path, default=Path("BENCH_8.json"),
+        help="output JSON path (default BENCH_8.json)",
     )
     parser.add_argument(
         "--assays", nargs="+", default=list(DEFAULT_ASSAYS),
@@ -425,61 +441,125 @@ def run_replica_throughput() -> Dict[str, Any]:
 
 
 def run_verify_probe() -> Dict[str, Any]:
-    """Monte-Carlo verification probe: PCR under jitter plus fault injection.
+    """Verify-throughput probe: vectorized vs scalar Monte-Carlo replay.
 
-    Solver-free (``ilp_operation_limit: 0``) so the record times the verify
-    stage's replay machinery, not an ILP.  64 trials with uniform jitter and
-    device faults exercise both halves the trajectory should track — the
-    sampling loop's wall time and the recovery bookkeeping.  ``ok`` demands
-    a clean report: the deterministic replay must land exactly on the
-    scheduler's makespan, the sampled median must sit at or above it, and
-    the replay validator must raise no problems.
+    Times the :class:`~repro.simulation.montecarlo.MonteCarloEngine`
+    directly (no synthesis pipeline around it) on a solver-free PCR
+    schedule, twice per configuration: once with the default fast kernels
+    and once with the scalar reference forced via ``REPRO_MC_SCALAR=1``.
+    Two configurations cover both fast paths — 4096 fault-free
+    uniform-jitter trials (the vectorized path) and 1024 fault-injected
+    trials (the masked path).  Each row records trials/s for both engines
+    and their ratio; because the baseline is measured in the same run on
+    the same machine, the speedup is meaningful on any runner.  ``ok``
+    additionally demands that each fast report's ``as_dict()`` payload is
+    byte-identical to the scalar engine's — the probe must never buy
+    throughput with a changed number.
     """
-    from repro.synthesis.flow import synthesize
+    import os
 
-    config = FlowConfig(
-        num_mixers=2,
-        ilp_operation_limit=0,
-        verify=True,
-        verify_trials=VERIFY_PROBE_TRIALS,
-        verify_jitter="uniform",
-        verify_jitter_spread=0.2,
-        verify_fault_rate=0.3,
-        verify_max_retries=1,
-        verify_seed=0,
-    )
+    from repro.devices.device import default_device_library
+    from repro.graph.library import build_pcr
+    from repro.scheduling.list_scheduler import ListScheduler, ListSchedulerConfig
+    from repro.simulation.montecarlo import MonteCarloConfig, MonteCarloEngine
+
     start = time.perf_counter()
+
+    def _one_run(schedule, library, config, scalar: bool):
+        saved = os.environ.pop("REPRO_MC_SCALAR", None)
+        if scalar:
+            os.environ["REPRO_MC_SCALAR"] = "1"
+        try:
+            engine = MonteCarloEngine(schedule, library, config)
+            t0 = time.perf_counter()
+            report = engine.run()
+            return report, time.perf_counter() - t0
+        finally:
+            os.environ.pop("REPRO_MC_SCALAR", None)
+            if saved is not None:
+                os.environ["REPRO_MC_SCALAR"] = saved
+
+    def _timed_pair(schedule, library, config):
+        # Two untimed warmups per engine (first-touch page faults, lazy
+        # imports, allocator arenas — the vectorized path takes a few runs
+        # to plateau), then three timed rounds with the engines
+        # *interleaved* — fast, scalar, fast, scalar, ... — so a load
+        # spike on a shared runner lands on both sides of the ratio
+        # instead of skewing whichever engine happened to be running.
+        # Best-of-three per side: the probe is a ratio, not a soak.
+        for _ in range(2):
+            _one_run(schedule, library, config, scalar=False)
+            _one_run(schedule, library, config, scalar=True)
+        fast_best: Optional[float] = None
+        scalar_best: Optional[float] = None
+        fast_report = scalar_report = None
+        for _ in range(3):
+            fast_report, elapsed = _one_run(schedule, library, config, scalar=False)
+            fast_best = elapsed if fast_best is None else min(fast_best, elapsed)
+            scalar_report, elapsed = _one_run(schedule, library, config, scalar=True)
+            scalar_best = (
+                elapsed if scalar_best is None else min(scalar_best, elapsed)
+            )
+        return fast_report, fast_best, scalar_report, scalar_best
+
     try:
-        result = synthesize(assay_by_name("PCR"), config)
+        library = default_device_library(num_mixers=2)
+        schedule = ListScheduler(
+            library, ListSchedulerConfig(transport_time=10)
+        ).schedule(build_pcr())
+        probes = {
+            "fault_free": MonteCarloConfig(
+                trials=VERIFY_PROBE_FAULT_FREE_TRIALS,
+                seed=11,
+                jitter="uniform",
+                jitter_spread=0.2,
+                wash_time=12,
+            ),
+            "fault": MonteCarloConfig(
+                trials=VERIFY_PROBE_FAULT_TRIALS,
+                seed=11,
+                jitter="uniform",
+                jitter_spread=0.2,
+                fault_rate=0.3,
+                channel_fault_rate=0.1,
+                wash_time=12,
+            ),
+        }
+        record: Dict[str, Any] = {
+            "deterministic_makespan": schedule.makespan,
+        }
+        ok = True
+        error: Optional[str] = None
+        for name, config in probes.items():
+            fast_report, fast_s, scalar_report, scalar_s = _timed_pair(
+                schedule, library, config
+            )
+            identical = fast_report.as_dict() == scalar_report.as_dict()
+            record[name] = {
+                "trials": config.trials,
+                "trials_per_s": round(config.trials / fast_s, 1),
+                "scalar_trials_per_s": round(config.trials / scalar_s, 1),
+                "speedup": round(scalar_s / fast_s, 2),
+                "report_identical": identical,
+                "makespan_p50": fast_report.makespan_p50,
+                "makespan_p99": fast_report.makespan_p99,
+                "recovery_rate": round(fast_report.recovery_rate, 6),
+            }
+            if not identical:
+                ok = False
+                error = f"{name}: vectorized and scalar reports differ"
+            elif fast_report.makespan_p50 < schedule.makespan:
+                ok = False
+                error = f"{name}: sampled median below the deterministic makespan"
     except Exception as exc:  # noqa: BLE001 - telemetry must not crash bench
         return {
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
             "wall_time_s": round(time.perf_counter() - start, 4),
         }
-    report = result.verification
-    ok = (
-        report is not None
-        and report.deterministic_makespan == result.schedule.makespan
-        and report.makespan_p50 >= report.deterministic_makespan
-        and not (result.simulation_problems or [])
-    )
-    record: Dict[str, Any] = {
-        "ok": ok,
-        "error": None if ok else "verification report inconsistent",
-        "wall_time_s": round(time.perf_counter() - start, 4),
-    }
-    if report is not None:
-        record.update(
-            {
-                "verification_s": round(result.verification_time_s, 4),
-                "trials": len(report.trials),
-                "deterministic_makespan": report.deterministic_makespan,
-                "makespan_p50": report.makespan_p50,
-                "makespan_p99": report.makespan_p99,
-                "recovery_rate": round(report.recovery_rate, 6),
-            }
-        )
+    record["ok"] = ok
+    record["error"] = error
+    record["wall_time_s"] = round(time.perf_counter() - start, 4)
     return record
 
 
@@ -615,6 +695,17 @@ def bench_delta(payload: Dict[str, Any], previous_path: Path) -> Optional[Dict[s
             "makespan": probe.get("makespan"),
         }
 
+    verify_probe = payload.get("verify_probe")
+    # The verify-throughput baseline is the scalar engine measured in the
+    # same run (same machine, same load), so the delta surfaces this run's
+    # own ratios rather than a cross-file wall-time diff.
+    if isinstance(verify_probe, dict) and verify_probe.get("ok"):
+        delta["verify_probe"] = {
+            "fault_free_speedup": verify_probe["fault_free"]["speedup"],
+            "fault_speedup": verify_probe["fault"]["speedup"],
+            "baseline_source": "in-run scalar engine",
+        }
+
     new_replica = payload.get("replica")
     old_replica = previous.get("replica")
     # A pre-format-4 baseline has no replica record: skip the comparison
@@ -723,12 +814,11 @@ def run_bench(argv: List[str]) -> int:
             print(f"replica  FAILED: {replica_record['error']}")
     if verify_record is not None:
         if verify_record["ok"]:
+            ff, fl = verify_record["fault_free"], verify_record["fault"]
             print(
-                f"verify   p50={verify_record['makespan_p50']} "
-                f"p99={verify_record['makespan_p99']} "
-                f"recovery={verify_record['recovery_rate']} "
-                f"trials={verify_record['trials']} "
-                f"{verify_record['verification_s']:.2f}s"
+                f"verify   fault-free={ff['trials_per_s']:.0f}/s "
+                f"({ff['speedup']}x) fault={fl['trials_per_s']:.0f}/s "
+                f"({fl['speedup']}x) {verify_record['wall_time_s']:.2f}s"
             )
         else:
             print(f"verify   FAILED: {verify_record['error']}")

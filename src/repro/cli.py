@@ -583,6 +583,9 @@ def build_simulate_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wash-time", type=int, default=0,
                         help="contamination wash time between unrelated "
                         "operations on one device (default 0 = off)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes to shard trials across; the "
+                        "report is byte-identical for any count (default 1)")
     parser.add_argument("--json", dest="json_out", type=Path, default=None,
                         help="also write the verification report to this JSON file")
     return parser
@@ -621,6 +624,7 @@ def run_simulate(argv: List[str]) -> int:
         verify_channel_fault_rate=args.channel_fault_rate,
         verify_max_retries=args.max_retries,
         verify_wash_time=args.wash_time,
+        verify_workers=args.workers,
     )
     config = apply_solver_override(config, args.solver)
     try:

@@ -26,7 +26,11 @@ from typing import Any
 #:     the stage config slices, and stage artifacts carry backend identity.
 #: v4: stochastic verification — the verify_* FlowConfig fields, the
 #:     optional verify stage, and simulation problems in artifact payloads.
-KEY_VERSION = 4
+#: v5: aggregated verification reports — VerificationArtifact payloads now
+#:     carry a TrialAggregate (and elide per-trial detail on large runs),
+#:     so v4 pickles must not unpickle into the new report shape; also
+#:     excludes runtime-advice fields (verify_workers) from run-level keys.
+KEY_VERSION = 5
 
 
 def stable_digest(payload: Any) -> str:

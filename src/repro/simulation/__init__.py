@@ -25,6 +25,8 @@ from repro.simulation.events import SimulationEvent, EventKind
 from repro.simulation.montecarlo import (
     MonteCarloConfig,
     MonteCarloEngine,
+    ReplayPlan,
+    TrialAggregate,
     TrialResult,
     VerificationReport,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "SimulationResult",
     "MonteCarloConfig",
     "MonteCarloEngine",
+    "ReplayPlan",
+    "TrialAggregate",
     "TrialResult",
     "VerificationReport",
     "Snapshot",

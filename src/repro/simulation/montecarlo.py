@@ -37,22 +37,74 @@ identical in every process regardless of ``PYTHONHASHSEED``.  The same
 seed yields the same trial sequence bit-for-bit, and enabling faults
 leaves the jitter draws untouched (separate streams), which is what makes
 the fault-vs-fault-free monotonicity property testable.
+
+Performance architecture (three stacked layers, all bit-identical):
+
+* A :class:`ReplayPlan` is compiled once per engine and lowers the replay
+  to integer-indexed arrays — topological entry order, CSR predecessor
+  indices with precomputed transport minima, static wash predicates,
+  device-index maps, and per-entry spare candidate lists — so no trial
+  ever calls ``graph.predecessors()``, hashes a string key, or sorts.
+* All trials in a block advance entry by entry as numpy vector operations
+  across the trial axis: plain elementwise max/add passes over a
+  ``(trials x entries)`` duration matrix when
+  ``fault_rate == channel_fault_rate == 0``, and a masked variant (per
+  trial fault/retry/migration masks with a per-trial draw cursor) when
+  faults are enabled.  The random draws still come from the per-trial
+  SHA-derived ``random.Random`` streams — reproduced bit-for-bit across
+  the trial axis by :mod:`repro.simulation.mtstream` — and
+  ``round``/``np.rint`` agree on float64 (both round half to even), so
+  every reported value is bit-identical to the scalar engine.
+* ``workers > 1`` shards trial index ranges across a process pool.
+  Per-trial streams are derived from the trial *index*, so any shard
+  boundary reproduces the exact same draws and the merged report is
+  byte-identical for every worker count.
+
+Aggregation is streaming: each shard returns sorted makespans plus
+counter sums (a :class:`TrialAggregate`), so a 100k-trial run never holds
+100k :class:`TrialResult` objects; per-trial detail is retained only up
+to :data:`TRIAL_DETAIL_LIMIT` trials.  Set ``REPRO_MC_SCALAR=1`` to force
+the original scalar engine — the differential reference the test suite
+pins the fast paths against, mirroring ``REPRO_BB_SCALAR``.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
 
 from repro.devices.device import DeviceLibrary
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.keys import derive_seed
 from repro.scheduling.schedule import Schedule
+from repro.simulation.mtstream import derive_seed_block, uniform_block
 
 #: Hard cap on the violation diagnostics kept per report, so a
-#: pathological configuration cannot balloon artifact payloads.
+#: pathological configuration cannot balloon artifact payloads.  When the
+#: cap truncates, the report's last entry is a ``"... +N more"`` marker.
 MAX_DIAGNOSTICS = 32
+
+#: Environment variable forcing the scalar reference engine (mirrors
+#: ``REPRO_BB_SCALAR`` on the branch-and-bound kernels).
+_SCALAR_ENV = "REPRO_MC_SCALAR"
+
+#: Per-trial :class:`TrialResult` detail is kept only for runs at or
+#: below this many trials; larger runs report aggregates only.
+TRIAL_DETAIL_LIMIT = 2048
+
+#: Trials per vectorized block — bounds the ``(block x entries)``
+#: matrices a batched pass materializes.
+VECTOR_BLOCK_TRIALS = 4096
+
+#: Minimum trials worth paying one worker process for; requests for more
+#: workers than ``trials // MIN_TRIALS_PER_SHARD`` are quietly clamped.
+MIN_TRIALS_PER_SHARD = 64
 
 
 @dataclass(frozen=True)
@@ -62,7 +114,9 @@ class MonteCarloConfig:
     Mirrors the ``verify_*`` slice of
     :class:`~repro.synthesis.config.FlowConfig` (see
     :meth:`from_flow_config`) so the stage's cache key and the engine's
-    behavior are driven by the same values.
+    behavior are driven by the same values.  ``workers`` is runtime
+    advice: it shards trials across processes without changing a single
+    reported value, so it deliberately sits outside the stage cache key.
     """
 
     trials: int = 32
@@ -73,6 +127,7 @@ class MonteCarloConfig:
     channel_fault_rate: float = 0.0
     max_retries: int = 1
     wash_time: int = 0
+    workers: int = 1
 
     @classmethod
     def from_flow_config(cls, config: Any) -> "MonteCarloConfig":
@@ -86,6 +141,7 @@ class MonteCarloConfig:
             channel_fault_rate=config.verify_channel_fault_rate,
             max_retries=config.verify_max_retries,
             wash_time=config.verify_wash_time,
+            workers=config.verify_workers,
         )
 
 
@@ -109,20 +165,89 @@ class TrialResult:
 
 
 @dataclass
+class TrialAggregate:
+    """Streaming summary of many trials: sorted makespans + counter sums.
+
+    This is what shards ship back to the coordinator and what the report
+    computes its statistics from, so the full per-trial object list never
+    has to exist for large runs.  ``sorted_makespans`` is ascending.
+    """
+
+    count: int = 0
+    sorted_makespans: List[int] = field(default_factory=list)
+    makespan_sum: int = 0
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    retries: int = 0
+    migrations: int = 0
+    reroutes: int = 0
+    washes: int = 0
+
+    @classmethod
+    def from_trials(cls, trials: List[TrialResult]) -> "TrialAggregate":
+        """Aggregate a trial list in one pass (one sort, one scan)."""
+        return cls(
+            count=len(trials),
+            sorted_makespans=sorted(t.makespan for t in trials),
+            makespan_sum=sum(t.makespan for t in trials),
+            faults_injected=sum(t.faults_injected for t in trials),
+            faults_recovered=sum(t.faults_recovered for t in trials),
+            retries=sum(t.retries for t in trials),
+            migrations=sum(t.migrations for t in trials),
+            reroutes=sum(t.reroutes for t in trials),
+            washes=sum(t.washes for t in trials),
+        )
+
+    @classmethod
+    def merged(cls, parts: List["TrialAggregate"]) -> "TrialAggregate":
+        """Merge shard aggregates; the result is shard-order independent."""
+        spans: List[int] = []
+        for part in parts:
+            spans.extend(part.sorted_makespans)
+        spans.sort()
+        return cls(
+            count=sum(p.count for p in parts),
+            sorted_makespans=spans,
+            makespan_sum=sum(p.makespan_sum for p in parts),
+            faults_injected=sum(p.faults_injected for p in parts),
+            faults_recovered=sum(p.faults_recovered for p in parts),
+            retries=sum(p.retries for p in parts),
+            migrations=sum(p.migrations for p in parts),
+            reroutes=sum(p.reroutes for p in parts),
+            washes=sum(p.washes for p in parts),
+        )
+
+
+@dataclass
 class VerificationReport:
     """Aggregate of all trials: the distribution the stage reports.
 
     Percentiles use the nearest-rank method (``sorted[ceil(q/100*n)-1]``),
     which guarantees ``p50 <= p95 <= p99`` and that every reported value
-    is an actually-observed makespan.
+    is an actually-observed makespan.  Statistics are served from a
+    :class:`TrialAggregate` computed once (the makespans are sorted a
+    single time, at aggregation), not by re-sorting ``trials`` per call.
+    ``trials`` carries per-trial detail only for runs at or below
+    :data:`TRIAL_DETAIL_LIMIT`; use :attr:`trial_count` for the number of
+    trials actually executed.
     """
 
     trials: List[TrialResult]
     deterministic_makespan: int
     violations: List[str] = field(default_factory=list)
+    aggregate: Optional[TrialAggregate] = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate is None:
+            self.aggregate = TrialAggregate.from_trials(self.trials)
+
+    @property
+    def trial_count(self) -> int:
+        """Number of trials executed (== ``len(trials)`` unless elided)."""
+        return self.aggregate.count
 
     def _percentile(self, q: int) -> int:
-        spans = sorted(t.makespan for t in self.trials)
+        spans = self.aggregate.sorted_makespans
         rank = max(1, -(-(q * len(spans)) // 100))
         return spans[min(rank, len(spans)) - 1]
 
@@ -144,22 +269,22 @@ class VerificationReport:
     @property
     def makespan_mean(self) -> float:
         """Mean trial makespan."""
-        return sum(t.makespan for t in self.trials) / len(self.trials)
+        return self.aggregate.makespan_sum / self.aggregate.count
 
     @property
     def makespan_max(self) -> int:
         """Worst observed trial makespan."""
-        return max(t.makespan for t in self.trials)
+        return self.aggregate.sorted_makespans[-1]
 
     @property
     def faults_injected(self) -> int:
         """Device faults injected across all trials."""
-        return sum(t.faults_injected for t in self.trials)
+        return self.aggregate.faults_injected
 
     @property
     def faults_recovered(self) -> int:
         """Device faults recovered (retry or migration) across all trials."""
-        return sum(t.faults_recovered for t in self.trials)
+        return self.aggregate.faults_recovered
 
     @property
     def recovery_rate(self) -> float:
@@ -169,23 +294,202 @@ class VerificationReport:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable summary for batch/service payloads."""
+        agg = self.aggregate
         return {
-            "trials": len(self.trials),
+            "trials": agg.count,
             "deterministic_makespan": self.deterministic_makespan,
             "makespan_p50": self.makespan_p50,
             "makespan_p95": self.makespan_p95,
             "makespan_p99": self.makespan_p99,
             "makespan_mean": round(self.makespan_mean, 3),
             "makespan_max": self.makespan_max,
-            "faults_injected": self.faults_injected,
-            "faults_recovered": self.faults_recovered,
+            "faults_injected": agg.faults_injected,
+            "faults_recovered": agg.faults_recovered,
             "recovery_rate": round(self.recovery_rate, 6),
-            "reroutes": sum(t.reroutes for t in self.trials),
-            "retries": sum(t.retries for t in self.trials),
-            "migrations": sum(t.migrations for t in self.trials),
-            "washes": sum(t.washes for t in self.trials),
+            "reroutes": agg.reroutes,
+            "retries": agg.retries,
+            "migrations": agg.migrations,
+            "washes": agg.washes,
             "violations": list(self.violations),
         }
+
+
+class ReplayPlan:
+    """The replay lowered to integer-indexed arrays, built once per engine.
+
+    Compiling the plan hoists everything that does not depend on the
+    trial's random draws out of the per-trial loop:
+
+    * device-bound entries in processing order, with their scheduled
+      starts, durations and device indices as flat arrays;
+    * a CSR predecessor structure (``pred_indptr``/``pred_pos``) listing,
+      for each entry, the *earlier* device-bound parents in sorted-op-id
+      order — exactly the parents (and the draw order) the scalar replay
+      visits — plus each edge's static precedence minimum for the
+      fault-free path, where bindings never move;
+    * static wash predicates (in a fault-free replay the device occupancy
+      sequence is schedule-determined, so "previous occupant is not a
+      direct predecessor" is a compile-time fact per entry);
+    * per-entry spare candidate lists (compatible devices minus the
+      scheduled one, sorted by id so the scalar ``min`` tie-break is
+      reproduced by a linear strict-less scan);
+    * the static makespan floor contributed by entries without a device.
+    """
+
+    __slots__ = (
+        "num_entries",
+        "num_devices",
+        "transport_time",
+        "static_floor",
+        "static_wash_count",
+        "total_pred_edges",
+        "starts",
+        "durations",
+        "device",
+        "preds",
+        "pred_sets",
+        "spares",
+        "spares_np",
+        "wash_static",
+        "wash_skip",
+        "entry_op_ids",
+        "device_ids",
+        "starts_np",
+        "durations_np",
+        "pred_indptr",
+        "pred_pos",
+        "pred_min",
+        "jitter_positions",
+    )
+
+    def __init__(self, schedule: Schedule, library: DeviceLibrary) -> None:
+        graph: SequencingGraph = schedule.graph
+        entries = schedule.entries()
+        device_entries = [e for e in entries if e.device_id is not None]
+        self.num_entries = len(device_entries)
+        self.transport_time = schedule.transport_time
+        self.static_floor = max(
+            (e.end for e in entries if e.device_id is None), default=0
+        )
+
+        device_ids = sorted(device.device_id for device in library)
+        for entry in device_entries:
+            if entry.device_id not in device_ids:
+                device_ids.append(entry.device_id)  # defensive: out-of-library binding
+        index_of = {device_id: i for i, device_id in enumerate(device_ids)}
+        self.device_ids = device_ids
+        self.num_devices = len(device_ids)
+
+        pos = {e.op_id: i for i, e in enumerate(device_entries)}
+        self.entry_op_ids = [e.op_id for e in device_entries]
+        self.starts = [e.start for e in device_entries]
+        self.durations = [e.duration for e in device_entries]
+        self.device = [index_of[e.device_id] for e in device_entries]
+
+        preds: List[Tuple[int, ...]] = []
+        pred_sets: List[FrozenSet[int]] = []
+        spares: List[Tuple[int, ...]] = []
+        flat_pos: List[int] = []
+        flat_min: List[int] = []
+        indptr: List[int] = [0]
+        for i, entry in enumerate(device_entries):
+            parent_ids = graph.predecessors(entry.op_id)
+            # The scalar replay visits parents in sorted-op-id order and
+            # skips any not yet processed (or not device-bound) — i.e.
+            # exactly the device entries with a smaller position.
+            visited = tuple(
+                pos[p] for p in sorted(parent_ids) if p in pos and pos[p] < i
+            )
+            preds.append(visited)
+            pred_sets.append(frozenset(pos[p] for p in parent_ids if p in pos))
+            for p in visited:
+                flat_pos.append(p)
+                flat_min.append(
+                    0
+                    if device_entries[p].device_id == entry.device_id
+                    else self.transport_time
+                )
+            indptr.append(len(flat_pos))
+            op = graph.operation(entry.op_id)
+            spares.append(
+                tuple(
+                    index_of[d]
+                    for d in sorted(
+                        device.device_id
+                        for device in library.devices_for(op.kind)
+                        if device.device_id != entry.device_id
+                    )
+                )
+            )
+        self.preds = preds
+        self.pred_sets = pred_sets
+        self.spares = spares
+        self.spares_np = [np.asarray(s, dtype=np.int64) for s in spares]
+        self.total_pred_edges = len(flat_pos)
+
+        # Static wash predicates: replay the fault-free occupancy sequence.
+        wash_static: List[bool] = []
+        last_on: Dict[int, int] = {}
+        for i, entry in enumerate(device_entries):
+            d = self.device[i]
+            prev = last_on.get(d)
+            wash_static.append(prev is not None and prev not in pred_sets[i])
+            last_on[d] = i
+        self.wash_static = wash_static
+        self.static_wash_count = sum(wash_static)
+
+        # Dynamic wash lookup: ``wash_skip[e][p]`` is True when a wash is
+        # NOT needed after entry ``p`` runs on the device (direct graph
+        # predecessor, or the ``num_entries`` "nothing ran yet" sentinel).
+        wash_skip = np.zeros((self.num_entries, self.num_entries + 1), dtype=bool)
+        for i in range(self.num_entries):
+            for p in pred_sets[i]:
+                wash_skip[i, p] = True
+            wash_skip[i, self.num_entries] = True
+        self.wash_skip = wash_skip
+
+        self.starts_np = np.asarray(self.starts, dtype=np.int64)
+        self.durations_np = np.asarray(self.durations, dtype=np.int64)
+        self.pred_indptr = indptr
+        self.pred_pos = flat_pos
+        self.pred_min = flat_min
+        self.jitter_positions = np.nonzero(self.durations_np > 0)[0]
+
+
+@dataclass
+class _ShardOutcome:
+    """What one trial-range replay ships back to the coordinator."""
+
+    aggregate: TrialAggregate
+    detail: List[TrialResult]
+    notes: List[str]
+    notes_total: int
+
+
+def _shard_bounds(trials: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(trials)`` into at most ``workers`` contiguous shards."""
+    shards = min(max(1, workers), max(1, trials // MIN_TRIALS_PER_SHARD))
+    if shards <= 1:
+        return [(0, trials)]
+    base, extra = divmod(trials, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _replay_shard(
+    schedule: Schedule,
+    library: DeviceLibrary,
+    config: MonteCarloConfig,
+    lo: int,
+    hi: int,
+) -> _ShardOutcome:
+    """Process-pool entry point: replay one trial index range."""
+    return MonteCarloEngine(schedule, library, config)._run_range(lo, hi)
 
 
 class MonteCarloEngine:
@@ -200,6 +504,12 @@ class MonteCarloEngine:
     lower bound includes the scheduled start and every perturbation only
     adds time, the zero-perturbation replay reproduces the deterministic
     schedule exactly and perturbed replays are pointwise monotone.
+
+    Three interchangeable executions produce byte-identical reports: the
+    vectorized fault-free fast path, the plan-compiled per-trial kernel
+    (used whenever faults are enabled), and the original scalar reference
+    (forced with ``REPRO_MC_SCALAR=1``).  ``config.workers`` shards the
+    trial range across processes without changing any reported value.
     """
 
     def __init__(
@@ -212,21 +522,562 @@ class MonteCarloEngine:
         self.library = library
         self.config = config or MonteCarloConfig()
         self.graph: SequencingGraph = schedule.graph
+        self._plan: Optional[ReplayPlan] = None
 
     # ------------------------------------------------------------------ API
     def run(self) -> VerificationReport:
-        """Run all trials and aggregate them into a report."""
-        trials = [self._run_trial(i) for i in range(self.config.trials)]
+        """Run all trials (sharded if configured) and aggregate a report."""
+        cfg = self.config
+        bounds = _shard_bounds(cfg.trials, cfg.workers)
+        if len(bounds) <= 1:
+            outcomes = [self._run_range(0, cfg.trials)]
+        else:
+            with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+                futures = [
+                    pool.submit(
+                        _replay_shard, self.schedule, self.library, cfg, lo, hi
+                    )
+                    for lo, hi in bounds
+                ]
+                outcomes = [f.result() for f in futures]
+
+        aggregate = TrialAggregate.merged([o.aggregate for o in outcomes])
+        detail: List[TrialResult] = []
+        if cfg.trials <= TRIAL_DETAIL_LIMIT:
+            for outcome in outcomes:
+                detail.extend(outcome.detail)
+
         violations: List[str] = []
-        for trial, notes in trials:
-            for note in notes:
+        notes_total = 0
+        for outcome in outcomes:
+            notes_total += outcome.notes_total
+            for note in outcome.notes:
                 if len(violations) >= MAX_DIAGNOSTICS:
                     break
                 violations.append(note)
+        if notes_total > MAX_DIAGNOSTICS:
+            violations.append(f"... +{notes_total - MAX_DIAGNOSTICS} more")
+
         return VerificationReport(
-            trials=[trial for trial, _ in trials],
+            trials=detail,
             deterministic_makespan=self.schedule.makespan,
             violations=violations,
+            aggregate=aggregate,
+        )
+
+    # ------------------------------------------------------------- dispatch
+    def plan(self) -> ReplayPlan:
+        """The compiled replay plan (built lazily, reused across shards)."""
+        if self._plan is None:
+            self._plan = ReplayPlan(self.schedule, self.library)
+        return self._plan
+
+    def _run_range(self, lo: int, hi: int) -> _ShardOutcome:
+        """Replay trials ``[lo, hi)`` with the fastest applicable kernel."""
+        cfg = self.config
+        keep_detail = cfg.trials <= TRIAL_DETAIL_LIMIT
+        if os.environ.get(_SCALAR_ENV) == "1":
+            return self._run_range_reference(lo, hi, keep_detail)
+        if cfg.fault_rate == 0.0 and cfg.channel_fault_rate == 0.0:
+            return self._run_range_vectorized(lo, hi, keep_detail)
+        return self._run_range_masked(lo, hi, keep_detail)
+
+    @staticmethod
+    def _collect(
+        trials: List[TrialResult],
+        notes_per_trial: List[List[str]],
+        keep_detail: bool,
+    ) -> _ShardOutcome:
+        """Fold per-trial results into a shard outcome (capped notes)."""
+        notes: List[str] = []
+        notes_total = 0
+        for trial_notes in notes_per_trial:
+            notes_total += len(trial_notes)
+            if len(notes) < MAX_DIAGNOSTICS:
+                notes.extend(trial_notes[: MAX_DIAGNOSTICS - len(notes)])
+        return _ShardOutcome(
+            aggregate=TrialAggregate.from_trials(trials),
+            detail=trials if keep_detail else [],
+            notes=notes,
+            notes_total=notes_total,
+        )
+
+    # --------------------------------------------------- scalar (reference)
+    def _run_range_reference(
+        self, lo: int, hi: int, keep_detail: bool
+    ) -> _ShardOutcome:
+        """The original per-trial dict-based engine (``REPRO_MC_SCALAR=1``)."""
+        trials: List[TrialResult] = []
+        notes_per_trial: List[List[str]] = []
+        for index in range(lo, hi):
+            trial, notes = self._run_trial(index)
+            trials.append(trial)
+            notes_per_trial.append(notes)
+        return self._collect(trials, notes_per_trial, keep_detail)
+
+    # ------------------------------------------------------- draw matrices
+    def _jitter_draw_count(self, plan: ReplayPlan) -> int:
+        """Uniform draws the jitter stream consumes per trial."""
+        jittered = int(plan.jitter_positions.size)
+        if self.config.jitter == "none" or jittered == 0:
+            return 0
+        if self.config.jitter == "uniform":
+            return jittered
+        return 2 * ((jittered + 1) // 2)  # gauss consumes uniforms in pairs
+
+    @staticmethod
+    def _gauss_values(
+        uniforms: np.ndarray, count: int, sigma: float
+    ) -> np.ndarray:
+        """``Random.gauss(0.0, sigma)`` sequences from raw uniform draws.
+
+        Replicates CPython's polar pair generation (including the cached
+        second value) with ``math`` scalar calls — numpy's vectorized
+        trig may differ by an ulp, which would break bit-equality with
+        the scalar engine after rounding.
+        """
+        batch = uniforms.shape[0]
+        out = np.empty((batch, count), dtype=np.float64)
+        pairs = (count + 1) // 2
+        cos, sin, log, sqrt = math.cos, math.sin, math.log, math.sqrt
+        two_pi = 2.0 * math.pi
+        for t in range(batch):
+            row = uniforms[t]
+            vals = out[t]
+            for p in range(pairs):
+                x2pi = row[2 * p] * two_pi
+                g2rad = sqrt(-2.0 * log(1.0 - row[2 * p + 1]))
+                vals[2 * p] = cos(x2pi) * g2rad * sigma
+                odd = 2 * p + 1
+                if odd < count:
+                    vals[odd] = sin(x2pi) * g2rad * sigma
+        return out
+
+    def _duration_matrix(
+        self,
+        plan: ReplayPlan,
+        lo: int,
+        hi: int,
+        uniforms: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Jittered ``(trials x entries)`` durations for ``[lo, hi)``.
+
+        Bit-identical to the scalar ``_jittered``: per-trial SHA-derived
+        streams, inflation factors applied in float64, and half-to-even
+        rounding (``np.rint`` == ``round``), floored at the nominal
+        duration.  Returns a read-only broadcast when jitter is off.
+        ``uniforms`` (first jitter-stream draws per trial, possibly wider
+        than needed) skips the draw generation — the fault kernel batches
+        both streams through one seeding pass.
+        """
+        cfg = self.config
+        block = hi - lo
+        draws_per_trial = self._jitter_draw_count(plan)
+        if draws_per_trial == 0:
+            return np.broadcast_to(plan.durations_np, (block, plan.num_entries))
+        if uniforms is None:
+            uniforms = uniform_block(
+                derive_seed_block(cfg.seed, "jitter-", lo, hi), draws_per_trial
+            )
+        jittered = int(plan.jitter_positions.size)
+        if cfg.jitter == "uniform":
+            factors = 1.0 + cfg.jitter_spread * uniforms
+        else:
+            factors = 1.0 + np.abs(
+                self._gauss_values(uniforms, jittered, cfg.jitter_spread)
+            )
+        base = plan.durations_np[plan.jitter_positions]
+        inflated = np.rint(base.astype(np.float64) * factors[:, :jittered])
+        inflated = inflated.astype(np.int64)
+        np.maximum(inflated, base, out=inflated)
+        durations = np.broadcast_to(
+            plan.durations_np, (block, plan.num_entries)
+        ).copy()
+        durations[:, plan.jitter_positions] = inflated
+        return durations
+
+    def _fault_draw_width(self, plan: ReplayPlan) -> int:
+        """Upper bound on fault-stream draws any single trial can consume."""
+        cfg = self.config
+        width = 0
+        if cfg.channel_fault_rate > 0:
+            width += plan.total_pred_edges
+        if cfg.fault_rate > 0:
+            width += plan.num_entries * (2 + cfg.max_retries)
+        return width
+
+    # -------------------------------------------------- masked (fault path)
+    def _run_range_masked(
+        self, lo: int, hi: int, keep_detail: bool
+    ) -> _ShardOutcome:
+        """Batched fault-path replay: per-trial masks over the trial axis.
+
+        Faults migrate operations, so bindings, washes and precedence
+        minima are dynamic — but each entry's update is still the same
+        arithmetic for every trial, just gated by that trial's draws.
+        The kernel walks entries once per block, keeping per-trial state
+        matrices (finish, device availability, bindings, last occupant)
+        and a per-trial cursor into a pre-generated fault-draw matrix, so
+        draw *consumption* — and therefore every value — matches the
+        scalar engine trial for trial.
+        """
+        cfg = self.config
+        plan = self.plan()
+        num_entries = plan.num_entries
+        transport = plan.transport_time
+        fault_rate = cfg.fault_rate
+        channel_rate = cfg.channel_fault_rate
+        wash_time = cfg.wash_time
+        width = self._fault_draw_width(plan)
+
+        detail: List[TrialResult] = []
+        makespan_parts: List[np.ndarray] = []
+        totals = [0, 0, 0, 0, 0, 0]  # faults, recovered, retries, mig, rer, wash
+        notes: List[str] = []
+        notes_total = 0
+
+        jitter_draws = self._jitter_draw_count(plan)
+
+        for block_lo in range(lo, hi, VECTOR_BLOCK_TRIALS):
+            block_hi = min(block_lo + VECTOR_BLOCK_TRIALS, hi)
+            block = block_hi - block_lo
+            rows = np.arange(block)
+            # One seeding pass covers both stream families: stream setup
+            # dominates at small draw counts, and doubling the batch
+            # amortizes it (rows are independent, so fusing cannot change
+            # any draw).
+            jitter_uniforms: Optional[np.ndarray] = None
+            if width and jitter_draws:
+                seeds = np.concatenate(
+                    [
+                        derive_seed_block(cfg.seed, "jitter-", block_lo, block_hi),
+                        derive_seed_block(cfg.seed, "fault-", block_lo, block_hi),
+                    ]
+                )
+                fused = uniform_block(seeds, max(jitter_draws, width))
+                jitter_uniforms = fused[:block]
+                stream = fused[block:, :width]
+            elif width:
+                stream = uniform_block(
+                    derive_seed_block(cfg.seed, "fault-", block_lo, block_hi),
+                    width,
+                )
+            durations = self._duration_matrix(
+                plan, block_lo, block_hi, uniforms=jitter_uniforms
+            )
+            if width:
+                fault_draws = np.zeros((block, width + 1), dtype=np.float64)
+                fault_draws[:, :width] = stream
+                cursor = np.zeros(block, dtype=np.intp)
+
+            finish = np.empty((block, num_entries), dtype=np.int64)
+            avail = np.zeros((block, plan.num_devices), dtype=np.int64)
+            bound = np.empty((block, num_entries), dtype=np.int64)
+            if num_entries:
+                bound[:] = np.asarray(plan.device, dtype=np.int64)
+            last = np.full((block, plan.num_devices), num_entries, np.int64)
+            cnt_faults = np.zeros(block, dtype=np.int64)
+            cnt_recovered = np.zeros(block, dtype=np.int64)
+            cnt_retries = np.zeros(block, dtype=np.int64)
+            cnt_migrations = np.zeros(block, dtype=np.int64)
+            cnt_reroutes = np.zeros(block, dtype=np.int64)
+            cnt_washes = np.zeros(block, dtype=np.int64)
+            block_notes: List[Tuple[int, int, int, int]] = []
+
+            for e in range(num_entries):
+                dev = plan.device[e]
+                dur_e = durations[:, e]
+                ready = np.full(block, plan.starts[e], dtype=np.int64)
+                for p in plan.preds[e]:
+                    same = bound[:, p] == dev
+                    minimum = np.where(same, 0, transport)
+                    if channel_rate > 0:
+                        cross = ~same
+                        vals = fault_draws[rows, cursor]
+                        cursor += cross
+                        hit = cross & (vals < channel_rate)
+                        minimum = minimum + np.where(hit, transport, 0)
+                        cnt_reroutes += hit
+                    np.maximum(ready, finish[:, p] + minimum, out=ready)
+
+                if wash_time > 0:
+                    need = ~plan.wash_skip[e][last[:, dev]]
+                    entry_avail = avail[:, dev] + np.where(need, wash_time, 0)
+                    cnt_washes += need
+                    over = np.nonzero(need & (entry_avail > plan.starts[e]))[0]
+                    notes_total += int(over.size)
+                    for t in over[:MAX_DIAGNOSTICS]:
+                        block_notes.append(
+                            (block_lo + int(t), e, 0, int(entry_avail[t]))
+                        )
+                else:
+                    entry_avail = avail[:, dev]
+                end = np.maximum(ready, entry_avail) + dur_e
+
+                cur_dev: Optional[np.ndarray] = None
+                if fault_rate > 0:
+                    vals = fault_draws[rows, cursor]
+                    cursor += 1
+                    faulted = vals < fault_rate
+                    cnt_faults += faulted
+                    ok = np.zeros(block, dtype=bool)
+                    active = faulted.copy()
+                    for _ in range(cfg.max_retries):
+                        if not active.any():
+                            break
+                        end = end + np.where(active, dur_e, 0)
+                        cnt_retries += active
+                        vals = fault_draws[rows, cursor]
+                        cursor += active
+                        succeeded = active & (vals >= fault_rate)
+                        ok |= succeeded
+                        active = active & ~succeeded
+                    cnt_recovered += ok
+                    unresolved = faulted & ~ok
+                    if unresolved.any():
+                        candidates = plan.spares_np[e]
+                        if candidates.size:
+                            spare_avail_all = avail[:, candidates]
+                            choice = np.argmin(spare_avail_all, axis=1)
+                            spare_col = candidates[choice]
+                            spare_avail = spare_avail_all[rows, choice]
+                            cnt_migrations += unresolved
+                            migrated_end = (
+                                np.maximum(end + transport, spare_avail) + dur_e
+                            )
+                            vals = fault_draws[rows, cursor]
+                            cursor += unresolved
+                            bad = unresolved & (vals < fault_rate)
+                            cnt_recovered += unresolved & ~bad
+                            migrated_end = migrated_end + np.where(bad, dur_e, 0)
+                            bad_rows = np.nonzero(bad)[0]
+                            notes_total += int(bad_rows.size)
+                            for t in bad_rows[:MAX_DIAGNOSTICS]:
+                                block_notes.append(
+                                    (block_lo + int(t), e, 1, int(spare_col[t]))
+                                )
+                            end = np.where(unresolved, migrated_end, end)
+                            # Repair window on the faulted (scheduled) device.
+                            avail[:, dev] = np.where(
+                                unresolved,
+                                np.maximum(avail[:, dev], end),
+                                avail[:, dev],
+                            )
+                            cur_dev = np.where(unresolved, spare_col, dev)
+                        else:
+                            end = end + np.where(unresolved, dur_e, 0)
+                            bad_rows = np.nonzero(unresolved)[0]
+                            notes_total += int(bad_rows.size)
+                            for t in bad_rows[:MAX_DIAGNOSTICS]:
+                                block_notes.append(
+                                    (block_lo + int(t), e, 1, -1)
+                                )
+
+                finish[:, e] = end
+                if cur_dev is None:
+                    bound[:, e] = dev
+                    np.maximum(avail[:, dev], end, out=avail[:, dev])
+                    last[:, dev] = e
+                else:
+                    bound[:, e] = cur_dev
+                    moved = np.nonzero(cur_dev != dev)[0]
+                    stayed = np.nonzero(cur_dev == dev)[0]
+                    avail[stayed, dev] = np.maximum(
+                        avail[stayed, dev], end[stayed]
+                    )
+                    last[stayed, dev] = e
+                    moved_cols = cur_dev[moved]
+                    avail[moved, moved_cols] = np.maximum(
+                        avail[moved, moved_cols], end[moved]
+                    )
+                    last[moved, moved_cols] = e
+
+            if num_entries:
+                makespans = finish.max(axis=1)
+                if plan.static_floor:
+                    np.maximum(makespans, plan.static_floor, out=makespans)
+            else:
+                makespans = np.full(block, plan.static_floor, dtype=np.int64)
+            makespan_parts.append(makespans)
+            for i, counts in enumerate(
+                (cnt_faults, cnt_recovered, cnt_retries,
+                 cnt_migrations, cnt_reroutes, cnt_washes)
+            ):
+                totals[i] += int(counts.sum())
+
+            block_notes.sort()
+            for trial_index, e, kind, payload in block_notes:
+                if len(notes) >= MAX_DIAGNOSTICS:
+                    break
+                device_name = plan.device_ids[plan.device[e]]
+                op_name = plan.entry_op_ids[e]
+                if kind == 0:
+                    notes.append(
+                        f"trial {trial_index}: wash on {device_name!r} pushes "
+                        f"{op_name!r} past its scheduled start "
+                        f"({plan.starts[e]} -> {payload})"
+                    )
+                elif payload >= 0:
+                    notes.append(
+                        f"trial {trial_index}: fault on {device_name!r} for "
+                        f"{op_name!r} unrecovered (spare "
+                        f"{plan.device_ids[payload]!r} faulted too)"
+                    )
+                else:
+                    notes.append(
+                        f"trial {trial_index}: fault on {device_name!r} for "
+                        f"{op_name!r} unrecovered (no compatible spare)"
+                    )
+
+            if keep_detail:
+                detail.extend(
+                    TrialResult(
+                        trial=block_lo + t,
+                        makespan=int(makespans[t]),
+                        faults_injected=int(cnt_faults[t]),
+                        faults_recovered=int(cnt_recovered[t]),
+                        retries=int(cnt_retries[t]),
+                        migrations=int(cnt_migrations[t]),
+                        reroutes=int(cnt_reroutes[t]),
+                        washes=int(cnt_washes[t]),
+                    )
+                    for t in range(block)
+                )
+
+        all_makespans = (
+            np.concatenate(makespan_parts)
+            if makespan_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        aggregate = TrialAggregate(
+            count=hi - lo,
+            sorted_makespans=np.sort(all_makespans).tolist(),
+            makespan_sum=int(all_makespans.sum()),
+            faults_injected=totals[0],
+            faults_recovered=totals[1],
+            retries=totals[2],
+            migrations=totals[3],
+            reroutes=totals[4],
+            washes=totals[5],
+        )
+        return _ShardOutcome(
+            aggregate=aggregate,
+            detail=detail,
+            notes=notes,
+            notes_total=notes_total,
+        )
+
+    # ------------------------------------------- vectorized (fault-free)
+    def _run_range_vectorized(
+        self, lo: int, hi: int, keep_detail: bool
+    ) -> _ShardOutcome:
+        """Batched fault-free replay: numpy passes over trial blocks.
+
+        Without faults the device bindings never move, so every trial
+        shares the plan's static precedence minima and wash predicates and
+        only the (per-trial) jittered durations differ — which makes the
+        whole replay a sequence of elementwise max/add vector operations
+        across the trial axis, one short pass per entry.
+        """
+        cfg = self.config
+        plan = self.plan()
+        num_entries = plan.num_entries
+        wash_time = cfg.wash_time
+        indptr = plan.pred_indptr
+        pred_pos = plan.pred_pos
+        pred_min = plan.pred_min
+        washes_per_trial = plan.static_wash_count if wash_time > 0 else 0
+
+        makespan_parts: List[np.ndarray] = []
+        notes: List[str] = []
+        notes_total = 0
+
+        for block_lo in range(lo, hi, VECTOR_BLOCK_TRIALS):
+            block_hi = min(block_lo + VECTOR_BLOCK_TRIALS, hi)
+            block = block_hi - block_lo
+            dur = self._duration_matrix(plan, block_lo, block_hi)
+
+            finish = np.empty((block, num_entries), dtype=np.int64)
+            avail = np.zeros((block, plan.num_devices), dtype=np.int64)
+            ready = np.empty(block, dtype=np.int64)
+            block_notes: List[Tuple[int, int, int]] = []
+            for e in range(num_entries):
+                ready.fill(plan.starts[e])
+                for k in range(indptr[e], indptr[e + 1]):
+                    np.maximum(
+                        ready, finish[:, pred_pos[k]] + pred_min[k], out=ready
+                    )
+                d = plan.device[e]
+                entry_avail = avail[:, d]
+                if wash_time > 0 and plan.wash_static[e]:
+                    entry_avail = entry_avail + wash_time
+                    over = np.nonzero(entry_avail > plan.starts[e])[0]
+                    if over.size:
+                        notes_total += int(over.size)
+                        for t in over[:MAX_DIAGNOSTICS]:
+                            block_notes.append(
+                                (block_lo + int(t), e, int(entry_avail[t]))
+                            )
+                end = np.maximum(ready, entry_avail) + dur[:, e]
+                finish[:, e] = end
+                # end >= entry_avail >= the previous availability, so a
+                # straight assignment preserves the max semantics.
+                avail[:, d] = end
+
+            if num_entries:
+                makespans = finish.max(axis=1)
+                if plan.static_floor:
+                    np.maximum(makespans, plan.static_floor, out=makespans)
+            else:
+                makespans = np.full(block, plan.static_floor, dtype=np.int64)
+            makespan_parts.append(makespans)
+
+            # Re-emit this block's notes in the scalar order (by trial,
+            # then entry sequence), formatting only up to the global cap.
+            block_notes.sort()
+            for trial_index, e, pushed in block_notes:
+                if len(notes) >= MAX_DIAGNOSTICS:
+                    break
+                notes.append(
+                    f"trial {trial_index}: wash on "
+                    f"{plan.device_ids[plan.device[e]]!r} pushes "
+                    f"{plan.entry_op_ids[e]!r} past its scheduled start "
+                    f"({plan.starts[e]} -> {pushed})"
+                )
+
+        all_makespans = (
+            np.concatenate(makespan_parts)
+            if makespan_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        sorted_makespans = np.sort(all_makespans).tolist()
+        count = hi - lo
+        aggregate = TrialAggregate(
+            count=count,
+            sorted_makespans=sorted_makespans,
+            makespan_sum=int(all_makespans.sum()),
+            washes=washes_per_trial * count,
+        )
+        detail: List[TrialResult] = []
+        if keep_detail:
+            detail = [
+                TrialResult(
+                    trial=lo + t,
+                    makespan=int(makespan),
+                    faults_injected=0,
+                    faults_recovered=0,
+                    retries=0,
+                    migrations=0,
+                    reroutes=0,
+                    washes=washes_per_trial,
+                )
+                for t, makespan in enumerate(all_makespans)
+            ]
+        return _ShardOutcome(
+            aggregate=aggregate,
+            detail=detail,
+            notes=notes,
+            notes_total=notes_total,
         )
 
     # ---------------------------------------------------------------- trial
@@ -242,7 +1093,11 @@ class MonteCarloEngine:
         return max(duration, int(round(duration * factor)))
 
     def _run_trial(self, index: int) -> Tuple[TrialResult, List[str]]:
-        """One stochastic replay; returns the trial and its diagnostics."""
+        """One stochastic replay; returns the trial and its diagnostics.
+
+        This is the scalar reference implementation the fast paths are
+        differentially tested against — keep it boring and readable.
+        """
         cfg = self.config
         jitter_rng = random.Random(derive_seed(cfg.seed, f"jitter-{index}"))
         fault_rng = random.Random(derive_seed(cfg.seed, f"fault-{index}"))

@@ -48,6 +48,13 @@ def _check_value_type(name: str, value: Any, expected: Any) -> Any:
     )
 
 
+#: ``FlowConfig`` fields that steer *how* a result is computed, never *what*
+#: it is: any value produces byte-identical outputs, so cache keys (stage
+#: keys and the batch engine's content hash) must exclude them — otherwise
+#: changing the worker count would spuriously miss every cached result.
+RUNTIME_ADVICE_FIELDS = frozenset({"verify_workers"})
+
+
 class SchedulerEngine(enum.Enum):
     """Which scheduling engine to run.
 
@@ -158,6 +165,12 @@ class FlowConfig:
     #: the later operation is not a direct successor of the earlier one
     #: (contamination model); ``0`` disables washes.
     verify_wash_time: int = 0
+    #: Worker processes the verification stage shards its trials across.
+    #: Runtime advice, not a result knob: per-trial random streams are
+    #: derived from the trial *index*, so the report is byte-identical for
+    #: every worker count — which is why this field is excluded from cache
+    #: keys (see :data:`RUNTIME_ADVICE_FIELDS`), like an ILP warm start.
+    verify_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.num_mixers < 1:
@@ -196,6 +209,8 @@ class FlowConfig:
             raise ValueError("verify_max_retries must be non-negative")
         if self.verify_wash_time < 0:
             raise ValueError("verify_wash_time must be non-negative")
+        if self.verify_workers < 1:
+            raise ValueError("verify_workers must be at least 1")
 
     def grid_shape(self) -> Tuple[int, int]:
         return (self.grid_rows, self.grid_cols)

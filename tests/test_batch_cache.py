@@ -62,6 +62,15 @@ class TestCacheKey:
             graph, FlowConfig(scheduler=SchedulerEngine.LIST)
         )
 
+    def test_runtime_advice_fields_do_not_change_the_key(self):
+        # verify_workers steers how fast the verification runs, never what
+        # it computes — two configs differing only in worker count must
+        # share one cache entry.
+        graph = build_graph(OPS, EDGES)
+        base = FlowConfig(verify=True, verify_trials=64)
+        sharded = FlowConfig(verify=True, verify_trials=64, verify_workers=8)
+        assert cache_key(graph, base) == cache_key(graph, sharded)
+
     def test_key_is_stable_across_calls(self):
         graph = build_graph(OPS, EDGES)
         config = FlowConfig()

@@ -18,7 +18,7 @@ class TestBenchCommand:
                           "--time-limit", "20", "--no-replica"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
-        assert payload["bench_format"] == 4
+        assert payload["bench_format"] == 5
         assert payload["key_version"] >= 3
         assert payload["solver"] is None  # default: each config's portfolio
         assays = [record["assay"] for record in payload["experiments"]]
@@ -361,20 +361,44 @@ class TestReplicaProbe:
 
 
 class TestVerifyProbe:
-    """The Monte-Carlo verification probe (additive within format 4)."""
+    """The verify-throughput probe (format 5: vectorized vs scalar)."""
 
-    def test_probe_reports_a_consistent_fault_injected_distribution(self):
-        from repro.bench import VERIFY_PROBE_TRIALS, run_verify_probe
+    @pytest.fixture(scope="class")
+    def record(self):
+        from repro.bench import run_verify_probe
 
-        record = run_verify_probe()
+        return run_verify_probe()
+
+    def test_probe_times_both_fast_paths_against_the_scalar_engine(self, record):
+        from repro.bench import (
+            VERIFY_PROBE_FAULT_FREE_TRIALS,
+            VERIFY_PROBE_FAULT_TRIALS,
+        )
+
         assert record["ok"], record
-        assert record["trials"] == VERIFY_PROBE_TRIALS
-        # The probe injects jitter and faults, so the sampled distribution
-        # sits at or above the deterministic replay and stays ordered.
-        assert record["makespan_p50"] >= record["deterministic_makespan"]
-        assert record["makespan_p99"] >= record["makespan_p50"]
-        assert 0.0 <= record["recovery_rate"] <= 1.0
-        assert record["verification_s"] <= record["wall_time_s"]
+        assert record["fault_free"]["trials"] == VERIFY_PROBE_FAULT_FREE_TRIALS
+        assert record["fault"]["trials"] == VERIFY_PROBE_FAULT_TRIALS
+        for name in ("fault_free", "fault"):
+            row = record[name]
+            assert row["trials_per_s"] > 0
+            assert row["scalar_trials_per_s"] > 0
+            assert row["speedup"] > 0
+
+    def test_probe_pins_fast_reports_byte_identical_to_scalar(self, record):
+        # The probe's own cross-check: speedups only count when the fast
+        # engines reproduce the scalar report exactly.
+        assert record["fault_free"]["report_identical"] is True
+        assert record["fault"]["report_identical"] is True
+
+    def test_probe_distributions_stay_ordered(self, record):
+        for name in ("fault_free", "fault"):
+            row = record[name]
+            assert row["makespan_p50"] >= record["deterministic_makespan"]
+            assert row["makespan_p99"] >= row["makespan_p50"]
+            assert 0.0 <= row["recovery_rate"] <= 1.0
+        # Fault-free trials always finish; the fault rows inject real
+        # failures so recovery can dip below 1.
+        assert record["fault_free"]["recovery_rate"] == 1.0
 
     def test_no_verify_probe_flag_skips_it(self, tmp_path):
         out = tmp_path / "bench.json"
@@ -389,7 +413,7 @@ class TestVerifyProbe:
                      "--no-explore", "--no-replica", "--no-bb-probe"]) == 0
         payload = json.loads(out.read_text())
         assert payload["verify_probe"]["ok"], payload["verify_probe"]
-        assert "verify   p50=" in capsys.readouterr().out
+        assert "verify   fault-free=" in capsys.readouterr().out
 
 
 class TestCommittedTrajectory:
@@ -489,6 +513,67 @@ class TestCommittedTrajectory7:
 
     def test_schedule_stage_has_no_real_regression(self, bench7):
         for assay, row in bench7["delta"]["experiments"].items():
+            drift = row.get("schedule_stage_s")
+            if drift is not None:
+                assert drift <= 0.3, (assay, row)
+
+
+class TestCommittedTrajectory8:
+    """CI guard over the checked-in BENCH_8.json against BENCH_7.json.
+
+    Format 5's acceptance quantity is the verify-throughput probe: the
+    vectorized fault-free path must beat the scalar engine by at least
+    10x and the masked fault path by at least 3x, with both fast reports
+    byte-identical to the scalar one.  The makespan and bb-probe pins
+    carry over from the earlier trajectory guards.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench8(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_8.json"
+        assert path.exists(), "BENCH_8.json must be committed at the repo root"
+        return json.loads(path.read_text())
+
+    def test_format_and_baseline(self, bench8):
+        assert bench8["bench_format"] == 5
+        assert bench8["delta"]["against"] == "BENCH_7.json"
+
+    def test_paper_makespans_unchanged(self, bench8):
+        makespans = {r["assay"]: r["makespan"] for r in bench8["experiments"]}
+        assert makespans == {"RA30": 650, "IVD": 280, "PCR": 330}
+
+    def test_verify_probe_clears_the_speedup_floors(self, bench8):
+        from repro.bench import (
+            VERIFY_PROBE_FAULT_FLOOR,
+            VERIFY_PROBE_FAULT_FREE_FLOOR,
+        )
+
+        probe = bench8["verify_probe"]
+        assert probe["ok"], probe
+        assert probe["fault_free"]["speedup"] >= VERIFY_PROBE_FAULT_FREE_FLOOR
+        assert probe["fault"]["speedup"] >= VERIFY_PROBE_FAULT_FLOOR
+        delta = bench8["delta"]["verify_probe"]
+        assert delta["fault_free_speedup"] == probe["fault_free"]["speedup"]
+        assert delta["fault_speedup"] == probe["fault"]["speedup"]
+        assert delta["baseline_source"] == "in-run scalar engine"
+
+    def test_verify_probe_reports_were_byte_identical(self, bench8):
+        probe = bench8["verify_probe"]
+        assert probe["fault_free"]["report_identical"] is True
+        assert probe["fault"]["report_identical"] is True
+
+    def test_probe_still_delivers_optimal_quality(self, bench8):
+        probe = bench8["bb_probe"]
+        assert probe["ok"], probe
+        assert probe["makespan"] == 280
+        schedule_row = next(
+            row for row in probe["stages"] if row["stage"] == "schedule"
+        )
+        assert schedule_row["warm_start_used"] is True
+        assert schedule_row["backend"] == "branch-and-bound"
+
+    def test_schedule_stage_has_no_real_regression(self, bench8):
+        for assay, row in bench8["delta"]["experiments"].items():
             drift = row.get("schedule_stage_s")
             if drift is not None:
                 assert drift <= 0.3, (assay, row)

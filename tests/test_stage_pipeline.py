@@ -22,7 +22,7 @@ from repro.batch.engine import BatchSynthesisEngine
 from repro.batch.jobs import BatchJob, expand_sweep
 from repro.graph.library import assay_by_name, build_pcr
 from repro.ilp import SolverLimitError
-from repro.synthesis.config import FlowConfig
+from repro.synthesis.config import RUNTIME_ADVICE_FIELDS, FlowConfig
 from repro.synthesis.pipeline import (
     ArchSynthStage,
     SynthesisPipeline,
@@ -52,8 +52,17 @@ def plan_keys(config: FlowConfig, graph=None):
 
 class TestStageKeys:
     def test_every_flow_config_field_belongs_to_a_stage(self):
-        """A config field no stage consumes would silently stale the cache."""
-        assert covered_config_fields() == {f.name for f in fields(FlowConfig)}
+        """A config field no stage consumes would silently stale the cache.
+
+        Runtime-advice fields are the deliberate exception: they steer how
+        fast a result is computed, never what it is, so they must stay out
+        of every stage slice — and out of this completeness check.
+        """
+        covered = covered_config_fields()
+        assert covered | RUNTIME_ADVICE_FIELDS == {
+            f.name for f in fields(FlowConfig)
+        }
+        assert not covered & RUNTIME_ADVICE_FIELDS
 
     def test_physical_only_change_preserves_upstream_keys(self):
         base = plan_keys(fast_config())

@@ -86,6 +86,16 @@ class TestStagePlanning:
         assert [p.key for p in base[:3]] == [p.key for p in jittered[:3]]
         assert base[3].key != jittered[3].key
 
+    def test_verify_workers_is_runtime_advice_and_leaves_every_key_alone(self):
+        # Sharding the trials across processes changes wall time only; the
+        # report is byte-identical, so a sharded run must replay a serial
+        # run's cached verification artifact (and vice versa).
+        pipeline = SynthesisPipeline()
+        graph = build_pcr()
+        base = pipeline.plan(graph, verify_config())
+        sharded = pipeline.plan(graph, verify_config(verify_workers=6))
+        assert [p.key for p in base] == [p.key for p in sharded]
+
 
 # ----------------------------------------------------- differential goldens
 

@@ -48,6 +48,8 @@ from repro.batch.cache_backends import (
 )
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.keys import stable_digest
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.synthesis.config import RUNTIME_ADVICE_FIELDS, FlowConfig
 from repro.synthesis.pipeline import graph_fingerprint
 
@@ -223,17 +225,22 @@ class ResultCache:
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            obs_metrics.cache_hits_counter().inc(tier="memory")
             return self._memory[key]
         for tier in self.tiers:
-            value = tier.get(key)
+            with obs_span("cache:get", category="cache", tier=tier.kind) as tier_span:
+                value = tier.get(key)
+                tier_span.set(hit=value is not None, key=key[:16])
             if value is not None:
                 if tier.kind == "shared":
                     self.stats.shared_hits += 1
                 else:
                     self.stats.disk_hits += 1
+                obs_metrics.cache_hits_counter().inc(tier=tier.kind)
                 self._store_memory(key, value)
                 return value
         self.stats.misses += 1
+        obs_metrics.cache_misses_counter().inc()
         return None
 
     def put(self, key: str, value: Any, disk: bool = True) -> None:

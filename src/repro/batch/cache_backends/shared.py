@@ -40,6 +40,7 @@ from repro.batch.cache_backends.base import (
     encode_envelope,
 )
 from repro.batch.cache_backends.disk import DiskCacheTier
+from repro.obs.trace import TRACE_HEADER, current_context
 
 #: Default lease on a cross-process claim; a claimant that neither
 #: publishes nor releases within the lease is presumed dead and taken over.
@@ -73,11 +74,17 @@ class ClaimOutcome:
       at most ``retry_after_s`` seconds;
     * ``"unavailable"`` — the daemon could not be reached; degrade to
       process-local single-flight and compute.
+
+    ``claimant_trace`` is the holding process's serialized span context
+    (``trace_id:span_id``), echoed by the daemon on ``"claimed"`` answers
+    when the claimant was tracing — it lets a waiting replica's trace link
+    to the trace actually doing the work.
     """
 
     state: str
     takeover: bool = False
     retry_after_s: float = 0.0
+    claimant_trace: Optional[str] = None
 
 
 class SharedCacheTier(CacheTier):
@@ -151,10 +158,12 @@ class SharedCacheTier(CacheTier):
             state = answer["state"]
             if state not in ("granted", "present", "claimed"):
                 raise ValueError(state)
+            claimant = answer.get("claimant_trace")
             return ClaimOutcome(
                 state=state,
                 takeover=bool(answer.get("takeover", False)),
                 retry_after_s=float(answer.get("retry_after_s", 0.0)),
+                claimant_trace=claimant if isinstance(claimant, str) else None,
             )
         except (ValueError, KeyError, TypeError, UnicodeDecodeError):
             return ClaimOutcome(state="unavailable")
@@ -168,12 +177,23 @@ class SharedCacheTier(CacheTier):
     def _request(
         self, method: str, path: str, body: Optional[bytes] = None
     ) -> Tuple[Optional[int], Optional[bytes]]:
-        """One request/response; ``(None, None)`` on any transport failure."""
+        """One request/response; ``(None, None)`` on any transport failure.
+
+        When the calling context is tracing, the request carries the active
+        span context in the :data:`TRACE_HEADER` header — on claim requests
+        the daemon stores it with the claim record and echoes it to waiting
+        replicas, which links a cross-replica claim wait to the claimant's
+        trace.
+        """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.request_timeout_s
         )
+        headers = {}
+        ctx = current_context()
+        if ctx is not None:
+            headers[TRACE_HEADER] = ctx.serialize()
         try:
-            conn.request(method, path, body=body)
+            conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             return response.status, response.read()
         except (OSError, http.client.HTTPException):

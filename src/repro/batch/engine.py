@@ -43,6 +43,17 @@ from repro.batch.report import BatchReport, JobOutcome
 from repro.devices.device import DeviceLibrary
 from repro.graph.serialization import graph_from_dict, graph_to_dict
 from repro.ilp import SolverLimitError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+from repro.obs.trace import (
+    SpanContext,
+    TraceRecorder,
+    current_context,
+    install_recorder,
+    recorder as obs_recorder,
+    span as obs_span,
+    uninstall_recorder,
+)
 from repro.synthesis.config import FlowConfig
 from repro.synthesis.flow import SynthesisResult, build_library
 from repro.synthesis.pipeline import (
@@ -55,9 +66,12 @@ from repro.synthesis.pipeline import (
 )
 
 
+_LOG = get_logger("batch")
+
+
 def _execute_stage_serialized(
-    payload: Tuple[str, Dict[str, Any], Dict[str, Any], Any]
-) -> Tuple[bool, Any, float]:
+    payload: Tuple[str, Dict[str, Any], Dict[str, Any], Any, Optional[Tuple[str, str]]]
+) -> Tuple[bool, Any, float, List[Dict[str, Any]]]:
     """Worker-side single-stage execution (module-level so it pickles on spawn).
 
     The graph is shipped in insertion-order form (:func:`graph_to_dict`) —
@@ -66,28 +80,59 @@ def _execute_stage_serialized(
     structure, and the content-addressed cache keys rely on exactly that),
     so parallel results match serial ones regardless of the form shipped.
     The upstream artifact rides along pickled by the pool itself.  Returns
-    ``(ok, artifact_or_error, elapsed)`` with the worker-measured stage
-    time, so per-stage timings — for failures just as for successes — are
-    not distorted by pool queueing.  Failures come back as a detached
+    ``(ok, artifact_or_error, elapsed, spans)`` with the worker-measured
+    stage time, so per-stage timings — for failures just as for successes —
+    are not distorted by pool queueing.  Failures come back as a detached
     exception (formatted traceback attached as a string) rather than
     raising, so they pickle cleanly and carry their timing along.
+
+    ``payload``'s final element is the dispatching engine's trace context —
+    ``(serialized SpanContext, abbreviated stage key)`` or ``None`` when
+    tracing is off.  With a context, the worker records its stage span into
+    a child :class:`TraceRecorder` parented under the dispatcher's span and
+    ships the finished spans back (the ``spans`` element) for
+    :meth:`TraceRecorder.absorb`, so a pooled solve lands on the same
+    timeline as an inline one.
 
     Warm-start hints (:attr:`BatchJob.warm_hint`) are *not* shipped to the
     pool: they are runtime advice with no effect on cache keys, and an
     unseeded pool solve is merely slower, never wrong.  Callers that rely on
     warm starts (the exploration engine) run inline.
     """
-    stage_name, graph_data, config_data, upstream = payload
+    stage_name, graph_data, config_data, upstream, trace_info = payload
     stage = stage_by_name(stage_name)
     graph = graph_from_dict(graph_data)
     config = FlowConfig.from_dict(config_data)
     context = StageContext(graph=graph, config=config, library=build_library(config))
+    child: Optional[TraceRecorder] = None
+    token = None
+    if trace_info is not None:
+        parent = SpanContext.deserialize(trace_info[0])
+        if parent is not None:
+            child = TraceRecorder(parent=parent)
+            token = install_recorder(child)
     start = time.perf_counter()
     try:
-        artifact = stage.run(context, upstream)
+        with obs_span(
+            f"stage:{stage_name}",
+            category="stage",
+            stage=stage_name,
+            action="ran",
+            key=trace_info[1] if trace_info else "",
+            worker="process",
+        ):
+            artifact = stage.run(context, upstream)
     except Exception as exc:  # noqa: BLE001 - shipped back, captured per job
-        return False, _detached_failure(exc), time.perf_counter() - start
-    return True, artifact, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        spans = child.serialized_spans() if child is not None else []
+        if token is not None:
+            uninstall_recorder(token)
+        return False, _detached_failure(exc), elapsed, spans
+    elapsed = time.perf_counter() - start
+    spans = child.serialized_spans() if child is not None else []
+    if token is not None:
+        uninstall_recorder(token)
+    return True, artifact, elapsed, spans
 
 
 def _error_message(exc: BaseException) -> str:
@@ -227,7 +272,15 @@ class BatchSynthesisEngine:
     # ------------------------------------------------------------------- api
     def run(self, jobs: Sequence[BatchJob]) -> BatchReport:
         """Execute ``jobs`` and return their outcomes in submission order."""
+        with obs_span("batch", category="engine", jobs=len(jobs)):
+            report = self._run_traced(jobs)
+        self._attach_span_summaries(report.outcomes)
+        return report
+
+    def _run_traced(self, jobs: Sequence[BatchJob]) -> BatchReport:
+        """The body of :meth:`run`, executed inside the batch span."""
         start = time.perf_counter()
+        _LOG.info("batch starting: %d job(s), %d worker(s)", len(jobs), self.max_workers)
         stats_before = replace(self.cache.stats)
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
 
@@ -295,7 +348,8 @@ class BatchSynthesisEngine:
         # out the extra tiers.
         tiers = max((len(p.plan) for p in pending), default=0)
         for tier in range(tiers):
-            self._run_tier(tier, pending)
+            with obs_span(f"tier:{tier}", category="engine", tier=tier):
+                self._run_tier(tier, pending)
 
         for p in pending:
             outcomes[p.index] = self._finish_pending(p)
@@ -317,12 +371,56 @@ class BatchSynthesisEngine:
         # delta() iterates the CacheStats fields, so tier or claim counters
         # added later flow into per-batch reports without touching this.
         batch_stats = self.cache.stats.delta(stats_before)
+        wall = time.perf_counter() - start
+        failed = sum(1 for o in outcomes if o is not None and o.error)
+        jobs_metric = obs_metrics.jobs_counter()
+        jobs_metric.inc(len(jobs) - failed, state="done")
+        if failed:
+            jobs_metric.inc(failed, state="failed")
+        _LOG.info(
+            "batch finished: %d job(s), %d failed, %.3fs", len(jobs), failed, wall
+        )
         return BatchReport(
             outcomes=[o for o in outcomes if o is not None],
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=wall,
             max_workers=self.max_workers,
             cache_stats=batch_stats,
         )
+
+    @staticmethod
+    def _attach_span_summaries(outcomes: Sequence[Optional[JobOutcome]]) -> None:
+        """Embed per-stage span digests into each outcome (tracing only).
+
+        Stage spans carry an abbreviated stage key, and so does every
+        :class:`StageExecution`, which is how a job's payload points at the
+        exact spans — including spans of stages another job of the batch
+        paid for ("shared") — that produced its artifacts.  A no-op while
+        tracing is disabled.
+        """
+        rec = obs_recorder()
+        if rec is None:
+            return
+        by_key: Dict[str, Dict[str, Any]] = {}
+        for s in rec.spans():
+            if s.category != "stage":
+                continue
+            key = s.attributes.get("key")
+            if not key or s.attributes.get("action") == "claimed":
+                continue
+            by_key[key] = {
+                "name": s.name,
+                "duration_s": round(s.duration_s, 6),
+                "action": s.attributes.get("action", ""),
+                "key": key,
+            }
+        for outcome in outcomes:
+            if outcome is None or not outcome.stages:
+                continue
+            outcome.spans = [
+                dict(by_key[e.key[:16]], action=e.action)
+                for e in outcome.stages
+                if e.key[:16] in by_key
+            ]
 
     def run_one(self, job: BatchJob) -> SynthesisResult:
         """Convenience wrapper: run a single job and return its result.
@@ -388,8 +486,27 @@ class BatchSynthesisEngine:
             # Every job in a group shares one stage key, and keys embed the
             # stage name, so the group's stage comes off any member's plan.
             stage = group[0].plan[tier].stage
-            artifact = self.cache.get(stage_key)
+            # The span covers the lookup because, under a single-flight
+            # cache, this get may *block* on a foreign claim — the claim
+            # wait then nests under this stage span, which is what makes a
+            # cross-replica wait attributable in the trace.
+            lookup_start = time.perf_counter()
+            with obs_span(
+                f"stage:{stage.name}",
+                category="stage",
+                stage=stage.name,
+                key=stage_key[:16],
+            ) as lookup_span:
+                artifact = self.cache.get(stage_key)
+                lookup_span.set(
+                    action="replayed" if artifact is not None else "claimed"
+                )
             if artifact is not None:
+                obs_metrics.stage_wall_histogram().observe(
+                    time.perf_counter() - lookup_start,
+                    stage=stage.name,
+                    action="replayed",
+                )
                 for p in group:
                     p.artifacts.append(artifact)
                     p.executions.append(
@@ -439,6 +556,9 @@ class BatchSynthesisEngine:
             if ok:
                 self.cache.put(stage_key, value)
                 stored.add(stage_key)
+                obs_metrics.stage_wall_histogram().observe(
+                    elapsed, stage=stage.name, action="ran"
+                )
                 for position, p in enumerate(group):
                     p.artifacts.append(value)
                     p.executions.append(
@@ -488,7 +608,14 @@ class BatchSynthesisEngine:
             )
             start = time.perf_counter()
             try:
-                artifact = stage.run(context, upstream)
+                with obs_span(
+                    f"stage:{stage.name}",
+                    category="stage",
+                    stage=stage.name,
+                    action="ran",
+                    key=stage_key[:16],
+                ):
+                    artifact = stage.run(context, upstream)
             except Exception as exc:  # noqa: BLE001 - captured per job
                 executed[stage_key] = (False, exc, time.perf_counter() - start, False)
                 if self.fail_fast:
@@ -503,6 +630,10 @@ class BatchSynthesisEngine:
     ) -> Dict[str, Tuple[bool, Any, float, bool]]:
         executed: Dict[str, Tuple[bool, Any, float, bool]] = {}
         workers = min(self.max_workers, len(groups))
+        # The dispatching side of trace propagation: every pool payload
+        # carries the current span context so worker-recorded spans parent
+        # under this tier's span.
+        context_info = current_context()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             future_info = {}
             for stage_key, group in groups.items():
@@ -514,6 +645,9 @@ class BatchSynthesisEngine:
                     graph_to_dict(rep.job.graph),
                     rep.job.config.to_dict(),
                     upstream,
+                    (context_info.serialize(), stage_key[:16])
+                    if context_info is not None
+                    else None,
                 )
                 future = pool.submit(_execute_stage_serialized, payload)
                 future_info[future] = (stage_key, time.perf_counter())
@@ -522,8 +656,12 @@ class BatchSynthesisEngine:
             for future in as_completed(future_info):
                 stage_key, submit_time = future_info[future]
                 try:
-                    ok, value, elapsed = future.result()
+                    ok, value, elapsed, child_spans = future.result()
                     crashed = False
+                    if child_spans:
+                        rec = obs_recorder()
+                        if rec is not None:
+                            rec.absorb(child_spans)
                 except Exception as exc:  # noqa: BLE001 - worker/pickling crash
                     # A stage-level failure comes back tagged; reaching here
                     # means the worker itself died (OOM-kill, broken pool),

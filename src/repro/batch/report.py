@@ -46,6 +46,10 @@ class JobOutcome:
     #: this so every report row shows its own assay.
     graph_name: Optional[str] = None
     stages: List[StageExecution] = field(default_factory=list)
+    #: Per-stage span digests from the run's trace recorder (empty unless
+    #: tracing was enabled): ``{name, duration_s, action, key}`` rows that
+    #: tie this job's stages to spans in the exported trace.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -94,7 +98,9 @@ class JobOutcome:
         block.  Jobs whose config enabled the verify stage additionally
         carry a ``verification`` block — the Monte-Carlo makespan
         distribution (p50/p95/p99), fault-recovery rate, and the
-        deterministic replay's propagated diagnostics.
+        deterministic replay's propagated diagnostics.  Runs with tracing
+        enabled additionally carry a ``spans`` list (per-stage span
+        digests linking the payload to the exported trace).
         """
         verification = None
         if self.ok and getattr(self.result, "verification", None) is not None:
@@ -102,6 +108,9 @@ class JobOutcome:
             verification["simulation_problems"] = list(
                 self.result.simulation_problems or []
             )
+        extra: Dict[str, Any] = {}
+        if self.spans:
+            extra["spans"] = list(self.spans)
         return {
             "id": self.job_id,
             "cache_key": self.cache_key,
@@ -121,6 +130,7 @@ class JobOutcome:
             ],
             "metrics": self.metrics().as_dict() if self.ok else None,
             "verification": verification,
+            **extra,
         }
 
 
@@ -235,14 +245,20 @@ class BatchReport:
     def to_json_payload(self) -> Dict[str, Any]:
         """The whole report as one JSON-serializable payload.
 
-        ``{"summary": ..., "jobs": [...]}`` with the batch totals of
-        :meth:`summary` and one :meth:`JobOutcome.payload` per job, in
-        submission order.  Written verbatim by ``repro batch --json`` and
-        returned verbatim by the synthesis service's result endpoint.
+        ``{"summary": ..., "jobs": [...], "metrics": {...}}`` with the
+        batch totals of :meth:`summary`, one :meth:`JobOutcome.payload` per
+        job in submission order, and a snapshot of the process-wide
+        observability registry (:mod:`repro.obs.metrics`) so ``--json``
+        consumers see operational counters next to the results.  Written
+        verbatim by ``repro batch --json`` and returned verbatim by the
+        synthesis service's result endpoint.
         """
+        from repro.obs.metrics import get_registry
+
         return {
             "summary": self.summary(),
             "jobs": [outcome.payload() for outcome in self.outcomes],
+            "metrics": get_registry().snapshot(),
         }
 
     def deterministic_summary(self) -> str:

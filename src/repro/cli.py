@@ -124,6 +124,97 @@ def _add_solver_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(
+    parser: argparse.ArgumentParser, trace: bool = True
+) -> None:
+    """The shared observability flags of every job-running subcommand.
+
+    ``--log-level`` attaches a stderr handler to the ``repro.*`` logger
+    taxonomy (see :mod:`repro.obs.logs`); ``--log-json`` switches it to
+    one-object-per-line JSON records (and implies ``--log-level info`` when
+    no level is given).  ``--trace-out`` installs a trace recorder for the
+    run and writes the collected spans as Chrome trace-event JSON —
+    loadable in Perfetto or ``chrome://tracing`` (see docs/observability.md).
+    """
+    from repro.obs.logs import LOG_LEVELS
+
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="enable logging for the repro.* subsystems at this level "
+        "(default: logging stays silent)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines (implies --log-level info "
+        "when --log-level is not given)",
+    )
+    if trace:
+        parser.add_argument(
+            "--trace-out",
+            dest="trace_out",
+            type=Path,
+            default=None,
+            help="trace this run and write Chrome trace-event JSON here "
+            "(open in Perfetto or chrome://tracing)",
+        )
+
+
+def _configure_obs_logging(
+    args: argparse.Namespace, default_level: Optional[str] = None
+) -> None:
+    """Apply the ``--log-level``/``--log-json`` flags, if any."""
+    from repro.obs.logs import configure_logging
+
+    level = getattr(args, "log_level", None)
+    if level is None and getattr(args, "log_json", False):
+        level = "info"
+    if level is None:
+        level = default_level
+    if level is not None:
+        configure_logging(level=level, json_lines=getattr(args, "log_json", False))
+
+
+def _observability(args: argparse.Namespace):
+    """Context manager wiring the obs flags around one CLI run.
+
+    Configures logging immediately; when ``--trace-out`` was given,
+    installs a per-run trace recorder under a root ``repro`` span and, on
+    the way out (success or failure), writes the Chrome trace-event JSON
+    export to the requested path.
+    """
+    import contextlib
+
+    _configure_obs_logging(args)
+    trace_out = getattr(args, "trace_out", None)
+
+    @contextlib.contextmanager
+    def _session():
+        if trace_out is None:
+            yield None
+            return
+        from repro.obs.trace import (
+            TraceRecorder,
+            install_recorder,
+            span as obs_span,
+            uninstall_recorder,
+        )
+
+        rec = TraceRecorder()
+        token = install_recorder(rec)
+        try:
+            with obs_span("repro", category="cli"):
+                yield rec
+        finally:
+            uninstall_recorder(token)
+            rec.write(trace_out)
+            print(f"trace written to {trace_out}", file=sys.stderr)
+
+    return _session()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the compact layout to this SVG file")
     parser.add_argument("--schedule-table", action="store_true",
                         help="also print the full (operation, device, start, end) table")
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -262,6 +354,7 @@ def _build_jobs_parser(prog: str, description: str, source_help: str) -> argpars
     parser.add_argument("--fail-fast", action="store_true",
                         help="abort the batch on the first job failure")
     _add_solver_argument(parser)
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -317,6 +410,7 @@ def build_explore_parser() -> argparse.ArgumentParser:
                         "candidates' schedules (A/B switch; the frontier "
                         "contents are identical either way)")
     _add_solver_argument(parser)
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -363,7 +457,8 @@ def run_explore(argv: List[str]) -> int:
         warm_start=not args.no_warm_start,
     )
     try:
-        report = engine.run()
+        with _observability(args):
+            report = engine.run()
     except ValueError as exc:
         # Structural problems surfaced mid-setup (foreign state file,
         # duplicate candidate ids) are input errors, not synthesis failures.
@@ -411,6 +506,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="seconds shutdown waits for running jobs before "
                         "flushing the cache and exiting (default 5)")
     _add_solver_argument(parser)
+    _add_obs_arguments(parser, trace=False)
     return parser
 
 
@@ -426,6 +522,9 @@ def run_serve(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1 or args.engine_workers < 1:
         parser.error("--workers and --engine-workers must be at least 1")
+    # Long-running processes log their lifecycle by default; --log-level
+    # still overrides (e.g. 'debug', or 'error' to quiet them down).
+    _configure_obs_logging(args, default_level="info")
     cache_backend = args.cache_backend
     if cache_backend is None and args.cache_addr is not None:
         cache_backend = "shared"
@@ -495,6 +594,7 @@ def build_cache_daemon_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-entries", type=int, default=4096,
                         help="bound on stored entries; least-recently-used "
                         "entries are evicted (default 4096)")
+    _add_obs_arguments(parser, trace=False)
     return parser
 
 
@@ -510,6 +610,7 @@ def run_cache_daemon(argv: List[str]) -> int:
     args = parser.parse_args(argv)
     if args.max_entries < 1:
         parser.error("--max-entries must be at least 1")
+    _configure_obs_logging(args, default_level="info")
 
     daemon = CacheDaemon(
         CacheDaemonConfig(host=args.host, port=args.port, max_entries=args.max_entries)
@@ -588,6 +689,7 @@ def build_simulate_parser() -> argparse.ArgumentParser:
                         "report is byte-identical for any count (default 1)")
     parser.add_argument("--json", dest="json_out", type=Path, default=None,
                         help="also write the verification report to this JSON file")
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -628,7 +730,8 @@ def run_simulate(argv: List[str]) -> int:
     )
     config = apply_solver_override(config, args.solver)
     try:
-        result = synthesize(graph, config)
+        with _observability(args):
+            result = synthesize(graph, config)
     except Exception as exc:  # noqa: BLE001 - includes VerificationError
         print(f"simulation failed: {exc}", file=sys.stderr)
         return 1
@@ -698,7 +801,8 @@ def _run_jobs_command(argv: List[str], sweep: bool) -> int:
         max_workers=max(1, args.workers), cache=cache, fail_fast=args.fail_fast
     )
     try:
-        report = engine.run(jobs)
+        with _observability(args):
+            report = engine.run(jobs)
     except Exception as exc:  # noqa: BLE001 - fail-fast surfaces the first job error
         print(f"batch failed: {exc}", file=sys.stderr)
         return 1
@@ -756,7 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     config = _config_from_args(args)
     try:
-        result = synthesize(graph, config)
+        with _observability(args):
+            result = synthesize(graph, config)
     except Exception as exc:  # noqa: BLE001 - report synthesis failures as exit code
         print(f"synthesis failed: {exc}", file=sys.stderr)
         return 1

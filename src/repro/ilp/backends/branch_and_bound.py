@@ -65,6 +65,8 @@ import numpy as np
 from repro.ilp.backends.base import SolverBackend, empty_model_result
 from repro.ilp.model import Model
 from repro.ilp.status import SolverStatus
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span, tracing_enabled
 
 _INF = math.inf
 #: Absolute feasibility tolerance for row activities and bound crossings.
@@ -488,6 +490,11 @@ class BranchAndBoundBackend(SolverBackend):
     # ------------------------------------------------------------------ solve
     def solve(self, model: Model, options=None):
         """Solve ``model`` exactly (small instances) or best-effort at limits."""
+        with obs_span("bb:search", category="solver") as bb_span:
+            return self._solve_in_span(model, options, bb_span)
+
+    def _solve_in_span(self, model: Model, options, bb_span):
+        """The search proper; reports its phase breakdown into ``bb_span``."""
         from repro.ilp.solver import SolveResult, SolverOptions
 
         options = options or SolverOptions()
@@ -498,6 +505,29 @@ class BranchAndBoundBackend(SolverBackend):
             return trivial
 
         start = time.perf_counter()
+        # Phase accumulators are only kept (and the timing only paid) when a
+        # recorder is active; the untraced hot path calls the kernels direct.
+        phase: Optional[Dict[str, float]] = (
+            {"propagation_s": 0.0, "verification_s": 0.0}
+            if tracing_enabled()
+            else None
+        )
+        propagate = self._propagate
+        complete = self._complete
+        dive = self._dive
+        if phase is not None:
+            def _timed(key: str, fn):
+                def wrapper(*args):
+                    t0 = time.perf_counter()
+                    try:
+                        return fn(*args)
+                    finally:
+                        phase[key] += time.perf_counter() - t0
+                return wrapper
+
+            propagate = _timed("propagation_s", self._propagate)
+            complete = _timed("verification_s", self._complete)
+            dive = _timed("verification_s", self._dive)
         deadline = None
         if options.time_limit_s is not None:
             deadline = start + float(options.time_limit_s)
@@ -566,7 +596,7 @@ class BranchAndBoundBackend(SolverBackend):
             return warm_obj is not None and bound > warm_obj + _OBJ_TOL
 
         refresh_cut()
-        if not self._propagate(rows, lo, hi, is_int):
+        if not propagate(rows, lo, hi, is_int):
             # Refuted at the root: with an active warm cut this only proves
             # "nothing at least as good as the warm incumbent", which *is*
             # the optimality proof for the warm point itself.
@@ -576,7 +606,7 @@ class BranchAndBoundBackend(SolverBackend):
             else:
                 status = SolverStatus.INFEASIBLE
         else:
-            dived = self._dive(rows, c, lo, hi, is_int, int_indices)
+            dived = dive(rows, c, lo, hi, is_int, int_indices)
             if dived is not None and (warm_obj is None or dived[0] <= warm_obj + _OBJ_TOL):
                 best = (dived[0], dived[1])
                 refresh_cut()
@@ -597,7 +627,7 @@ class BranchAndBoundBackend(SolverBackend):
                 nodes += 1
                 j = self._first_unfixed_int(int_indices, lo_n, hi_n)
                 if j is None:
-                    candidate = self._complete(rows, c, lo_n, hi_n, is_int)
+                    candidate = complete(rows, c, lo_n, hi_n, is_int)
                     if candidate is None:
                         leaves_closed = False
                         continue
@@ -625,7 +655,7 @@ class BranchAndBoundBackend(SolverBackend):
                 for child_lo_j, child_hi_j in splits:
                     child_lo, child_hi = lo_n.copy(), hi_n.copy()
                     child_lo[j], child_hi[j] = child_lo_j, child_hi_j
-                    if not self._propagate(rows, child_lo, child_hi, is_int):
+                    if not propagate(rows, child_lo, child_hi, is_int):
                         continue
                     child_bound = self._box_bound(c, child_lo, child_hi)
                     if prunable(child_bound):
@@ -672,6 +702,20 @@ class BranchAndBoundBackend(SolverBackend):
                 )
             else:
                 mip_gap = 0.0
+        obs_metrics.solver_nodes_counter().inc(nodes)
+        if warm_used:
+            obs_metrics.warm_start_counter().inc()
+        if phase is not None:
+            branching_s = max(
+                0.0, elapsed - phase["propagation_s"] - phase["verification_s"]
+            )
+            bb_span.set(
+                nodes=nodes,
+                warm_start=warm_used,
+                propagation_s=round(phase["propagation_s"], 6),
+                verification_s=round(phase["verification_s"], 6),
+                branching_s=round(branching_s, 6),
+            )
         message = f"branch-and-bound: {nodes} nodes explored"
         if warm_used:
             message += ", warm start seeded"

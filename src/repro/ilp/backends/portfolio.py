@@ -28,6 +28,10 @@ from repro.ilp.backends.base import (
 )
 from repro.ilp.model import Model
 from repro.ilp.status import SolverStatus
+from repro.obs.logs import get_logger
+from repro.obs.trace import span as obs_span
+
+_LOG = get_logger("solver")
 
 #: Statuses that end the chain: a usable solution or a mathematical proof.
 _DECISIVE = (
@@ -90,8 +94,18 @@ class PortfolioBackend(SolverBackend):
             if not member.is_available():
                 attempts.append(f"{member_name}: unavailable")
                 continue
-            result = member.solve(model, options)
+            with obs_span(
+                "solver:attempt", category="solver", backend=member_name
+            ) as attempt_span:
+                result = member.solve(model, options)
+                attempt_span.set(status=result.status.value)
             fallback = bool(attempts)
+            if fallback:
+                _LOG.info(
+                    "portfolio fell back to %s after: %s",
+                    member_name,
+                    "; ".join(attempts),
+                )
             if result.status in _DECISIVE:
                 result.backend_name = result.backend_name or member.name
                 result.fallback_used = fallback or result.fallback_used

@@ -1,0 +1,59 @@
+"""Flight recorder for the synthesis stack: tracing, metrics, logging.
+
+The package is the repository's single observability surface, built on
+nothing beyond the stdlib so it is importable in every execution context
+the flow reaches (CLI runs, ``repro serve`` worker threads, ProcessPool
+stage workers, Monte-Carlo shard processes, the asyncio cache daemon):
+
+* :mod:`repro.obs.trace` — hierarchical spans (job → stage → solver
+  attempt → B&B search / MC shard) on a per-run :class:`TraceRecorder`,
+  with context propagation across process boundaries and HTTP hops and a
+  Chrome trace-event JSON export loadable in Perfetto;
+* :mod:`repro.obs.metrics` — a small counter/gauge/histogram registry
+  rendered in Prometheus text-exposition format by ``GET /metrics`` on
+  the service and the cache daemon, and embedded as a ``metrics`` block
+  in ``--json`` reports;
+* :mod:`repro.obs.logs` — named stdlib loggers per subsystem behind the
+  ``--log-level``/``--log-json`` CLI flags.
+
+Instrumentation is zero-cost-when-disabled: :func:`span` is a no-op
+context manager until a recorder is installed, and nothing in this
+package ever contributes to a cache key (observability steers how runs
+are *watched*, never what they compute — the same contract as
+``RUNTIME_ADVICE_FIELDS``).
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    SpanContext,
+    TraceRecorder,
+    current_context,
+    install_recorder,
+    recorder,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "SpanContext",
+    "TraceRecorder",
+    "MetricsRegistry",
+    "configure_logging",
+    "current_context",
+    "get_logger",
+    "get_registry",
+    "install_recorder",
+    "recorder",
+    "render_prometheus",
+    "span",
+    "tracing_enabled",
+]

@@ -18,7 +18,15 @@ extend single-flight semantics across processes:
   publishes nor releases within it is presumed dead, so a crashed replica
   delays its waiters by at most one lease.
 * ``POST /release/{key}`` — voluntary release (owner-checked, idempotent).
-* ``GET /stats``, ``GET /healthz``, ``POST /clear``, ``POST /shutdown``.
+* ``GET /stats``, ``GET /metrics`` (Prometheus text exposition),
+  ``GET /healthz``, ``POST /clear``, ``POST /shutdown``.
+
+A claim request whose :data:`~repro.obs.trace.TRACE_HEADER` header carries
+a span context gets it stored on the claim record; ``claimed`` answers echo
+it as ``claimant_trace``, so a replica waiting on a foreign solve can link
+its trace to the trace doing the work.  The daemon's counters live in the
+process metrics registry (:class:`DaemonStats` is a view over it), which
+``GET /metrics`` renders directly.
 
 Everything runs on the event-loop thread — requests are tiny and the store
 is in memory, so there are no worker threads and no locks.  Like the
@@ -37,6 +45,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.trace import TRACE_HEADER
 from repro.service.http import (
     MAX_BODY_BYTES,
     HttpError,
@@ -44,6 +56,8 @@ from repro.service.http import (
     read_request,
     response_bytes,
 )
+
+_LOG = get_logger("cachedaemon")
 
 #: Keys are SHA-256 hex digests in practice; the permissive charset also
 #: admits test keys, but still rules out path games and header injection.
@@ -75,39 +89,66 @@ class CacheDaemonConfig:
 
 @dataclass
 class _Claim:
-    """One live claim record: who owns it and when the lease runs out."""
+    """One live claim record: who owns it and when the lease runs out.
+
+    ``trace`` is the claimant's serialized span context (when it sent one),
+    echoed to waiting replicas so their claim-wait spans can reference the
+    trace doing the work.
+    """
 
     owner: str
     deadline: float = 0.0
+    trace: Optional[str] = None
 
 
-@dataclass
 class DaemonStats:
-    """Daemon-side counters, mirrored verbatim into ``GET /stats``."""
+    """Daemon-side counters: a per-instance view over the metrics registry.
 
-    gets: int = 0
-    hits: int = 0
-    puts: int = 0
-    evictions: int = 0
-    claims_granted: int = 0
-    claims_present: int = 0
-    claims_denied: int = 0
-    takeovers: int = 0
-    releases: int = 0
+    Events are accumulated in the process-wide
+    :func:`repro.obs.metrics.daemon_events_counter`
+    (``repro_cachedaemon_events_total{event=...}``), so ``GET /stats`` and
+    ``GET /metrics`` always agree.  Each instance snapshots the counter at
+    construction and reports *deltas* since then, which preserves the
+    historical fresh-counters-per-daemon contract (the ``GET /stats`` JSON
+    shape is unchanged) even when several daemons share one test process.
+    """
+
+    _EVENTS = (
+        "gets",
+        "hits",
+        "puts",
+        "evictions",
+        "claims_granted",
+        "claims_present",
+        "claims_denied",
+        "takeovers",
+        "releases",
+    )
+
+    def __init__(self) -> None:
+        self._counter = obs_metrics.daemon_events_counter()
+        self._base = {
+            event: self._counter.value(event=event) for event in self._EVENTS
+        }
+
+    def inc(self, event: str) -> None:
+        """Record one daemon event (must be a member of ``_EVENTS``)."""
+        if event not in self._EVENTS:
+            raise ValueError(f"unknown daemon event {event!r}")
+        self._counter.inc(event=event)
+
+    def __getattr__(self, name: str):
+        # Dataclass-era reads (daemon.stats.puts, ...) resolve against the
+        # registry, minus this instance's construction-time baseline.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in self._EVENTS:
+            return int(self._counter.value(event=name) - self._base[name])
+        raise AttributeError(name)
 
     def as_dict(self) -> Dict[str, int]:
-        """The counters as a JSON-ready mapping."""
-        return {
-            "gets": self.gets,
-            "hits": self.hits,
-            "puts": self.puts,
-            "evictions": self.evictions,
-            "claims_granted": self.claims_granted,
-            "claims_present": self.claims_present,
-            "claims_denied": self.claims_denied,
-            "takeovers": self.takeovers,
-            "releases": self.releases,
-        }
+        """The counters as a JSON-ready mapping (historical shape)."""
+        return {event: getattr(self, event) for event in self._EVENTS}
 
 
 class CacheDaemon:
@@ -145,6 +186,12 @@ class CacheDaemon:
         self.bound_port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.time()
         self.ready.set()
+        _LOG.info(
+            "cache daemon listening on %s:%s (max_entries=%s)",
+            self.config.host,
+            self.bound_port,
+            self.config.max_entries,
+        )
 
     async def serve_forever(self) -> None:
         """Run until shutdown is requested, then close the listener."""
@@ -155,6 +202,7 @@ class CacheDaemon:
         finally:
             self._server.close()
             await self._server.wait_closed()
+            _LOG.info("cache daemon stopped")
 
     def request_shutdown(self) -> None:
         """Begin shutdown (callable from handlers or signal hooks)."""
@@ -210,6 +258,16 @@ class CacheDaemon:
             return response_bytes(200, self._healthz_payload()), None
         if path == "/stats" and method == "GET":
             return response_bytes(200, self._stats_payload()), None
+        if path == "/metrics" and method == "GET":
+            self._update_gauges()
+            return (
+                response_bytes(
+                    200,
+                    raw=render_prometheus().encode("utf-8"),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                ),
+                None,
+            )
         if path == "/shutdown" and method == "POST":
             # The response is written before shutdown fires, so the
             # requesting client always hears the acknowledgement.
@@ -236,11 +294,11 @@ class CacheDaemon:
         """``GET``/``HEAD``/``PUT /kv/{key}``: the raw-envelope store."""
         key = self._check_key(key)
         if method in ("GET", "HEAD"):
-            self.stats.gets += 1
+            self.stats.inc("gets")
             data = self._store.get(key)
             if data is None:
                 return response_bytes(404, {"error": f"no such key: {key}"})
-            self.stats.hits += 1
+            self.stats.inc("hits")
             self._store.move_to_end(key)
             if method == "HEAD":
                 return response_bytes(200, raw=b"", content_type="application/octet-stream")
@@ -248,12 +306,12 @@ class CacheDaemon:
         if method == "PUT":
             if not request.body:
                 raise HttpError(400, "PUT /kv/{key} requires a non-empty body")
-            self.stats.puts += 1
+            self.stats.inc("puts")
             self._store[key] = request.body
             self._store.move_to_end(key)
             while len(self._store) > self.config.max_entries:
                 self._store.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.inc("evictions")
             # Publishing the value is the definitive release: every replica
             # polling the claim now sees "present" and just reads.
             self._claims.pop(key, None)
@@ -275,7 +333,7 @@ class CacheDaemon:
         lease_s = min(float(lease_s), MAX_LEASE_S)
 
         if key in self._store:
-            self.stats.claims_present += 1
+            self.stats.inc("claims_present")
             return response_bytes(200, {"state": "present"})
         now = time.monotonic()
         claim = self._claims.get(key)
@@ -285,18 +343,25 @@ class CacheDaemon:
             # The lease ran out: the claimant is presumed dead, and the
             # caller inherits the claim instead of waiting forever.
             takeover = True
-            self.stats.takeovers += 1
-        else:
-            self.stats.claims_denied += 1
-            return response_bytes(
-                200,
-                {
-                    "state": "claimed",
-                    "retry_after_s": round(claim.deadline - now, 3),
-                },
+            self.stats.inc("takeovers")
+            _LOG.warning(
+                "claim on %s taken over from expired owner %s", key[:16], claim.owner
             )
-        self._claims[key] = _Claim(owner=owner, deadline=now + lease_s)
-        self.stats.claims_granted += 1
+        else:
+            self.stats.inc("claims_denied")
+            answer = {
+                "state": "claimed",
+                "retry_after_s": round(claim.deadline - now, 3),
+            }
+            if claim.trace is not None:
+                answer["claimant_trace"] = claim.trace
+            return response_bytes(200, answer)
+        self._claims[key] = _Claim(
+            owner=owner,
+            deadline=now + lease_s,
+            trace=request.headers.get(TRACE_HEADER) or None,
+        )
+        self.stats.inc("claims_granted")
         return response_bytes(200, {"state": "granted", "takeover": takeover})
 
     def _release_endpoint(self, method: str, key: str, request: Request) -> bytes:
@@ -309,7 +374,7 @@ class CacheDaemon:
         claim = self._claims.get(key)
         if claim is not None and claim.owner == owner:
             del self._claims[key]
-            self.stats.releases += 1
+            self.stats.inc("releases")
             return response_bytes(200, {"status": "released"})
         return response_bytes(200, {"status": "ignored"})
 
@@ -331,6 +396,12 @@ class CacheDaemon:
         payload["claims"] = len(self._claims)
         payload["max_entries"] = self.config.max_entries
         return payload
+
+    def _update_gauges(self) -> None:
+        """Refresh the live-object gauges right before a ``/metrics`` scrape."""
+        gauge = obs_metrics.daemon_entries_gauge()
+        gauge.set(len(self._store), kind="entries")
+        gauge.set(len(self._claims), kind="claims")
 
     @staticmethod
     def _check_key(key: str) -> str:

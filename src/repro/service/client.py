@@ -18,6 +18,8 @@ import json
 import time
 from typing import Any, Dict, Optional
 
+from repro.obs.trace import TRACE_HEADER, current_context, recorder
+
 
 class ServiceError(RuntimeError):
     """A non-2xx response from the service, carrying the HTTP status."""
@@ -58,9 +60,19 @@ class ServiceClient:
         """``GET /jobs/{id}/result``: the full report payload of a done job.
 
         Raises :class:`ServiceError` (409) while the job is still queued or
-        running — use :meth:`wait` first.
+        running — use :meth:`wait` first.  When this process is tracing,
+        the server-side spans the payload carries (under
+        ``trace.events``, present for submissions that shipped a trace
+        header) are absorbed into the local recorder, so the client's
+        exported trace shows the remote stages.
         """
-        return self._request("GET", f"/jobs/{job_id}/result")
+        payload = self._request("GET", f"/jobs/{job_id}/result")
+        rec = recorder()
+        if rec is not None and isinstance(payload, dict):
+            events = (payload.get("trace") or {}).get("events")
+            if isinstance(events, list):
+                rec.absorb(events)
+        return payload
 
     def jobs(self) -> Dict[str, Any]:
         """``GET /jobs``: status payloads of every job, submission order."""
@@ -104,6 +116,12 @@ class ServiceClient:
             if body is not None:
                 encoded = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            ctx = current_context()
+            if ctx is not None:
+                # Propagate the active span context; the server parents the
+                # job's recorder on it, so the submission's remote work
+                # shows up in this process's exported trace.
+                headers[TRACE_HEADER] = ctx.serialize()
             connection.request(method, path, body=encoded, headers=headers)
             response = connection.getresponse()
             raw = response.read()

@@ -39,6 +39,17 @@ from typing import Any, Callable, List, Optional, Tuple, Union
 from repro.batch.cache import ResultCache
 from repro.batch.engine import BatchSynthesisEngine
 from repro.batch.jobs import expand_sweep, manifest_jobs
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.trace import (
+    TRACE_HEADER,
+    SpanContext,
+    TraceRecorder,
+    install_recorder,
+    span as obs_span,
+    uninstall_recorder,
+)
 from repro.service.http import (
     MAX_BODY_BYTES,
     HttpError,
@@ -48,6 +59,16 @@ from repro.service.http import (
 )
 from repro.service.singleflight import SingleFlightCache
 from repro.service.state import DONE, FAILED, JobRecord, JobRegistry
+
+_LOG = get_logger("service")
+
+
+@dataclass
+class _RawBody:
+    """A non-JSON response body (``GET /metrics``) with its content type."""
+
+    data: bytes
+    content_type: str
 
 
 def _submission_specs(payload: Any) -> List[Any]:
@@ -293,6 +314,13 @@ class SynthesisService:
             for i in range(self.config.workers)
         ]
         self.ready.set()
+        _LOG.info(
+            "synthesis service listening on %s:%s (workers=%s, backend=%s)",
+            self.config.host,
+            self.bound_port,
+            self.config.workers,
+            getattr(self.cache.inner, "backend_name", "memory"),
+        )
 
     async def serve_forever(self) -> None:
         """Run until shutdown is requested, then drain, flush, and return.
@@ -345,6 +373,10 @@ class SynthesisService:
         # tracked as clean and not written a second time.
         self.flushed_on_shutdown = self.cache.flush_to_disk()
         self.cache.close()
+        _LOG.info(
+            "synthesis service stopped (flushed %s cache entries)",
+            self.flushed_on_shutdown,
+        )
 
     # --------------------------------------------------------------- workers
     async def _worker(self) -> None:
@@ -361,24 +393,29 @@ class SynthesisService:
                 record.mark_failed("server shut down before the job started")
                 continue
             record.mark_running()
+            _LOG.info("job %s started (%s)", record.job_id, record.kind)
             try:
                 if record.kind == "explore":
-                    report = await self._run_exploration(record.spec)
+                    report = await self._run_exploration(record)
                 else:
-                    report = await self._run_engine(record.jobs)
+                    report = await self._run_engine(record)
             except asyncio.CancelledError:
                 record.mark_failed("server shut down while the job was running")
                 raise
             except Exception as exc:  # noqa: BLE001 - reported on the record
                 record.mark_failed(f"{type(exc).__name__}: {exc}")
+                _LOG.warning("job %s failed: %s", record.job_id, record.error)
             else:
                 record.mark_done(report)
+                _LOG.info("job %s done", record.job_id)
 
-    async def _run_engine(self, jobs: List[Any]) -> Any:
+    async def _run_engine(self, record: JobRecord) -> Any:
         """Run ``engine.run(jobs)`` on a daemon thread and await the result."""
-        return await self._run_blocking(lambda: self.engine.run(jobs))
+        return await self._run_blocking(
+            self._traced_job(lambda: self.engine.run(record.jobs), record)
+        )
 
-    async def _run_exploration(self, spec: Any) -> Any:
+    async def _run_exploration(self, record: JobRecord) -> Any:
         """Run one exploration spec on a daemon thread and await its report.
 
         The exploration evaluates through this service's long-lived batch
@@ -389,9 +426,43 @@ class SynthesisService:
         from repro.explore import ExplorationEngine
 
         explorer = ExplorationEngine(
-            spec, batch_engine=self.engine, solver=self.config.solver
+            record.spec, batch_engine=self.engine, solver=self.config.solver
         )
-        return await self._run_blocking(explorer.run)
+        return await self._run_blocking(self._traced_job(explorer.run, record))
+
+    def _traced_job(
+        self, func: Callable[[], Any], record: JobRecord
+    ) -> Callable[[], Any]:
+        """Wrap a job callable so it records under the submitting trace.
+
+        Job threads start with fresh context variables, so the recorder is
+        installed *inside* the wrapper (on the job thread), parented on the
+        client's span context.  The recorded spans are kept on the record —
+        summaries and full events — and ride back to the client in the
+        result payload; an untraced submission runs ``func`` untouched.
+        """
+        if record.trace_parent is None:
+            return func
+
+        def wrapper() -> Any:
+            child = TraceRecorder(
+                parent=SpanContext.deserialize(record.trace_parent)
+            )
+            token = install_recorder(child)
+            try:
+                with obs_span(
+                    f"job:{record.job_id}", category="job", kind=record.kind
+                ):
+                    return func()
+            finally:
+                uninstall_recorder(token)
+                record.trace_summary = {
+                    "trace_id": child.trace_id,
+                    "spans": child.stage_summaries(),
+                    "events": child.serialized_spans(),
+                }
+
+        return wrapper
 
     async def _run_blocking(self, func: Callable[[], Any]) -> Any:
         """Run a blocking engine call on a *daemon* thread, await the result.
@@ -449,7 +520,14 @@ class SynthesisService:
                 status, payload = exc.status, {"error": exc.message}
             except Exception as exc:  # noqa: BLE001 - never kill the listener
                 status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            writer.write(response_bytes(status, payload))
+            if isinstance(payload, _RawBody):
+                writer.write(
+                    response_bytes(
+                        status, raw=payload.data, content_type=payload.content_type
+                    )
+                )
+            else:
+                writer.write(response_bytes(status, payload))
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             raise
@@ -477,6 +555,15 @@ class SynthesisService:
             return 200, self._healthz_payload(), None
         if path == "/stats" and method == "GET":
             return 200, self._stats_payload(), None
+        if path == "/metrics" and method == "GET":
+            self._update_gauges()
+            return (
+                200,
+                _RawBody(
+                    render_prometheus().encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+                ),
+                None,
+            )
         if path == "/jobs":
             if method == "POST":
                 return (*await self._submit(request), None)
@@ -531,7 +618,15 @@ class SynthesisService:
             raise HttpError(400, "manifest body contains no jobs")
         record = self.registry.create(kind, payload, jobs)
         record.spec = spec
+        # A submission whose client is tracing ships its span context in the
+        # trace header; the job thread then records into a child recorder of
+        # that context, so the client's exported trace shows this replica's
+        # stages under the submitting span.
+        record.trace_parent = request.headers.get(TRACE_HEADER) or None
         self._queue.put_nowait(record.job_id)
+        _LOG.info(
+            "accepted %s submission %s (%d jobs)", kind, record.job_id, len(jobs)
+        )
         return 202, record.status_payload()
 
     def _build_submission(self, kind: str, payload: Any) -> Tuple[Any, List[Any]]:
@@ -579,6 +674,8 @@ class SynthesisService:
         if record.status == DONE:
             payload = record.report.to_json_payload()
             payload["job_id"] = record.job_id
+            if record.trace_summary is not None:
+                payload["trace"] = record.trace_summary
             return 200, payload
         if record.status == FAILED:
             return 500, {"job_id": record.job_id, "status": FAILED, "error": record.error}
@@ -607,6 +704,12 @@ class SynthesisService:
                 "dir": str(self.config.cache_dir) if self.config.cache_dir else None,
             },
         }
+
+    def _update_gauges(self) -> None:
+        """Refresh the queue-depth gauge right before a ``/metrics`` scrape."""
+        gauge = obs_metrics.queue_depth_gauge()
+        for state, count in self.registry.counts().items():
+            gauge.set(count, state=state)
 
     def _stats_payload(self) -> Any:
         """``GET /stats``: the full per-tier hit/miss/claim counter set.

@@ -44,6 +44,12 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+from repro.obs.trace import span as obs_span
+
+_LOG = get_logger("singleflight")
+
 
 class SingleFlightCache:
     """Thread-safe, claim-tracking view over a :class:`ResultCache`.
@@ -246,44 +252,68 @@ class SingleFlightCache:
         """
         present_misses = 0
         waiting_counted = False
-        while True:
-            outcome = self._claims.claim(key, lease_s=self._claim_timeout_s)
-            if outcome.state in ("granted", "unavailable"):
-                with self._lock:
-                    self._bump("claims")
-                    if outcome.takeover:
-                        self._bump("takeovers")
-                return None
-            if outcome.state == "present":
-                with self._lock:
-                    value = self._inner.get(key)
-                    if value is not None:
-                        self._release(key)
-                        return value
-                present_misses += 1
-                if present_misses >= 3:
-                    # The daemon holds an envelope this process cannot read
-                    # (a different key version, or it evicted between
-                    # answers): stop ping-ponging and compute locally — the
-                    # eventual put simply overwrites the unreadable entry.
+        # The claim-wait span is opened lazily on the first "claimed" answer
+        # and closed on whatever path ends the negotiation, so a wait on a
+        # foreign replica's solve is one visible interval.  It carries the
+        # claimant's serialized trace context, which links this replica's
+        # trace to the trace doing the work.
+        wait_cm = None
+        wait_span = None
+        try:
+            while True:
+                outcome = self._claims.claim(key, lease_s=self._claim_timeout_s)
+                if outcome.state in ("granted", "unavailable"):
                     with self._lock:
                         self._bump("claims")
+                        if outcome.takeover:
+                            self._bump("takeovers")
+                    if outcome.takeover:
+                        _LOG.warning(
+                            "took over expired remote claim on %s", key[:16]
+                        )
                     return None
-                continue
-            # Another live replica holds the claim: poll until its put makes
-            # the key "present", its release/expiry grants it to us, or the
-            # daemon vanishes.
-            if not waiting_counted:
-                with self._lock:
-                    self._bump("claim_waits")
-                waiting_counted = True
-            delay = self._poll_interval_s
-            if outcome.retry_after_s > 0:
-                delay = min(delay, outcome.retry_after_s)
-            time.sleep(max(delay, 0.01))
+                if outcome.state == "present":
+                    with self._lock:
+                        value = self._inner.get(key)
+                        if value is not None:
+                            self._release(key)
+                            return value
+                    present_misses += 1
+                    if present_misses >= 3:
+                        # The daemon holds an envelope this process cannot read
+                        # (a different key version, or it evicted between
+                        # answers): stop ping-ponging and compute locally — the
+                        # eventual put simply overwrites the unreadable entry.
+                        with self._lock:
+                            self._bump("claims")
+                        return None
+                    continue
+                # Another live replica holds the claim: poll until its put makes
+                # the key "present", its release/expiry grants it to us, or the
+                # daemon vanishes.
+                if not waiting_counted:
+                    with self._lock:
+                        self._bump("claim_waits")
+                    waiting_counted = True
+                if wait_cm is None:
+                    wait_cm = obs_span(
+                        "cache:claim-wait", category="cache", key=key[:16]
+                    )
+                    wait_span = wait_cm.__enter__()
+                claimant = getattr(outcome, "claimant_trace", None)
+                if claimant:
+                    wait_span.set(claimant=claimant)
+                delay = self._poll_interval_s
+                if outcome.retry_after_s > 0:
+                    delay = min(delay, outcome.retry_after_s)
+                time.sleep(max(delay, 0.01))
+        finally:
+            if wait_cm is not None:
+                wait_cm.__exit__(None, None, None)
 
     def _bump(self, counter: str) -> None:
         """Increment a claim counter on the inner stats, when it has one."""
+        obs_metrics.claim_counter().inc(event=counter)
         stats = getattr(self._inner, "stats", None)
         if stats is not None and hasattr(stats, counter):
             setattr(stats, counter, getattr(stats, counter) + 1)

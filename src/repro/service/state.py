@@ -53,6 +53,13 @@ class JobRecord:
     #: The validated :class:`~repro.explore.spec.ExplorationSpec` of an
     #: exploration submission (``None`` for batches and sweeps).
     spec: Optional[Any] = None
+    #: The submitting client's serialized span context (from the trace
+    #: header), when the client was tracing; the job thread parents its
+    #: recorder on it so the client's exported trace shows this job.
+    trace_parent: Optional[str] = None
+    #: ``{"trace_id", "spans"}`` recorded while the job ran (traced jobs
+    #: only); embedded in the ``GET /jobs/{id}/result`` payload.
+    trace_summary: Optional[Any] = None
 
     @property
     def finished(self) -> bool:

@@ -73,6 +73,7 @@ from __future__ import annotations
 import math
 import os
 import random
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
@@ -82,6 +83,17 @@ import numpy as np
 from repro.devices.device import DeviceLibrary
 from repro.graph.sequencing_graph import SequencingGraph
 from repro.keys import derive_seed
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    SpanContext,
+    TraceRecorder,
+    current_context,
+    install_recorder,
+    recorder,
+    span as obs_span,
+    tracing_enabled,
+    uninstall_recorder,
+)
 from repro.scheduling.schedule import Schedule
 from repro.simulation.mtstream import derive_seed_block, uniform_block
 
@@ -464,6 +476,9 @@ class _ShardOutcome:
     detail: List[TrialResult]
     notes: List[str]
     notes_total: int
+    #: Serialized spans recorded inside the shard worker (empty unless the
+    #: coordinator was tracing); absorbed into the parent recorder.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def _shard_bounds(trials: int, workers: int) -> List[Tuple[int, int]]:
@@ -487,9 +502,28 @@ def _replay_shard(
     config: MonteCarloConfig,
     lo: int,
     hi: int,
+    trace: Optional[str] = None,
 ) -> _ShardOutcome:
-    """Process-pool entry point: replay one trial index range."""
-    return MonteCarloEngine(schedule, library, config)._run_range(lo, hi)
+    """Process-pool entry point: replay one trial index range.
+
+    ``trace`` is the coordinator's serialized span context; when present the
+    shard records a ``verify:shard`` span into a child recorder and ships
+    the serialized spans back inside the outcome, so a sharded run's
+    timeline nests under the coordinator's verify span.
+    """
+    if trace is None:
+        return MonteCarloEngine(schedule, library, config)._run_range(lo, hi)
+    child = TraceRecorder(parent=SpanContext.deserialize(trace))
+    token = install_recorder(child)
+    try:
+        with obs_span("verify:shard", category="verify", lo=lo, hi=hi):
+            outcome = MonteCarloEngine(schedule, library, config)._run_range(
+                lo, hi
+            )
+    finally:
+        uninstall_recorder(token)
+    outcome.spans = child.serialized_spans()
+    return outcome
 
 
 class MonteCarloEngine:
@@ -529,17 +563,49 @@ class MonteCarloEngine:
         """Run all trials (sharded if configured) and aggregate a report."""
         cfg = self.config
         bounds = _shard_bounds(cfg.trials, cfg.workers)
-        if len(bounds) <= 1:
-            outcomes = [self._run_range(0, cfg.trials)]
-        else:
-            with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
-                futures = [
-                    pool.submit(
-                        _replay_shard, self.schedule, self.library, cfg, lo, hi
-                    )
-                    for lo, hi in bounds
-                ]
-                outcomes = [f.result() for f in futures]
+        with obs_span(
+            "verify:mc", category="verify", trials=cfg.trials, shards=len(bounds)
+        ) as mc_span:
+            # Phase split: compiling the replay plan vs. replaying trials.
+            # The plan is lazy and shard-local, so timing it here is only
+            # meaningful (and only paid for) when a recorder is active; the
+            # scalar reference engine never builds a plan at all.
+            compile_s = 0.0
+            if tracing_enabled() and os.environ.get(_SCALAR_ENV) != "1":
+                compile_start = time.perf_counter()
+                self.plan()
+                compile_s = time.perf_counter() - compile_start
+            replay_start = time.perf_counter()
+            if len(bounds) <= 1:
+                outcomes = [self._run_range(0, cfg.trials)]
+            else:
+                ctx = current_context()
+                trace_wire = ctx.serialize() if ctx is not None else None
+                with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+                    futures = [
+                        pool.submit(
+                            _replay_shard,
+                            self.schedule,
+                            self.library,
+                            cfg,
+                            lo,
+                            hi,
+                            trace_wire,
+                        )
+                        for lo, hi in bounds
+                    ]
+                    outcomes = [f.result() for f in futures]
+            replay_s = time.perf_counter() - replay_start
+            rec = recorder()
+            if rec is not None:
+                for outcome in outcomes:
+                    rec.absorb(outcome.spans)
+            obs_metrics.mc_trials_counter().inc(cfg.trials)
+            mc_span.set(
+                plan_compile_s=round(compile_s, 6),
+                replay_s=round(replay_s, 6),
+                trials_per_s=round(cfg.trials / replay_s, 3) if replay_s else 0.0,
+            )
 
         aggregate = TrialAggregate.merged([o.aggregate for o in outcomes])
         detail: List[TrialResult] = []

@@ -46,6 +46,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.devices.device import DeviceLibrary
 from repro.graph.sequencing_graph import SequencingGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.graph.serialization import canonical_graph_dict
 from repro.graph.validation import assert_valid
 from repro import keys
@@ -544,32 +546,40 @@ class SynthesisPipeline:
         for planned_stage in planned:
             stage = planned_stage.stage
             start = time.perf_counter()
-            artifact = cache.get(planned_stage.key) if use_cache else None
-            if artifact is not None:
-                action = "replayed"
-            else:
-                try:
-                    artifact = stage.run(context, stage.upstream_for(artifacts))
-                except BaseException:
-                    # Under a single-flight cache the miss above *claimed*
-                    # the key; a failed stage must release exactly that
-                    # claim (and no other) so concurrent waiters can take
-                    # over instead of sitting out the claim timeout.
+            with obs_span(
+                f"stage:{stage.name}", category="stage", stage=stage.name
+            ) as stage_span:
+                artifact = cache.get(planned_stage.key) if use_cache else None
+                if artifact is not None:
+                    action = "replayed"
+                else:
+                    try:
+                        artifact = stage.run(context, stage.upstream_for(artifacts))
+                    except BaseException:
+                        # Under a single-flight cache the miss above *claimed*
+                        # the key; a failed stage must release exactly that
+                        # claim (and no other) so concurrent waiters can take
+                        # over instead of sitting out the claim timeout.
+                        if use_cache:
+                            abandon = getattr(cache, "abandon", None)
+                            if abandon is not None:
+                                abandon(planned_stage.key)
+                        raise
                     if use_cache:
-                        abandon = getattr(cache, "abandon", None)
-                        if abandon is not None:
-                            abandon(planned_stage.key)
-                    raise
-                if use_cache:
-                    cache.put(planned_stage.key, artifact)
-                action = "ran"
+                        cache.put(planned_stage.key, artifact)
+                    action = "ran"
+                stage_span.set(action=action, key=planned_stage.key[:16])
+            wall = time.perf_counter() - start
+            obs_metrics.stage_wall_histogram().observe(
+                wall, stage=stage.name, action=action
+            )
             if executions is not None:
                 executions.append(
                     StageExecution(
                         stage=stage.name,
                         key=planned_stage.key,
                         action=action,
-                        wall_time_s=time.perf_counter() - start,
+                        wall_time_s=wall,
                         backend=getattr(artifact, "backend_name", None),
                         fallback_used=getattr(artifact, "fallback_used", False),
                         warm_start_used=getattr(artifact, "warm_start_used", False),

@@ -15,10 +15,10 @@ class TestBenchCommand:
     def test_bench_writes_machine_readable_telemetry(self, tmp_path, capsys):
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "PCR", "IVD",
-                          "--time-limit", "20", "--no-replica"])
+                          "--time-limit", "20", "--no-replica", "--no-obs-probe"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
-        assert payload["bench_format"] == 5
+        assert payload["bench_format"] == 6
         assert payload["key_version"] >= 3
         assert payload["solver"] is None  # default: each config's portfolio
         assays = [record["assay"] for record in payload["experiments"]]
@@ -80,7 +80,7 @@ class TestBenchCommand:
     def test_no_explore_flag_skips_the_smoke(self, tmp_path):
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore", "--no-replica"])
+                          "--no-explore", "--no-replica", "--no-obs-probe"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
         assert payload["explore"] is None
@@ -95,7 +95,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore", "--no-replica"])
+                          "--no-explore", "--no-replica", "--no-obs-probe"])
         assert exit_code == 0
         delta = json.loads(out.read_text())["delta"]
         assert delta["against"] == "BENCH_4.json"
@@ -117,7 +117,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-replica"]) == 0
+                     "--no-replica", "--no-obs-probe"]) == 0
         payload = json.loads(out.read_text())
         assert payload["explore"]["ok"]  # smoke ran and is in totals...
         delta = payload["delta"]
@@ -139,7 +139,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-replica"]) == 0
+                     "--no-explore", "--no-replica", "--no-obs-probe"]) == 0
         payload = json.loads(out.read_text())
         ra30_wall = payload["experiments"][0]["wall_time_s"]
         # Only RA30 is common: the headline excludes IVD's 25 s entirely.
@@ -158,7 +158,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_5.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-replica"]) == 0
+                     "--no-replica", "--no-obs-probe"]) == 0
         delta = json.loads(out.read_text())["delta"]
         assert delta["explore_wall_time_s"] < 0  # the smoke is far under 50 s
 
@@ -167,7 +167,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_abc.json").write_text("nope")   # non-matching name
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore", "--no-replica"])
+                          "--no-explore", "--no-replica", "--no-obs-probe"])
         assert exit_code == 0
         assert json.loads(out.read_text()).get("delta") is None
 
@@ -181,7 +181,7 @@ class TestBenchCommand:
         }))
         out = tmp_path / "custom.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore", "--no-replica"])
+                          "--no-explore", "--no-replica", "--no-obs-probe"])
         assert exit_code == 0
         assert "delta" not in json.loads(out.read_text())
 
@@ -189,7 +189,7 @@ class TestBenchCommand:
         (tmp_path / "BENCH_4.json").write_text("{not json")
         out = tmp_path / "BENCH_5.json"
         exit_code = main(["bench", "--out", str(out), "--assays", "RA30",
-                          "--no-explore", "--no-replica"])
+                          "--no-explore", "--no-replica", "--no-obs-probe"])
         assert exit_code == 0
         payload = json.loads(out.read_text())
         assert "delta" in payload and payload["delta"] is None
@@ -200,7 +200,7 @@ class TestBenchCommand:
         # be recorded in the payload for trajectory comparisons.
         exit_code = main([
             "bench", "--out", str(out), "--assays", "RA30",
-            "--solver", "branch-and-bound", "--no-replica",
+            "--solver", "branch-and-bound", "--no-replica", "--no-obs-probe",
         ])
         assert exit_code == 0
         payload = json.loads(out.read_text())
@@ -219,7 +219,7 @@ class TestBranchAndBoundProbe:
     def test_probe_delivers_optimal_makespan_within_budget(self, tmp_path):
         out = tmp_path / "bench.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-replica"]) == 0
+                     "--no-explore", "--no-replica", "--no-obs-probe"]) == 0
         probe = json.loads(out.read_text())["bb_probe"]
         assert probe["ok"], probe
         assert probe["assay"] == "IVD"
@@ -238,7 +238,8 @@ class TestBranchAndBoundProbe:
     def test_no_bb_probe_flag_skips_it(self, tmp_path):
         out = tmp_path / "bench.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-replica", "--no-bb-probe"]) == 0
+                     "--no-explore", "--no-replica", "--no-bb-probe",
+                     "--no-obs-probe"]) == 0
         assert json.loads(out.read_text())["bb_probe"] is None
 
     def test_delta_reports_probe_speedup_against_previous_ivd(self, tmp_path):
@@ -258,7 +259,7 @@ class TestBranchAndBoundProbe:
         (tmp_path / "BENCH_5.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_6.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-replica"]) == 0
+                     "--no-explore", "--no-replica", "--no-obs-probe"]) == 0
         delta = json.loads(out.read_text())["delta"]
         probe = delta["bb_probe"]
         assert probe["baseline_source"] == "IVD"
@@ -283,7 +284,7 @@ class TestBranchAndBoundProbe:
         (tmp_path / "BENCH_5.json").write_text(json.dumps(previous))
         out = tmp_path / "BENCH_6.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-replica"]) == 0
+                     "--no-explore", "--no-replica", "--no-obs-probe"]) == 0
         probe = json.loads(out.read_text())["delta"]["bb_probe"]
         assert probe["baseline_source"] == "bb_probe"
         assert probe["baseline_schedule_stage_s"] == 0.2
@@ -404,16 +405,89 @@ class TestVerifyProbe:
         out = tmp_path / "bench.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
                      "--no-explore", "--no-replica", "--no-bb-probe",
-                     "--no-verify-probe"]) == 0
+                     "--no-verify-probe", "--no-obs-probe"]) == 0
         assert json.loads(out.read_text())["verify_probe"] is None
 
     def test_probe_record_lands_in_the_payload(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
         assert main(["bench", "--out", str(out), "--assays", "RA30",
-                     "--no-explore", "--no-replica", "--no-bb-probe"]) == 0
+                     "--no-explore", "--no-replica", "--no-bb-probe",
+                     "--no-obs-probe"]) == 0
         payload = json.loads(out.read_text())
         assert payload["verify_probe"]["ok"], payload["verify_probe"]
         assert "verify   fault-free=" in capsys.readouterr().out
+
+
+class TestObsProbe:
+    """The instrumentation-overhead probe (format 6: traced vs untraced)."""
+
+    def test_probe_measures_overhead_and_embeds_spans(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-explore", "--no-replica", "--no-bb-probe",
+                     "--no-verify-probe"]) == 0
+        probe = json.loads(out.read_text())["obs_probe"]
+        assert probe["ok"], probe
+        row = probe["assays"]["RA30"]
+        # Solver-free runs still synthesize a real schedule...
+        assert row["makespan"] > 0
+        # ...and the traced runs' span summaries ride along — at least
+        # the three pipeline stages must have produced spans.
+        stages = {s["name"] for s in row["spans"]}
+        assert {"stage:schedule", "stage:archsyn", "stage:physical"} <= stages
+        assert probe["solver_free"] is True
+        assert probe["traced_best_s"] > 0 and probe["untraced_best_s"] > 0
+        assert isinstance(probe["overhead_pct"], float)
+        from repro.bench import OBS_PROBE_OVERHEAD_CEILING_PCT
+
+        assert probe["overhead_ceiling_pct"] == OBS_PROBE_OVERHEAD_CEILING_PCT
+        assert "obs      overhead=" in capsys.readouterr().out
+
+    def test_probe_reports_in_run_baseline_in_the_delta(self, tmp_path):
+        previous = {
+            "experiments": [
+                {"assay": "RA30", "wall_time_s": 100.0, "makespan": 650}
+            ],
+            "totals": {"wall_time_s": 100.0},
+        }
+        (tmp_path / "BENCH_4.json").write_text(json.dumps(previous))
+        out = tmp_path / "BENCH_5.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-explore", "--no-replica", "--no-bb-probe",
+                     "--no-verify-probe"]) == 0
+        delta = json.loads(out.read_text())["delta"]
+        assert delta["obs_probe"]["baseline_source"] == "in-run untraced engine"
+
+    def test_no_obs_probe_flag_skips_it(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--out", str(out), "--assays", "RA30",
+                     "--no-explore", "--no-replica", "--no-bb-probe",
+                     "--no-verify-probe", "--no-obs-probe"]) == 0
+        assert json.loads(out.read_text())["obs_probe"] is None
+
+    def test_probe_is_not_ok_when_makespans_diverge(self, monkeypatch):
+        """Instrumentation changing a result must fail the probe."""
+        from types import SimpleNamespace
+
+        from repro import bench
+        from repro.obs.trace import recorder
+
+        def fake_run(self, jobs):
+            # Traced runs (a recorder is installed while the engine runs)
+            # "see" a different makespan — exactly the defect the probe
+            # exists to catch.
+            makespan = 651 if recorder() is not None else 650
+            outcome = SimpleNamespace(
+                ok=True,
+                error=None,
+                metrics=lambda: SimpleNamespace(execution_time=makespan),
+            )
+            return SimpleNamespace(outcomes=[outcome])
+
+        monkeypatch.setattr(bench.BatchSynthesisEngine, "run", fake_run)
+        record = bench.run_obs_probe(["RA30"], 20.0, None)
+        assert record["ok"] is False
+        assert "651" in record["error"]
 
 
 class TestCommittedTrajectory:
@@ -574,6 +648,80 @@ class TestCommittedTrajectory8:
 
     def test_schedule_stage_has_no_real_regression(self, bench8):
         for assay, row in bench8["delta"]["experiments"].items():
+            drift = row.get("schedule_stage_s")
+            if drift is not None:
+                assert drift <= 0.3, (assay, row)
+
+
+class TestCommittedTrajectory9:
+    """CI guard over the checked-in BENCH_9.json against BENCH_8.json.
+
+    Format 6's acceptance quantity is the instrumentation-overhead probe:
+    the flight recorder must cost the solver-free golden trio less than
+    the 3% ceiling, with identical makespans traced and untraced and span
+    summaries present for every assay.  The verify-probe floors and the
+    makespan/bb-probe pins carry over from the earlier trajectory guards.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench9(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_9.json"
+        assert path.exists(), "BENCH_9.json must be committed at the repo root"
+        return json.loads(path.read_text())
+
+    def test_format_and_baseline(self, bench9):
+        assert bench9["bench_format"] == 6
+        assert bench9["delta"]["against"] == "BENCH_8.json"
+
+    def test_paper_makespans_unchanged(self, bench9):
+        makespans = {r["assay"]: r["makespan"] for r in bench9["experiments"]}
+        assert makespans == {"RA30": 650, "IVD": 280, "PCR": 330}
+
+    def test_obs_probe_is_under_the_overhead_ceiling(self, bench9):
+        from repro.bench import OBS_PROBE_OVERHEAD_CEILING_PCT
+
+        probe = bench9["obs_probe"]
+        assert probe["ok"], probe
+        # The acceptance number: the flight recorder costs the trio less
+        # than the ceiling even in the conservative solver-free framing.
+        assert probe["overhead_pct"] < OBS_PROBE_OVERHEAD_CEILING_PCT, probe
+        assert probe["solver_free"] is True
+        delta = bench9["delta"]["obs_probe"]
+        assert delta["overhead_pct"] == probe["overhead_pct"]
+        assert delta["baseline_source"] == "in-run untraced engine"
+
+    def test_obs_probe_embeds_span_summaries_for_every_assay(self, bench9):
+        probe = bench9["obs_probe"]
+        assert set(probe["assays"]) == {"RA30", "IVD", "PCR"}
+        for assay, row in probe["assays"].items():
+            stages = {s["name"] for s in row["spans"]}
+            assert {
+                "stage:schedule", "stage:archsyn", "stage:physical"
+            } <= stages, (assay, stages)
+
+    def test_verify_probe_floors_carry_over(self, bench9):
+        from repro.bench import (
+            VERIFY_PROBE_FAULT_FLOOR,
+            VERIFY_PROBE_FAULT_FREE_FLOOR,
+        )
+
+        probe = bench9["verify_probe"]
+        assert probe["ok"], probe
+        assert probe["fault_free"]["speedup"] >= VERIFY_PROBE_FAULT_FREE_FLOOR
+        assert probe["fault"]["speedup"] >= VERIFY_PROBE_FAULT_FLOOR
+
+    def test_probe_still_delivers_optimal_quality(self, bench9):
+        probe = bench9["bb_probe"]
+        assert probe["ok"], probe
+        assert probe["makespan"] == 280
+        schedule_row = next(
+            row for row in probe["stages"] if row["stage"] == "schedule"
+        )
+        assert schedule_row["warm_start_used"] is True
+        assert schedule_row["backend"] == "branch-and-bound"
+
+    def test_schedule_stage_has_no_real_regression(self, bench9):
+        for assay, row in bench9["delta"]["experiments"].items():
             drift = row.get("schedule_stage_s")
             if drift is not None:
                 assert drift <= 0.3, (assay, row)

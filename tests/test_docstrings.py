@@ -26,6 +26,7 @@ GATED_PACKAGES = (
     "repro.ilp.backends",
     "repro.explore",
     "repro.simulation",
+    "repro.obs",
 )
 
 
